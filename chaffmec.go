@@ -1,0 +1,244 @@
+// Package chaffmec is a Go implementation of "Location Privacy in Mobile
+// Edge Clouds: A Chaff-based Approach" (He, Ciftcioglu, Wang, Chan;
+// ICDCS 2017 / arXiv:1709.03133): chaff-service control strategies that
+// protect a mobile user's location from a cyber eavesdropper observing
+// service migrations between mobile edge clouds.
+//
+// The package is the public facade over the implementation packages:
+//
+//   - mobility models (the paper's four synthetic models plus 2-D grids),
+//   - chaff control strategies (IM, ML, CML, OO, MO and the robust
+//     randomized RML/ROO/RMO, plus a rollout-MDP extension),
+//   - eavesdropper detectors (basic ML and strategy-aware advanced),
+//   - a parallel Monte-Carlo simulation harness,
+//   - the theory bounds of Theorems V.4/V.5 and Corollary V.6,
+//   - the trace pipeline (synthetic taxi traces, Voronoi quantisation,
+//     empirical chain fitting), and
+//   - a discrete-time MEC substrate simulator with migration events,
+//     chaff orchestration, cost accounting and failure injection.
+//
+// # Quick start
+//
+//	model, _ := chaffmec.BuildModel(chaffmec.ModelNonSkewed, 10, 1)
+//	res, _ := chaffmec.Evaluate(chaffmec.Evaluation{
+//		Chain: model, Strategy: "MO", NumChaffs: 1, Horizon: 100,
+//		Runs: 1000, Seed: 1,
+//	})
+//	fmt.Printf("tracking accuracy: %.3f\n", res.Overall)
+//
+// See examples/ for runnable programs and internal/figures for the code
+// that regenerates every figure and table of the paper.
+package chaffmec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chaffmec/internal/analysis"
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/detect"
+	"chaffmec/internal/figures"
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mec"
+	"chaffmec/internal/mobility"
+	"chaffmec/internal/sim"
+)
+
+// Core types re-exported from the implementation packages.
+type (
+	// Chain is a finite-state Markov mobility model.
+	Chain = markov.Chain
+	// Trajectory is a sequence of cell indices, one per time slot.
+	Trajectory = markov.Trajectory
+	// Strategy generates chaff trajectories for a user trajectory.
+	Strategy = chaff.Strategy
+	// OnlineController drives chaffs causally (for the MEC simulator).
+	OnlineController = chaff.OnlineController
+	// ModelID selects one of the paper's synthetic mobility models.
+	ModelID = mobility.ModelID
+	// Grid is a rectangular cell layout for 2-D walks and MEC networks.
+	Grid = mobility.Grid
+	// GammaFunc is the deterministic strategy map used by the advanced
+	// eavesdropper.
+	GammaFunc = detect.GammaFunc
+)
+
+// The paper's four synthetic mobility models (Section VII-A.1).
+const (
+	ModelNonSkewed        = mobility.ModelNonSkewed
+	ModelSpatiallySkewed  = mobility.ModelSpatiallySkewed
+	ModelTemporallySkewed = mobility.ModelTemporallySkewed
+	ModelBothSkewed       = mobility.ModelBothSkewed
+)
+
+// NewChain validates a row-stochastic transition matrix.
+func NewChain(p [][]float64) (*Chain, error) { return markov.New(p) }
+
+// BuildModel constructs one of the paper's synthetic mobility models over
+// cells states, seeded for reproducibility.
+func BuildModel(id ModelID, cells int, seed int64) (*Chain, error) {
+	return mobility.Build(id, rand.New(rand.NewSource(seed)), cells)
+}
+
+// NewStrategy constructs a chaff strategy by its paper name: IM, ML, CML,
+// OO, MO, RML, ROO, RMO, or Rollout.
+func NewStrategy(name string, chain *Chain) (Strategy, error) {
+	return chaff.NewByName(name, chain)
+}
+
+// StrategyNames lists the available strategies.
+func StrategyNames() []string { return chaff.Names() }
+
+// Gamma returns the deterministic trajectory map Γ of a strategy family,
+// as assumed by the advanced eavesdropper: ML, CML, OO and MO have one
+// (the robust variants are recognized through their originals: RML→ML,
+// ROO→OO, RMO→MO); IM has none.
+func Gamma(name string, chain *Chain) (GammaFunc, error) {
+	switch name {
+	case "ML", "RML":
+		return chaff.NewML(chain).Gamma, nil
+	case "CML":
+		return chaff.NewCML(chain).Gamma, nil
+	case "OO", "ROO":
+		return chaff.NewOO(chain).Gamma, nil
+	case "MO", "RMO":
+		return chaff.NewMO(chain).Gamma, nil
+	case "ApproxDP":
+		dp, err := chaff.NewApproxDP(chain)
+		if err != nil {
+			return nil, err
+		}
+		return dp.Gamma, nil
+	default:
+		return nil, fmt.Errorf("chaffmec: strategy %q has no deterministic Γ", name)
+	}
+}
+
+// Evaluation describes one Monte-Carlo experiment: a user following Chain,
+// NumChaffs chaffs controlled by Strategy, and an eavesdropper (basic ML
+// detector, or the strategy-aware advanced one when Advanced is set).
+type Evaluation struct {
+	Chain     *Chain
+	Strategy  string
+	NumChaffs int
+	Horizon   int
+	Runs      int
+	Seed      int64
+	// Advanced switches to the strategy-aware eavesdropper; the Γ map is
+	// derived from Strategy automatically.
+	Advanced bool
+	// Workers caps parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Result is the aggregated outcome of an Evaluation.
+type Result struct {
+	// PerSlot is the eavesdropper's mean tracking accuracy per slot;
+	// Overall is its time average (the paper's headline metric).
+	PerSlot []float64
+	Overall float64
+	// Detection is the mean per-slot detection accuracy.
+	Detection []float64
+	// Runs echoes the repetition count.
+	Runs int
+}
+
+// Evaluate runs the experiment.
+func Evaluate(e Evaluation) (*Result, error) {
+	if e.Chain == nil {
+		return nil, fmt.Errorf("chaffmec: Evaluation needs a Chain")
+	}
+	strat, err := NewStrategy(e.Strategy, e.Chain)
+	if err != nil {
+		return nil, err
+	}
+	sc := sim.Scenario{
+		Chain:     e.Chain,
+		Strategy:  strat,
+		NumChaffs: e.NumChaffs,
+		Horizon:   e.Horizon,
+	}
+	if e.Advanced {
+		gamma, err := Gamma(strat.Name(), e.Chain)
+		if err == nil {
+			sc.Detector = sim.AdvancedDetector
+			sc.Gamma = gamma
+		}
+		// IM has no Γ: the advanced eavesdropper degenerates to the basic
+		// detector (Section VI-A.1), so the basic scenario is correct.
+	}
+	res, err := sim.Run(sc, sim.Options{Runs: e.Runs, Seed: e.Seed, Workers: e.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		PerSlot:   res.PerSlot,
+		Overall:   res.Overall,
+		Detection: res.Detection,
+		Runs:      res.Runs,
+	}, nil
+}
+
+// IMAccuracy is the closed-form Eq. 11 tracking accuracy under N−1
+// impersonating chaffs (N total trajectories).
+func IMAccuracy(chain *Chain, n int) (float64, error) { return analysis.IMAccuracy(chain, n) }
+
+// TrackingBound evaluates the Theorem V.4 upper bound on the tracking
+// accuracy under the CML (hence OO) strategy at horizon T. Bounds ≥ 1 are
+// vacuous at that horizon.
+func TrackingBound(chain *Chain, T int) (bound float64, holds bool, err error) {
+	res, err := analysis.TheoremV4(chain, T, 0.01, 200000)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Bound, res.Holds, nil
+}
+
+// MEC substrate re-exports.
+type (
+	// MECConfig configures the discrete-time MEC substrate simulator.
+	MECConfig = mec.Config
+	// MECReport is one simulated episode's outcome.
+	MECReport = mec.Report
+	// MECPolicy decides real-service placement.
+	MECPolicy = mec.Policy
+	// FollowUser always migrates the service to the user's cell.
+	FollowUser = mec.FollowUser
+	// ThresholdPolicy tolerates bounded user-service distance.
+	ThresholdPolicy = mec.ThresholdPolicy
+)
+
+// NewMECSimulator builds the substrate simulator.
+func NewMECSimulator(cfg MECConfig) (*mec.Simulator, error) { return mec.NewSimulator(cfg) }
+
+// NewGrid builds a W×H cell grid; Grid.Walk gives a 2-D mobility chain.
+func NewGrid(w, h int) (Grid, error) { return mobility.NewGrid(w, h) }
+
+// NewOnlineController returns the online form of a strategy (IM, CML, MO,
+// RMO, or Rollout) for use with the MEC simulator.
+func NewOnlineController(name string, chain *Chain) (OnlineController, error) {
+	s, err := chaff.NewByName(name, chain)
+	if err != nil {
+		return nil, err
+	}
+	oc, ok := s.(chaff.OnlineController)
+	if !ok {
+		return nil, fmt.Errorf("chaffmec: strategy %q is offline-only (needs the user's future trajectory)", name)
+	}
+	return oc, nil
+}
+
+// Trace-driven pipeline re-exports.
+type (
+	// TraceConfig parameterises the synthetic-taxi trace pipeline.
+	TraceConfig = figures.TraceConfig
+	// TraceLab is the fitted trace-driven experiment environment.
+	TraceLab = figures.TraceLab
+)
+
+// BuildTraceLab generates synthetic taxi traces, quantises them into
+// Voronoi cells and fits the empirical mobility chain (Section VII-B).
+func BuildTraceLab(cfg TraceConfig) (*TraceLab, error) { return figures.BuildTraceLab(cfg) }
+
+// DefaultTraceConfig mirrors the paper's extraction (174 nodes, 100 min).
+func DefaultTraceConfig() TraceConfig { return figures.DefaultTraceConfig() }

@@ -1,0 +1,165 @@
+package chaffmec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBuildModelAndEvaluate(t *testing.T) {
+	model, err := BuildModel(ModelNonSkewed, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(Evaluation{
+		Chain: model, Strategy: "MO", NumChaffs: 1, Horizon: 60,
+		Runs: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerSlot) != 60 || res.Runs != 100 {
+		t.Fatalf("shape wrong: %d slots, %d runs", len(res.PerSlot), res.Runs)
+	}
+	if res.Overall <= 0 || res.Overall >= 1 {
+		t.Fatalf("overall %v out of range", res.Overall)
+	}
+	// MO must beat IM on model (a).
+	im, err := Evaluate(Evaluation{
+		Chain: model, Strategy: "IM", NumChaffs: 1, Horizon: 60,
+		Runs: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall >= im.Overall {
+		t.Fatalf("MO %v not below IM %v", res.Overall, im.Overall)
+	}
+}
+
+func TestEvaluateAdvanced(t *testing.T) {
+	model, err := BuildModel(ModelSpatiallySkewed, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Evaluate(Evaluation{
+		Chain: model, Strategy: "MO", NumChaffs: 1, Horizon: 40,
+		Runs: 50, Seed: 3, Advanced: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Overall < 0.99 {
+		t.Fatalf("advanced eavesdropper vs MO: %v, want ≈ 1", det.Overall)
+	}
+	rob, err := Evaluate(Evaluation{
+		Chain: model, Strategy: "RMO", NumChaffs: 9, Horizon: 40,
+		Runs: 50, Seed: 3, Advanced: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rob.Overall >= det.Overall {
+		t.Fatalf("RMO %v not below MO %v under the advanced eavesdropper", rob.Overall, det.Overall)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(Evaluation{}); err == nil {
+		t.Fatal("empty evaluation accepted")
+	}
+	model, _ := BuildModel(ModelNonSkewed, 10, 1)
+	if _, err := Evaluate(Evaluation{Chain: model, Strategy: "nope", NumChaffs: 1, Horizon: 5}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestGammaMapping(t *testing.T) {
+	model, _ := BuildModel(ModelNonSkewed, 10, 1)
+	for _, name := range []string{"ML", "CML", "OO", "MO", "RML", "ROO", "RMO"} {
+		g, err := Gamma(name, model)
+		if err != nil {
+			t.Fatalf("Gamma(%s): %v", name, err)
+		}
+		user, _ := model.Sample(rand.New(rand.NewSource(1)), 10)
+		tr, err := g(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr) != 10 {
+			t.Fatalf("Gamma(%s) length %d", name, len(tr))
+		}
+	}
+	if _, err := Gamma("IM", model); err == nil {
+		t.Fatal("IM should have no deterministic Γ")
+	}
+}
+
+func TestIMAccuracyFacade(t *testing.T) {
+	model, _ := BuildModel(ModelTemporallySkewed, 10, 1)
+	acc, err := IMAccuracy(model, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model (c) is uniform: Eq. 11 = 0.1 + 0.9/10 = 0.19.
+	if math.Abs(acc-0.19) > 1e-6 {
+		t.Fatalf("IMAccuracy = %v, want 0.19", acc)
+	}
+}
+
+func TestTrackingBoundFacade(t *testing.T) {
+	chain, err := NewChain([][]float64{
+		{0.5, 0.3, 0.2},
+		{0.2, 0.5, 0.3},
+		{0.3, 0.2, 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, holds, err := TrackingBound(chain, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds || bound >= 1 {
+		t.Fatalf("bound=%v holds=%v at T=4000", bound, holds)
+	}
+}
+
+func TestMECFacade(t *testing.T) {
+	grid, err := NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := grid.Walk(0.7, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewOnlineController("MO", chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewMECSimulator(MECConfig{
+		Chain: chain, Controller: ctrl, NumChaffs: 1, Horizon: 30, Grid: grid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall < 0 || rep.Overall > 1 {
+		t.Fatalf("overall %v", rep.Overall)
+	}
+	// Offline strategies cannot drive the online simulator.
+	if _, err := NewOnlineController("OO", chain); err == nil {
+		t.Fatal("offline OO accepted as online controller")
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	names := StrategyNames()
+	if len(names) != 10 {
+		t.Fatalf("strategies = %v", names)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestModelID(t *testing.T) {
+	tests := []struct {
+		in   string
+		ok   bool
+		name string
+	}{
+		{"a", true, "non-skewed"},
+		{"B", true, "spatially-skewed"},
+		{"temporally-skewed", true, "temporally-skewed"},
+		{"d", true, "spatially&temporally-skewed"},
+		{"z", false, ""},
+	}
+	for _, tc := range tests {
+		id, err := modelID(tc.in)
+		if tc.ok != (err == nil) {
+			t.Fatalf("modelID(%q) err = %v", tc.in, err)
+		}
+		if tc.ok && id.String() != tc.name {
+			t.Fatalf("modelID(%q) = %v", tc.in, id)
+		}
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if err := run("a", "MO", 1, 20, 10, 10, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("b", "RMO", 3, 20, 10, 10, 1, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("zzz", "MO", 1, 20, 10, 10, 1, false, false); err == nil {
+		t.Fatal("bad model accepted")
+	}
+	if err := run("a", "nope", 1, 20, 10, 10, 1, false, false); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+}

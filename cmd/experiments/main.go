@@ -1,0 +1,422 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §3 for the experiment index). Each
+// figure's data is written as CSV under -out, and an ASCII rendering plus
+// the headline numbers are printed to stdout.
+//
+// Usage:
+//
+//	experiments -fig all -out out
+//	experiments -fig 5,7 -runs 200        # quicker, reduced-run variant
+//	experiments -fig 9a,9b,10             # trace-driven experiments only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chaffmec/internal/figures"
+	"chaffmec/internal/plotter"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "comma-separated figure ids: 4,kl,5,6,7,8,9a,9b,10,eq11,thm or all")
+		outDir  = flag.String("out", "out", "output directory for CSV artifacts")
+		runs    = flag.Int("runs", 1000, "Monte-Carlo runs for synthetic experiments")
+		seed    = flag.Int64("seed", 1, "random seed")
+		horizon = flag.Int("T", 100, "trajectory length")
+		cells   = flag.Int("L", 10, "cells for synthetic models")
+		nodes   = flag.Int("nodes", 174, "fleet size for trace-driven experiments")
+		topK    = flag.Int("topk", 5, "top users for Figs. 9(b)/10")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	cfg := figures.Config{Runs: *runs, Horizon: *horizon, Cells: *cells, Seed: *seed}
+	r := &runner{cfg: cfg, outDir: *outDir, nodes: *nodes, topK: *topK, seed: *seed}
+
+	wanted := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		wanted[strings.TrimSpace(strings.ToLower(f))] = true
+	}
+	all := wanted["all"]
+	type step struct {
+		id  string
+		run func() error
+	}
+	steps := []step{
+		{"4", r.fig4}, {"kl", r.tableKL}, {"5", r.fig5}, {"6", r.fig6},
+		{"7", r.fig7}, {"eq11", r.eq11}, {"thm", r.theory},
+		{"8", r.fig8}, {"9a", r.fig9a}, {"9b", r.fig9b}, {"10", r.fig10},
+		{"ext-solvers", r.extSolvers}, {"ext-multiuser", r.extMultiuser},
+		{"ext-cost", r.extCost},
+	}
+	ranAny := false
+	for _, s := range steps {
+		if !all && !wanted[s.id] {
+			continue
+		}
+		ranAny = true
+		fmt.Printf("\n===== experiment %s =====\n", s.id)
+		if err := s.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", s.id, err)
+			os.Exit(1)
+		}
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "experiments: no known figure in %q\n", *fig)
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	cfg    figures.Config
+	outDir string
+	nodes  int
+	topK   int
+	seed   int64
+
+	lab *figures.TraceLab // built lazily, shared by 8/9a/9b/10
+}
+
+func (r *runner) traceLab() (*figures.TraceLab, error) {
+	if r.lab != nil {
+		return r.lab, nil
+	}
+	cfg := figures.DefaultTraceConfig()
+	cfg.Seed = r.seed
+	cfg.Nodes = r.nodes
+	fmt.Printf("building trace lab (%d nodes, %d minutes)...\n", cfg.Nodes, cfg.Minutes)
+	lab, err := figures.BuildTraceLab(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.lab = lab
+	fmt.Printf("trace lab: %d active nodes (%d filtered), %d Voronoi cells\n",
+		len(lab.Nodes), lab.FilteredNodes, lab.Quantizer.NumCells())
+	return lab, nil
+}
+
+func (r *runner) writeCSV(name string, series []plotter.Series) error {
+	path := filepath.Join(r.outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := plotter.WriteCSV(f, series); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func (r *runner) fig4() error {
+	rows, err := figures.Fig4(r.cfg)
+	if err != nil {
+		return err
+	}
+	var series []plotter.Series
+	for _, row := range rows {
+		series = append(series, plotter.NewSeries(row.Model.String(), row.SteadyState))
+		fmt.Printf("%-30s steady state peak %.3f, row-KL %.2f\n",
+			row.Model, maxOf(row.SteadyState), row.AvgRowKL)
+	}
+	return r.writeCSV("fig4_steady_state.csv", series)
+}
+
+func (r *runner) tableKL() error {
+	rows, err := figures.Fig4(r.cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("temporal skewness (avg pairwise row KL), paper: 0.44, 0.34, 8.18, 8.48")
+	var series []plotter.Series
+	for i, row := range rows {
+		fmt.Printf("model (%c) %-30s KL = %.2f\n", 'a'+i, row.Model, row.AvgRowKL)
+		series = append(series, plotter.Series{Name: row.Model.String(), X: []float64{float64(i)}, Y: []float64{row.AvgRowKL}})
+	}
+	return r.writeCSV("table_kl_skewness.csv", series)
+}
+
+func (r *runner) fig5() error {
+	panels, err := figures.Fig5(r.cfg)
+	if err != nil {
+		return err
+	}
+	for _, p := range panels {
+		var series []plotter.Series
+		for _, c := range p.Curves {
+			series = append(series, plotter.NewSeries(c.Label, c.PerSlot))
+			fmt.Printf("%-30s %-10s overall %.4f\n", p.Model, c.Label, c.Overall)
+		}
+		chart, err := plotter.ASCIIChart("Fig.5 "+p.Model.String(), series, 72, 14)
+		if err != nil {
+			return err
+		}
+		fmt.Print(chart)
+		if err := r.writeCSV(fmt.Sprintf("fig5_%s.csv", slug(p.Model.String())), series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *runner) fig6() error {
+	panels, err := figures.Fig6(r.cfg)
+	if err != nil {
+		return err
+	}
+	for _, p := range panels {
+		series := []plotter.Series{
+			{Name: "CML", X: p.CML.X, Y: p.CML.F},
+			{Name: "MO", X: p.MO.X, Y: p.MO.F},
+		}
+		fmt.Printf("%-30s E[ct] CML %.3f, MO %.3f\n", p.Model, p.MeanCML, p.MeanMO)
+		if err := r.writeCSV(fmt.Sprintf("fig6_%s.csv", slug(p.Model.String())), series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *runner) fig7() error {
+	panels, err := figures.Fig7(r.cfg)
+	if err != nil {
+		return err
+	}
+	for _, p := range panels {
+		var series []plotter.Series
+		for _, c := range p.Curves {
+			series = append(series, plotter.NewSeries(c.Label, c.PerSlot))
+			fmt.Printf("%-30s %-6s overall %.4f\n", p.Model, c.Label, c.Overall)
+		}
+		chart, err := plotter.ASCIIChart("Fig.7 "+p.Model.String()+" (advanced eavesdropper, N=10)", series, 72, 14)
+		if err != nil {
+			return err
+		}
+		fmt.Print(chart)
+		if err := r.writeCSV(fmt.Sprintf("fig7_%s.csv", slug(p.Model.String())), series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *runner) eq11() error {
+	rows, err := figures.Eq11(r.cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Eq.11 closed form vs simulation (IM strategy)")
+	var series []plotter.Series
+	byModel := map[string]*[2]plotter.Series{}
+	for _, row := range rows {
+		fmt.Printf("%-30s N=%2d closed %.4f simulated %.4f (limit %.4f)\n",
+			row.Model, row.N, row.ClosedForm, row.Simulated, row.Limit)
+		key := row.Model.String()
+		pair, ok := byModel[key]
+		if !ok {
+			pair = &[2]plotter.Series{{Name: key + "/closed"}, {Name: key + "/sim"}}
+			byModel[key] = pair
+		}
+		pair[0].X = append(pair[0].X, float64(row.N))
+		pair[0].Y = append(pair[0].Y, row.ClosedForm)
+		pair[1].X = append(pair[1].X, float64(row.N))
+		pair[1].Y = append(pair[1].Y, row.Simulated)
+	}
+	for _, pair := range byModel {
+		series = append(series, pair[0], pair[1])
+	}
+	return r.writeCSV("eq11_im_accuracy.csv", series)
+}
+
+func (r *runner) theory() error {
+	rows, err := figures.Theory(r.cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("theorem bounds vs simulation (bounded 3-cell chain)")
+	var series []plotter.Series
+	for _, row := range rows {
+		fmt.Printf("%-8s T=%5d holds=%-5v bound=%-10.4g overallBound=%-10.4g simFinal=%.4f simOverall=%.4f µ=%.3f\n",
+			row.Label, row.T, row.Holds, row.Bound, row.OverallBound, row.SimFinal, row.SimOverall, row.Mu)
+		series = append(series,
+			plotter.Series{Name: row.Label + "/bound", X: []float64{float64(row.T)}, Y: []float64{row.Bound}},
+			plotter.Series{Name: row.Label + "/sim", X: []float64{float64(row.T)}, Y: []float64{row.SimFinal}},
+		)
+	}
+	return r.writeCSV("theory_bounds.csv", series)
+}
+
+func (r *runner) fig8() error {
+	lab, err := r.traceLab()
+	if err != nil {
+		return err
+	}
+	res, err := figures.Fig8(lab)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cells=%d (paper: 959), active nodes=%d (paper: 174), filtered=%d\n",
+		res.NumCells, res.ActiveNodes, res.FilteredNodes)
+	fmt.Printf("steady-state peak %.4f (paper Fig.8(b) ≈ 0.035), row-KL (smoothed) %.2f\n",
+		maxOf(res.SteadyState), res.AvgRowKL)
+	layout := make([]plotter.Series, 2)
+	layout[0].Name = "tower"
+	for _, p := range res.Towers {
+		layout[0].X = append(layout[0].X, p.X)
+		layout[0].Y = append(layout[0].Y, p.Y)
+	}
+	layout[1].Name = "node-start"
+	for _, p := range res.NodeStarts {
+		layout[1].X = append(layout[1].X, p.X)
+		layout[1].Y = append(layout[1].Y, p.Y)
+	}
+	if err := r.writeCSV("fig8a_layout.csv", layout); err != nil {
+		return err
+	}
+	return r.writeCSV("fig8b_steady_state.csv",
+		[]plotter.Series{plotter.NewSeries("empirical-pi", res.SteadyState)})
+}
+
+func (r *runner) fig9a() error {
+	lab, err := r.traceLab()
+	if err != nil {
+		return err
+	}
+	res, err := figures.Fig9a(lab)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline 1/N = %.4f; top-5 accuracies:", res.Baseline)
+	for i := 0; i < 5 && i < len(res.Accuracy); i++ {
+		fmt.Printf(" %.3f", res.Accuracy[i])
+	}
+	fmt.Println()
+	return r.writeCSV("fig9a_no_chaff.csv",
+		[]plotter.Series{plotter.NewSeries("accuracy-sorted", res.Accuracy)})
+}
+
+func (r *runner) fig9b() error {
+	lab, err := r.traceLab()
+	if err != nil {
+		return err
+	}
+	res, err := figures.Fig9b(lab, r.topK, r.seed)
+	if err != nil {
+		return err
+	}
+	return r.renderBars("Fig.9(b) single chaff, basic eavesdropper", "fig9b_single_chaff.csv", res)
+}
+
+func (r *runner) fig10() error {
+	lab, err := r.traceLab()
+	if err != nil {
+		return err
+	}
+	res, err := figures.Fig10(lab, r.topK, r.seed)
+	if err != nil {
+		return err
+	}
+	return r.renderBars("Fig.10 two chaffs, advanced eavesdropper", "fig10_advanced.csv", res)
+}
+
+func (r *runner) renderBars(title, file string, res *figures.TraceBarResult) error {
+	groups := make([]plotter.Bar, len(res.Users))
+	var series []plotter.Series
+	for u, name := range res.Users {
+		groups[u] = plotter.Bar{Label: fmt.Sprintf("user%d (%s)", u+1, name), Values: res.Acc[u]}
+	}
+	for s, sname := range res.Strategies {
+		ser := plotter.Series{Name: sname}
+		for u := range res.Users {
+			ser.X = append(ser.X, float64(u+1))
+			ser.Y = append(ser.Y, res.Acc[u][s])
+		}
+		series = append(series, ser)
+	}
+	bars, err := plotter.ASCIIBars(title, res.Strategies, groups, 40)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bars)
+	return r.writeCSV(file, series)
+}
+
+func (r *runner) extSolvers() error {
+	rows, err := figures.ExtSolvers(r.cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("online-strategy solver comparison (basic eavesdropper, 1 chaff)")
+	var series []plotter.Series
+	for _, row := range rows {
+		fmt.Printf("%-30s %-9s overall %.4f final %.4f\n", row.Model, row.Strategy, row.Overall, row.Final)
+		series = append(series, plotter.Series{
+			Name: slug(row.Model.String()) + "/" + row.Strategy,
+			X:    []float64{0}, Y: []float64{row.Overall},
+		})
+	}
+	return r.writeCSV("ext_solvers.csv", series)
+}
+
+func (r *runner) extMultiuser() error {
+	rows, err := figures.ExtMultiuser(r.cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("multi-user cover (statistically identical coexisting users)")
+	var series []plotter.Series
+	for _, row := range rows {
+		fmt.Printf("%-30s others=%2d unprotected %.4f with-MO-chaff %.4f (Σπ² = %.4f)\n",
+			row.Model, row.OtherUsers, row.Unprotected, row.WithMOChaff, row.CollisionLimit)
+		series = append(series,
+			plotter.Series{Name: slug(row.Model.String()) + "/unprotected",
+				X: []float64{float64(row.OtherUsers)}, Y: []float64{row.Unprotected}},
+			plotter.Series{Name: slug(row.Model.String()) + "/mo-chaff",
+				X: []float64{float64(row.OtherUsers)}, Y: []float64{row.WithMOChaff}},
+		)
+	}
+	return r.writeCSV("ext_multiuser.csv", series)
+}
+
+func (r *runner) extCost() error {
+	rows, err := figures.ExtCostPrivacy(r.cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("cost-privacy tradeoff (MEC substrate, 5x5 grid)")
+	var series []plotter.Series
+	for _, row := range rows {
+		fmt.Printf("%-5s chaffs=%d accuracy %.4f cost: migration %.1f + chaff %.1f = %.1f\n",
+			row.Strategy, row.NumChaffs, row.Accuracy, row.MigrationCost, row.ChaffCost, row.TotalCost)
+		series = append(series, plotter.Series{
+			Name: row.Strategy,
+			X:    []float64{row.TotalCost}, Y: []float64{row.Accuracy},
+		})
+	}
+	return r.writeCSV("ext_cost_privacy.csv", series)
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func slug(s string) string {
+	s = strings.ReplaceAll(s, "&", "_and_")
+	s = strings.ReplaceAll(s, " ", "_")
+	return s
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chaffmec/internal/figures"
+)
+
+func TestSlug(t *testing.T) {
+	if got := slug("spatially&temporally-skewed"); strings.ContainsAny(got, "& ") {
+		t.Fatalf("slug = %q", got)
+	}
+	if got := slug("non-skewed"); got != "non-skewed" {
+		t.Fatalf("slug = %q", got)
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	if got := maxOf([]float64{0.1, 0.9, 0.4}); got != 0.9 {
+		t.Fatalf("maxOf = %v", got)
+	}
+}
+
+func TestRunnerSyntheticFigures(t *testing.T) {
+	r := &runner{
+		cfg:    figures.Config{Runs: 10, Horizon: 20, Cells: 10, Seed: 1},
+		outDir: t.TempDir(),
+		nodes:  40,
+		topK:   1,
+		seed:   3,
+	}
+	for name, step := range map[string]func() error{
+		"fig4": r.fig4,
+		"kl":   r.tableKL,
+		"fig5": r.fig5,
+		"fig6": r.fig6,
+		"eq11": r.eq11,
+	} {
+		if err := step(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// CSV artifacts land in outDir.
+	matches, err := filepath.Glob(filepath.Join(r.outDir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 5 {
+		t.Fatalf("only %d CSVs written", len(matches))
+	}
+}
+
+func TestRunnerTraceFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace lab build")
+	}
+	r := &runner{
+		cfg:    figures.Config{Runs: 10, Horizon: 20, Cells: 10, Seed: 1},
+		outDir: t.TempDir(),
+		nodes:  40,
+		topK:   1,
+		seed:   3,
+	}
+	if err := r.fig8(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.fig9a(); err != nil {
+		t.Fatal(err)
+	}
+	// The lab is cached across steps.
+	if r.lab == nil {
+		t.Fatal("trace lab not cached")
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chaffmec/internal/trace"
+)
+
+func TestRunWritesReadableCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "traces.csv")
+	if err := run(10, 20, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records written")
+	}
+	set := trace.NewSet(recs)
+	if set.Len() == 0 || set.Len() > 10 {
+		t.Fatalf("nodes = %d", set.Len())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(0, 20, 1, filepath.Join(t.TempDir(), "x.csv")); err == nil {
+		t.Fatal("nodes=0 accepted")
+	}
+	if err := run(5, 20, 1, "/nonexistent-dir/x.csv"); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

@@ -1,0 +1,52 @@
+// advanced demonstrates Section VI: a strategy-aware eavesdropper defeats
+// every deterministic chaff strategy, and the randomized robust variants
+// (RML/ROO/RMO) restore the protection.
+//
+// Run with: go run ./examples/advanced
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chaffmec"
+)
+
+func main() {
+	model, err := chaffmec.BuildModel(chaffmec.ModelSpatiallySkewed, 10, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("strategy   eavesdropper  chaffs  tracking accuracy")
+	for _, tc := range []struct {
+		strategy string
+		advanced bool
+		chaffs   int
+	}{
+		{"OO", false, 1}, // deterministic, basic eavesdropper: strong
+		{"OO", true, 1},  // strategy-aware eavesdropper: defeated
+		{"ROO", true, 9}, // randomized robust variant: protection restored
+		{"ML", true, 1},  // same story for ML...
+		{"RML", true, 9}, // ...fixed by RML
+		{"IM", true, 9},  // IM is fully robust but weaker overall
+	} {
+		res, err := chaffmec.Evaluate(chaffmec.Evaluation{
+			Chain:     model,
+			Strategy:  tc.strategy,
+			NumChaffs: tc.chaffs,
+			Horizon:   100,
+			Runs:      300,
+			Seed:      11,
+			Advanced:  tc.advanced,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eav := "basic"
+		if tc.advanced {
+			eav = "advanced"
+		}
+		fmt.Printf("%-10s %-12s %-7d %.3f\n", tc.strategy, eav, tc.chaffs, res.Overall)
+	}
+}

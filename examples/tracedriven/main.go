@@ -1,0 +1,51 @@
+// tracedriven reproduces the Section VII-B workflow on synthetic taxi
+// traces: regularise and filter raw reports, quantise into Voronoi cells,
+// fit the empirical mobility chain, find the most-trackable users, and
+// protect the top one with a single optimal-offline chaff.
+//
+// Run with: go run ./examples/tracedriven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chaffmec"
+)
+
+func main() {
+	cfg := chaffmec.DefaultTraceConfig()
+	cfg.Nodes = 80 // a smaller fleet keeps the example quick
+	cfg.Minutes = 60
+	lab, err := chaffmec.BuildTraceLab(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline: %d active nodes (%d filtered out), %d Voronoi cells\n",
+		len(lab.Nodes), lab.FilteredNodes, lab.Quantizer.NumCells())
+
+	top, accs, err := lab.TopUsers(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := 1.0 / float64(len(lab.Trajectories))
+	fmt.Printf("random-guess baseline 1/N = %.4f\n", baseline)
+	for rank, u := range top {
+		fmt.Printf("top-%d user %s tracked %.1f%% of the time\n",
+			rank+1, lab.Nodes[u], 100*accs[u])
+	}
+
+	// Protect the most-tracked user with one OO chaff and re-run the
+	// eavesdropper over all trajectories plus the chaff.
+	u := top[0]
+	strategy, err := chaffmec.NewStrategy("OO", lab.Chain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := lab.ProtectAndMeasure(u, strategy, 1, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after one OO chaff: user %s tracked %.1f%% of the time\n",
+		lab.Nodes[u], 100*acc)
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/markov"
+)
+
+// V4Result reports the Theorem V.4 evaluation: an upper bound on the
+// tracking accuracy of the basic ML eavesdropper against the CML strategy
+// (and therefore against the optimal offline strategy, P_OO ≤ P_CML).
+type V4Result struct {
+	// Holds reports whether the theorem's condition
+	// µ − εδ − c₀/(T−w) ≥ 0 is satisfied; when false, Bound is 1 (vacuous).
+	Holds bool
+	// Bound is the right-hand side of Eq. 21, uncapped: values ≥ 1 mean
+	// the bound is vacuous at this horizon (the concentration constants
+	// c_min/c_max make Eq. 21 loose at short T; it decays exponentially
+	// once T ≫ w·(c_max−c_min)²/µ²).
+	Bound float64
+	// The ingredients, for reporting.
+	Mu, Delta float64
+	W         int
+	Eps       float64
+	Consts    Constants
+}
+
+// TheoremV4 evaluates the Eq. 21 bound for horizon T with mixing parameter
+// eps. maxMix caps the mixing-time search on the induced L²-state chain.
+func TheoremV4(c *markov.Chain, T int, eps float64, maxMix int) (*V4Result, error) {
+	if T < 2 {
+		return nil, fmt.Errorf("analysis: horizon %d too short for Theorem V.4", T)
+	}
+	consts, err := ComputeConstants(c)
+	if err != nil {
+		return nil, err
+	}
+	ic, err := NewInducedCML(c)
+	if err != nil {
+		return nil, err
+	}
+	mu, delta, err := ic.Drift()
+	if err != nil {
+		return nil, err
+	}
+	tmix, err := ic.MixingTime(eps, maxMix)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: induced chain mixing time: %w", err)
+	}
+	w := tmix + 1
+	res := &V4Result{Mu: mu, Delta: delta, W: w, Eps: eps, Consts: *consts, Bound: 1, Holds: false}
+	if T <= w {
+		return res, nil
+	}
+	slack := mu - eps*delta - consts.C0/float64(T-w)
+	if slack < 0 {
+		return res, nil
+	}
+	res.Holds = true
+	den := consts.Cmax - consts.Cmin + 2*eps*delta
+	exponent := -2 * (float64(T)/float64(w) - 1) * slack * slack / (den * den)
+	res.Bound = float64(w) * math.Exp(exponent)
+	return res, nil
+}
+
+// V5Result reports the Theorem V.5 / Corollary V.6 evaluation for the
+// myopic online strategy. The induced chain z_t = (γ_t, x₁,t, x₂,t) has a
+// continuous component, so — unlike Theorem V.4 — its drift µ′ and
+// conditional-mean spread δ′ are estimated empirically from long
+// simulations of MO, and w′ reuses the mixing time of the CML-induced
+// chain over (x₁,x₂) as the paper-sanctioned discrete proxy (the γ
+// component contracts deterministically once the chaff separates).
+type V5Result struct {
+	// Holds reports whether µ′ − εδ′ − (c₀+c_max)/(T−w′−1) ≥ 0.
+	Holds bool
+	// PerSlotBound is the Theorem V.5 bound on the per-slot tracking
+	// accuracy at slot T (Eq. 24), uncapped (≥ 1 means vacuous at this
+	// horizon; see V4Result.Bound).
+	PerSlotBound float64
+	// OverallBound is the Corollary V.6 bound on the time-average
+	// tracking accuracy (Eq. 26), capped at the trivial bound 1.
+	OverallBound float64
+	// Alpha is the decay rate of Eq. 25 and T0 the first slot at which
+	// the Theorem V.5 condition holds.
+	Alpha float64
+	T0    int
+
+	MuPrime, DeltaPrime float64
+	WPrime              int
+	Eps                 float64
+	Consts              Constants
+}
+
+// EstimateMODrift simulates `episodes` user trajectories of length T
+// against the MO strategy and returns µ′ (the negated mean of c_t over
+// t ≥ 2) and δ′ (2·max over joint (x₁,x₂) states of the empirical
+// |E[c_t | state]|). It also returns the raw c_t samples for distribution
+// plots (Fig. 6 uses the same machinery via the sim package).
+func EstimateMODrift(c *markov.Chain, rng *rand.Rand, episodes, T int) (muPrime, deltaPrime float64, err error) {
+	if episodes < 1 || T < 2 {
+		return 0, 0, errors.New("analysis: need episodes >= 1 and T >= 2")
+	}
+	mo := chaff.NewMO(c)
+	L := c.NumStates()
+	sum := 0.0
+	n := 0
+	condSum := make([]float64, L*L)
+	condN := make([]int, L*L)
+	for e := 0; e < episodes; e++ {
+		user, err := c.Sample(rng, T)
+		if err != nil {
+			return 0, 0, err
+		}
+		tr, err := mo.Gamma(user)
+		if err != nil {
+			return 0, 0, err
+		}
+		for t := 1; t < T; t++ {
+			ct := c.LogProb(user[t-1], user[t]) - c.LogProb(tr[t-1], tr[t])
+			if math.IsInf(ct, 0) {
+				continue // impossible user move under the model
+			}
+			sum += ct
+			n++
+			idx := user[t-1]*L + tr[t-1]
+			condSum[idx] += ct
+			condN[idx]++
+		}
+	}
+	if n == 0 {
+		return 0, 0, errors.New("analysis: no finite c_t samples")
+	}
+	maxAbs := 0.0
+	for idx, cnt := range condN {
+		if cnt == 0 {
+			continue
+		}
+		if a := math.Abs(condSum[idx] / float64(cnt)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return -(sum / float64(n)), 2 * maxAbs, nil
+}
+
+// TheoremV5 evaluates the per-slot bound (Eq. 24) and the Corollary V.6
+// time-average bound (Eq. 26) for the MO strategy at horizon T, using
+// empirical µ′/δ′ from `episodes` simulated episodes.
+func TheoremV5(c *markov.Chain, rng *rand.Rand, T int, eps float64, maxMix, episodes int) (*V5Result, error) {
+	if T < 3 {
+		return nil, fmt.Errorf("analysis: horizon %d too short for Theorem V.5", T)
+	}
+	consts, err := ComputeConstants(c)
+	if err != nil {
+		return nil, err
+	}
+	ic, err := NewInducedCML(c)
+	if err != nil {
+		return nil, err
+	}
+	tmix, err := ic.MixingTime(eps, maxMix)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: proxy mixing time: %w", err)
+	}
+	wp := tmix + 1
+	mu, delta, err := EstimateMODrift(c, rng, episodes, T)
+	if err != nil {
+		return nil, err
+	}
+	res := &V5Result{
+		MuPrime: mu, DeltaPrime: delta, WPrime: wp, Eps: eps, Consts: *consts,
+		PerSlotBound: 1, OverallBound: 1, Holds: false,
+	}
+	den := consts.Cmax - consts.Cmin + 2*eps*delta
+	condition := func(horizon int) (slack float64, ok bool) {
+		if horizon <= wp+1 {
+			return 0, false
+		}
+		s := mu - eps*delta - (consts.C0+consts.Cmax)/float64(horizon-wp-1)
+		return s, s >= 0
+	}
+	slack, ok := condition(T)
+	if !ok {
+		return res, nil
+	}
+	res.Holds = true
+	res.PerSlotBound = float64(wp) * math.Exp(
+		-2*(float64(T-wp-1)/float64(wp))*slack*slack/(den*den))
+
+	// Corollary V.6: find the smallest T0 ≤ T at which the condition
+	// holds, then bound the time average.
+	t0 := T
+	for h := wp + 2; h <= T; h++ {
+		if _, ok := condition(h); ok {
+			t0 = h
+			break
+		}
+	}
+	s0, _ := condition(t0)
+	alpha := 2 * s0 * s0 / (float64(wp) * den * den)
+	res.Alpha = alpha
+	res.T0 = t0
+	if alpha > 0 {
+		overall := (float64(t0-1) + float64(wp)*math.Exp(alpha*float64(wp+1-t0))/(1-math.Exp(-alpha))) / float64(T)
+		res.OverallBound = math.Min(1, overall)
+	}
+	return res, nil
+}

@@ -1,0 +1,104 @@
+// Package analysis implements the theory side of the paper: the
+// closed-form IM accuracy (Eq. 11), the log-likelihood-gap constants c₀,
+// c_min, c_max, the induced Markov chains of Sections V-C/V-D, the
+// concentration bounds of Theorems V.4 and V.5 and Corollary V.6, and
+// the supporting drift statistics E[c_t].
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"chaffmec/internal/markov"
+)
+
+// Constants packages the quantities defined before Theorem V.4: c₀ is the
+// maximum of the initial log-likelihood gap c₁, and c_min/c_max bound the
+// per-slot gap c_t for t > 1 when the chaff only ever takes the best or
+// second-best transition (as CML and MO do).
+type Constants struct {
+	// C0 = log(π_max/π₂).
+	C0 float64
+	// Cmin = log(p_min/p_max), the most negative per-slot gap.
+	Cmin float64
+	// Cmax = log(p_max/p₂), the largest per-slot gap.
+	Cmax float64
+
+	// The building blocks, for reporting.
+	PiMax, Pi2 float64 // largest and second-largest stationary probabilities
+	Pmax, Pmin float64 // largest and smallest positive transition probability
+	P2         float64 // min over rows of the row's second-largest transition probability
+}
+
+// ComputeConstants derives the Theorem V.4 constants from the chain. The
+// chain must have at least two states and every row needs at least two
+// positive transitions (otherwise the chaff has no second choice and p₂,
+// hence c_max, is undefined).
+func ComputeConstants(c *markov.Chain) (*Constants, error) {
+	L := c.NumStates()
+	if L < 2 {
+		return nil, errors.New("analysis: need at least two states")
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	sorted := append([]float64(nil), pi...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	piMax, pi2 := sorted[0], sorted[1]
+	if pi2 <= 0 {
+		return nil, errors.New("analysis: second-largest stationary probability is zero")
+	}
+
+	pmax, pmin := 0.0, math.Inf(1)
+	p2 := math.Inf(1)
+	for x := 0; x < L; x++ {
+		var rowProbs []float64
+		for _, y := range c.Successors(x) {
+			p := c.Prob(x, y)
+			rowProbs = append(rowProbs, p)
+			if p > pmax {
+				pmax = p
+			}
+			if p < pmin {
+				pmin = p
+			}
+		}
+		if len(rowProbs) < 2 {
+			return nil, fmt.Errorf("analysis: state %d has fewer than two positive transitions; p₂ undefined", x)
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(rowProbs)))
+		if rowProbs[1] < p2 {
+			p2 = rowProbs[1]
+		}
+	}
+	return &Constants{
+		C0:    math.Log(piMax / pi2),
+		Cmin:  math.Log(pmin / pmax),
+		Cmax:  math.Log(pmax / p2),
+		PiMax: piMax, Pi2: pi2,
+		Pmax: pmax, Pmin: pmin, P2: p2,
+	}, nil
+}
+
+// IMAccuracy evaluates Eq. 11: the tracking accuracy of the basic ML
+// eavesdropper against N−1 impersonating chaffs,
+// P_IM = Σπ² + (1/N)(1 − Σπ²). N counts all trajectories (user included).
+func IMAccuracy(c *markov.Chain, n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("analysis: N=%d must be at least 2", n)
+	}
+	coll, err := c.CollisionProbability()
+	if err != nil {
+		return 0, err
+	}
+	return coll + (1-coll)/float64(n), nil
+}
+
+// IMAccuracyLimit is the N→∞ limit of Eq. 11, Σπ², bounded below by 1/L
+// with equality iff π is uniform (Lemma V.1's remark).
+func IMAccuracyLimit(c *markov.Chain) (float64, error) {
+	return c.CollisionProbability()
+}

@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"chaffmec/internal/markov"
+)
+
+// InducedCML is the Markov chain y_t = (x₁,t, x₂,t) of Section V-C.2
+// (Eq. 17): the joint evolution of the user and a CML-controlled chaff.
+// Its drift E[c_t] decides whether the CML/OO tracking accuracy decays to
+// zero (Theorem V.4).
+type InducedCML struct {
+	// Chain is the induced chain over L² states; state (x₁,x₂) has index
+	// x₁·L + x₂.
+	Chain *markov.Chain
+	// G holds g(y) = E[c_t | y_{t−1}=y] (Eq. 18) for every joint state.
+	G []float64
+	// L is the number of cells of the underlying chain.
+	L int
+}
+
+// StateIndex maps a joint (user, chaff) location pair to the induced
+// chain's state index.
+func (ic *InducedCML) StateIndex(user, chaff int) int { return user*ic.L + chaff }
+
+// NewInducedCML builds the induced chain. Every row of the base chain must
+// be fully supported enough for the CML move to exist and have positive
+// probability; ε-smoothed models (the paper's models (c)/(d)) and dense
+// random models (models (a)/(b)) qualify.
+func NewInducedCML(c *markov.Chain) (*InducedCML, error) {
+	L := c.NumStates()
+	if L < 2 {
+		return nil, fmt.Errorf("analysis: induced chain needs at least two cells")
+	}
+	n := L * L
+	p := make([][]float64, n)
+	g := make([]float64, n)
+	for x1p := 0; x1p < L; x1p++ {
+		for x2p := 0; x2p < L; x2p++ {
+			row := make([]float64, n)
+			gy := 0.0
+			for _, x1 := range c.Successors(x1p) {
+				// CML move: best successor of the chaff avoiding the
+				// user's new cell.
+				x2 := c.MaxProbSuccessorExcluding(x2p, func(x int) bool { return x == x1 })
+				if x2 < 0 {
+					// No non-co-located move exists; CML degrades to the
+					// ML move (see chaff.cmlNext).
+					x2 = c.MaxProbSuccessor(x2p)
+				}
+				prob := c.Prob(x1p, x1)
+				ct := c.LogProb(x1p, x1) - c.LogProb(x2p, x2)
+				if math.IsInf(ct, 0) || math.IsNaN(ct) {
+					return nil, fmt.Errorf("analysis: infinite c_t from state (%d,%d): chaff move has zero probability", x1p, x2p)
+				}
+				row[x1*L+x2] += prob
+				gy += prob * ct
+			}
+			p[x1p*L+x2p] = row
+			g[x1p*L+x2p] = gy
+		}
+	}
+	chain, err := markov.New(p)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: induced chain invalid: %w", err)
+	}
+	return &InducedCML{Chain: chain, G: g, L: L}, nil
+}
+
+// Drift returns µ where E[c_t] = −µ under the induced chain's stationary
+// distribution, along with δ = min(Σ|g|, 2·max|g|) from Lemma V.2.
+// µ > 0 (negative drift) is the condition under which Theorem V.4 drives
+// the tracking accuracy to zero; its information-theoretic reading is
+// H(user) > H(chaff).
+func (ic *InducedCML) Drift() (mu, delta float64, err error) {
+	piY, err := ic.Chain.SteadyState()
+	if err != nil {
+		return 0, 0, fmt.Errorf("analysis: induced chain steady state: %w", err)
+	}
+	ect := 0.0
+	sumAbs, maxAbs := 0.0, 0.0
+	for y, gy := range ic.G {
+		ect += piY[y] * gy
+		a := math.Abs(gy)
+		sumAbs += a
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	delta = math.Min(sumAbs, 2*maxAbs)
+	return -ect, delta, nil
+}
+
+// MixingTime returns the ε-mixing time of the induced chain, the w−1 of
+// Lemma V.2.
+func (ic *InducedCML) MixingTime(eps float64, maxT int) (int, error) {
+	return ic.Chain.MixingTime(eps, maxT)
+}

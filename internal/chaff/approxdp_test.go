@@ -1,0 +1,195 @@
+package chaff
+
+import (
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mobility"
+)
+
+func newDP(t *testing.T, c *markov.Chain) *ApproxDP {
+	t.Helper()
+	dp, err := NewApproxDP(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smaller tables keep tests fast; resolution stays fine near zero.
+	dp.Bins = 81
+	dp.GammaMax = 12
+	return dp
+}
+
+func TestApproxDPRejectsLargeChains(t *testing.T) {
+	L := MaxCells + 1
+	p := make([][]float64, L)
+	for i := range p {
+		row := make([]float64, L)
+		for j := range row {
+			row[j] = 1 / float64(L)
+		}
+		p[i] = row
+	}
+	if _, err := NewApproxDP(markov.MustNew(p)); err == nil {
+		t.Fatal("oversized chain accepted")
+	}
+}
+
+func TestApproxDPProducesValidDeterministicChaff(t *testing.T) {
+	c := modelChain(t, mobility.ModelSpatiallySkewed)
+	dp := newDP(t, c)
+	rng := rand.New(rand.NewSource(4))
+	user, _ := c.Sample(rng, 40)
+	a, err := dp.Gamma(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dp.Gamma(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("ApproxDP not deterministic")
+	}
+	if err := a.Validate(c.NumStates()); err != nil {
+		t.Fatal(err)
+	}
+	for slot := 1; slot < len(a); slot++ {
+		if c.Prob(a[slot-1], a[slot]) == 0 {
+			t.Fatalf("impossible chaff move at slot %d", slot)
+		}
+	}
+}
+
+// mdpCost evaluates the Section IV-D objective (sum of per-slot costs
+// against the prefix-γ detector) of a chaff trajectory.
+func mdpCost(c *markov.Chain, user, ch markov.Trajectory) float64 {
+	pi := c.MustSteadyState()
+	gamma := safeLogAt(pi, user[0]) - safeLogAt(pi, ch[0])
+	total := SlotCost(gamma, user[0], ch[0])
+	for t := 1; t < len(user); t++ {
+		gamma += c.LogProb(user[t-1], user[t]) - c.LogProb(ch[t-1], ch[t])
+		total += SlotCost(gamma, user[t], ch[t])
+	}
+	return total
+}
+
+func TestApproxDPBeatsMyopicOnAverage(t *testing.T) {
+	// The value-iteration policy optimizes the exact objective the myopic
+	// policy only greedily approximates; averaged over many episodes it
+	// must do at least as well (up to discretization error and noise).
+	for _, id := range []mobility.ModelID{mobility.ModelSpatiallySkewed, mobility.ModelBothSkewed} {
+		c := modelChain(t, id)
+		dp := newDP(t, c)
+		mo := NewMO(c)
+		rng := rand.New(rand.NewSource(8))
+		const runs = 150
+		var dpCost, moCost float64
+		for r := 0; r < runs; r++ {
+			user, err := c.Sample(rng, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dtr, err := dp.Gamma(user)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mtr, err := mo.Gamma(user)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dpCost += mdpCost(c, user, dtr)
+			moCost += mdpCost(c, user, mtr)
+		}
+		dpCost /= runs
+		moCost /= runs
+		if dpCost > moCost+0.5 {
+			t.Fatalf("model %v: ApproxDP mean cost %.3f worse than MO %.3f", id, dpCost, moCost)
+		}
+	}
+}
+
+func TestApproxDPOnlineMatchesBatch(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	dp := newDP(t, c)
+	rng := rand.New(rand.NewSource(5))
+	user, _ := c.Sample(rng, 25)
+	batch, err := dp.Gamma(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.SetHorizon(25)
+	if err := dp.Reset(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	for slot, u := range user {
+		locs, err := dp.Step(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if locs[0] != batch[slot] {
+			t.Fatalf("slot %d: online %d != batch %d", slot, locs[0], batch[slot])
+		}
+	}
+	// Stepping past the horizon falls back to myopic moves, not errors.
+	if _, err := dp.Step(user[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxDPPlanCache(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	dp := newDP(t, c)
+	p1, err := dp.plan(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := dp.plan(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("plan not cached")
+	}
+	if _, err := dp.plan(0); err == nil {
+		t.Fatal("T=0 accepted")
+	}
+}
+
+func TestApproxDPGenerateChaffs(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	dp := newDP(t, c)
+	rng := rand.New(rand.NewSource(2))
+	user, _ := c.Sample(rng, 15)
+	chaffs, err := dp.GenerateChaffs(rng, user, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chaffs) != 2 || !chaffs[0].Equal(chaffs[1]) {
+		t.Fatal("replication broken")
+	}
+	if _, err := dp.GenerateChaffs(rng, nil, 1); err == nil {
+		t.Fatal("empty user accepted")
+	}
+}
+
+func TestApproxDPBinMapping(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	dp := newDP(t, c)
+	if b := dp.binOf(-1e18); b != 0 {
+		t.Fatalf("far-negative bin %d", b)
+	}
+	if b := dp.binOf(1e18); b != dp.Bins-1 {
+		t.Fatalf("far-positive bin %d", b)
+	}
+	zero := dp.binOf(0)
+	if dp.binCenter(zero) > 0.2 || dp.binCenter(zero) < -0.2 {
+		t.Fatalf("zero bin centred at %v", dp.binCenter(zero))
+	}
+	// Round trip: the centre of every bin maps back to that bin.
+	for b := 0; b < dp.Bins; b++ {
+		if got := dp.binOf(dp.binCenter(b)); got != b {
+			t.Fatalf("bin %d centre maps to %d", b, got)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package chaff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chaffmec/internal/markov"
+)
+
+// CML is the constrained maximum-likelihood strategy (Section V-C.1), the
+// analytically tractable surrogate the paper uses to upper-bound the OO
+// strategy's tracking accuracy: at every slot the chaff greedily moves to
+// the most likely next cell that is not the user's current cell. CML is an
+// online strategy — it never needs the user's future.
+type CML struct {
+	chain *markov.Chain
+
+	// Online-episode state; nil between episodes.
+	ep  *cmlEpisode
+	epN int
+}
+
+type cmlEpisode struct {
+	loc     int
+	started bool
+}
+
+// NewCML returns a CML strategy over the user's chain.
+func NewCML(chain *markov.Chain) *CML { return &CML{chain: chain} }
+
+var _ Strategy = (*CML)(nil)
+var _ TrajectoryMapper = (*CML)(nil)
+var _ OnlineController = (*CML)(nil)
+
+// Name implements Strategy.
+func (s *CML) Name() string { return "CML" }
+
+// Gamma implements TrajectoryMapper: the CML chaff is a deterministic
+// function of the user's trajectory (ties break to the lowest cell index).
+func (s *CML) Gamma(user markov.Trajectory) (markov.Trajectory, error) {
+	if len(user) == 0 {
+		return nil, fmt.Errorf("chaff: empty user trajectory")
+	}
+	if err := user.Validate(s.chain.NumStates()); err != nil {
+		return nil, err
+	}
+	pi, err := s.chain.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	tr := make(markov.Trajectory, len(user))
+	tr[0] = cmlFirst(pi, user[0])
+	for t := 1; t < len(user); t++ {
+		tr[t] = cmlNext(s.chain, tr[t-1], user[t])
+	}
+	return tr, nil
+}
+
+// GenerateChaffs implements Strategy; extra chaffs duplicate the
+// deterministic CML trajectory.
+func (s *CML) GenerateChaffs(_ *rand.Rand, user markov.Trajectory, numChaffs int) ([]markov.Trajectory, error) {
+	if err := validateGenerate(user, numChaffs, s.chain.NumStates()); err != nil {
+		return nil, err
+	}
+	tr, err := s.Gamma(user)
+	if err != nil {
+		return nil, err
+	}
+	return replicate(tr, numChaffs), nil
+}
+
+// cmlFirst returns argmax_{x≠userLoc} π(x).
+func cmlFirst(pi []float64, userLoc int) int {
+	best := markov.ArgmaxDistExcluding(pi, func(x int) bool { return x == userLoc })
+	if best < 0 {
+		// Degenerate single-cell chain; co-locate (tracked regardless).
+		return userLoc
+	}
+	return best
+}
+
+// cmlNext returns argmax_{x≠userLoc} P(x|from). If every positive-
+// probability successor is the user's cell, the chaff has no legal
+// non-co-located move of positive probability; it falls back to the ML
+// successor (co-locating for one slot) so the trajectory stays feasible.
+func cmlNext(c *markov.Chain, from, userLoc int) int {
+	best := c.MaxProbSuccessorExcluding(from, func(x int) bool { return x == userLoc })
+	if best < 0 {
+		return c.MaxProbSuccessor(from)
+	}
+	return best
+}
+
+// --- OnlineController ---
+
+// Reset implements OnlineController. CML controls a single designed chaff;
+// requesting more returns duplicates at Step time.
+func (s *CML) Reset(_ *rand.Rand, numChaffs int) error {
+	if numChaffs < 1 {
+		return fmt.Errorf("chaff: numChaffs %d must be >= 1", numChaffs)
+	}
+	s.ep = &cmlEpisode{}
+	s.epN = numChaffs
+	return nil
+}
+
+// Step implements OnlineController.
+func (s *CML) Step(userLoc int) ([]int, error) {
+	if s.ep == nil {
+		return nil, fmt.Errorf("chaff: CML.Step before Reset")
+	}
+	if !s.ep.started {
+		pi, err := s.chain.SteadyState()
+		if err != nil {
+			return nil, err
+		}
+		s.ep.loc = cmlFirst(pi, userLoc)
+		s.ep.started = true
+	} else {
+		s.ep.loc = cmlNext(s.chain, s.ep.loc, userLoc)
+	}
+	out := make([]int, s.epN)
+	for i := range out {
+		out[i] = s.ep.loc
+	}
+	return out, nil
+}

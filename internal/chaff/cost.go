@@ -1,0 +1,26 @@
+package chaff
+
+import "math"
+
+// SlotCost is the per-slot cost function of the Section IV-D MDP:
+//
+//	C(γ,x₁,x₂) = 1{x₂=x₁} + 1{x₂≠x₁}·(1{γ>0} + ½·1{γ=0}),
+//
+// i.e. the eavesdropper's per-slot tracking accuracy when he detects on
+// the γ sign: the user is tracked when the chaff co-locates, when the
+// user's prefix is strictly more likely, and half the time on a tie.
+// Floating-point ties use a small absolute tolerance.
+func SlotCost(gamma float64, userLoc, chaffLoc int) float64 {
+	if chaffLoc == userLoc {
+		return 1
+	}
+	const tieTol = 1e-12
+	switch {
+	case gamma > tieTol:
+		return 1
+	case math.Abs(gamma) <= tieTol:
+		return 0.5
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,87 @@
+package chaff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chaffmec/internal/markov"
+)
+
+// IM is the impersonating strategy (Section IV-A): every chaff follows an
+// independent trajectory drawn from the user's own mobility chain, making
+// all N trajectories statistically identical. Any detector is reduced to a
+// random guess, and the tracking accuracy converges to Σπ² as N→∞
+// (Eq. 11). IM is fully robust to an eavesdropper who knows the strategy.
+type IM struct {
+	chain *markov.Chain
+
+	// Online-episode state (OnlineController facet); nil between episodes.
+	ep  *imEpisode
+	epN int
+}
+
+// NewIM returns an impersonating strategy over the user's chain.
+func NewIM(chain *markov.Chain) *IM { return &IM{chain: chain} }
+
+var _ Strategy = (*IM)(nil)
+var _ OnlineController = (*IM)(nil)
+
+// Name implements Strategy.
+func (s *IM) Name() string { return "IM" }
+
+// GenerateChaffs draws numChaffs independent trajectories from the chain.
+func (s *IM) GenerateChaffs(rng *rand.Rand, user markov.Trajectory, numChaffs int) ([]markov.Trajectory, error) {
+	if err := validateGenerate(user, numChaffs, s.chain.NumStates()); err != nil {
+		return nil, err
+	}
+	out := make([]markov.Trajectory, numChaffs)
+	for i := range out {
+		tr, err := s.chain.Sample(rng, len(user))
+		if err != nil {
+			return nil, fmt.Errorf("chaff: IM sampling: %w", err)
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// --- OnlineController ---
+
+type imEpisode struct {
+	rng  *rand.Rand
+	locs []int // current location of each chaff; nil before first step
+}
+
+// Reset implements OnlineController.
+func (s *IM) Reset(rng *rand.Rand, numChaffs int) error {
+	if numChaffs < 1 {
+		return fmt.Errorf("chaff: numChaffs %d must be >= 1", numChaffs)
+	}
+	s.ep = &imEpisode{rng: rng, locs: make([]int, 0, numChaffs)}
+	s.epN = numChaffs
+	return nil
+}
+
+// Step implements OnlineController. IM ignores the user's location: chaffs
+// evolve as independent copies of the chain.
+func (s *IM) Step(userLoc int) ([]int, error) {
+	if s.ep == nil {
+		return nil, fmt.Errorf("chaff: IM.Step before Reset")
+	}
+	pi, err := s.chain.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	if len(s.ep.locs) == 0 {
+		for i := 0; i < s.epN; i++ {
+			s.ep.locs = append(s.ep.locs, markov.SampleDist(s.ep.rng, pi))
+		}
+	} else {
+		for i, l := range s.ep.locs {
+			s.ep.locs[i] = s.chain.Step(s.ep.rng, l)
+		}
+	}
+	out := make([]int, len(s.ep.locs))
+	copy(out, s.ep.locs)
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package chaff
+
+import (
+	"math/rand"
+	"sync"
+
+	"chaffmec/internal/markov"
+	"chaffmec/internal/trellis"
+)
+
+// ML is the maximum-likelihood strategy (Section IV-B): the chaff follows
+// the single most likely trajectory of the horizon (Eq. 2), guaranteeing
+// the ML detector picks the chaff instead of the user. The trajectory
+// depends only on the mobility model, so it is computed once per horizon
+// and cached. Its weakness: the tracking accuracy equals the fraction of
+// time the user happens to stand on the ML trajectory (Eq. 12), and a
+// strategy-aware eavesdropper defeats it completely (Section VI-A).
+type ML struct {
+	chain *markov.Chain
+
+	mu    sync.Mutex
+	cache map[int]markov.Trajectory // horizon → ML trajectory
+}
+
+// NewML returns an ML strategy over the user's chain.
+func NewML(chain *markov.Chain) *ML {
+	return &ML{chain: chain, cache: make(map[int]markov.Trajectory)}
+}
+
+var _ Strategy = (*ML)(nil)
+var _ TrajectoryMapper = (*ML)(nil)
+
+// Name implements Strategy.
+func (s *ML) Name() string { return "ML" }
+
+// Trajectory returns the (cached) maximum-likelihood trajectory of the
+// given horizon.
+func (s *ML) Trajectory(T int) (markov.Trajectory, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tr, ok := s.cache[T]; ok {
+		return tr.Clone(), nil
+	}
+	tr, _, err := trellis.MLTrajectory(s.chain, T, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[T] = tr
+	return tr.Clone(), nil
+}
+
+// GenerateChaffs returns numChaffs copies of the ML trajectory; a single
+// chaff is sufficient against the deterministic detector (Section IV-B).
+func (s *ML) GenerateChaffs(_ *rand.Rand, user markov.Trajectory, numChaffs int) ([]markov.Trajectory, error) {
+	if err := validateGenerate(user, numChaffs, s.chain.NumStates()); err != nil {
+		return nil, err
+	}
+	tr, err := s.Trajectory(len(user))
+	if err != nil {
+		return nil, err
+	}
+	return replicate(tr, numChaffs), nil
+}
+
+// Gamma implements TrajectoryMapper: the ML chaff does not depend on the
+// user's trajectory at all, only on its length.
+func (s *ML) Gamma(user markov.Trajectory) (markov.Trajectory, error) {
+	return s.Trajectory(len(user))
+}

@@ -1,0 +1,182 @@
+package chaff
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chaffmec/internal/markov"
+)
+
+// MO is the myopic online strategy (Section IV-D, Algorithm 2): the causal
+// heuristic for the finite-horizon MDP whose per-slot cost is the
+// eavesdropper's per-slot tracking accuracy. At every slot the chaff moves
+// to its maximum-likelihood next cell unless that cell is the user's, in
+// which case it takes the second-best cell whenever doing so keeps the
+// chaff's cumulative likelihood at least the user's (γ_t ≤ 0).
+type MO struct {
+	chain *markov.Chain
+
+	// Online-episode state; nil between episodes.
+	ep  *moEpisode
+	epN int
+}
+
+type moEpisode struct {
+	started  bool
+	loc      int
+	gamma    float64
+	userPrev int
+}
+
+// NewMO returns the myopic online strategy over the user's chain.
+func NewMO(chain *markov.Chain) *MO { return &MO{chain: chain} }
+
+var _ Strategy = (*MO)(nil)
+var _ TrajectoryMapper = (*MO)(nil)
+var _ OnlineController = (*MO)(nil)
+
+// Name implements Strategy.
+func (s *MO) Name() string { return "MO" }
+
+// moScore returns the move-scoring function for one slot: log π(·) at the
+// first slot (chaffPrev < 0) and log P(·|chaffPrev) afterwards, together
+// with the candidate move set.
+func moScore(c *markov.Chain, pi []float64, chaffPrev int) (score func(int) float64, candidates []int) {
+	if chaffPrev < 0 {
+		cand := make([]int, 0, len(pi))
+		for x, p := range pi {
+			if p > 0 {
+				cand = append(cand, x)
+			}
+		}
+		return func(x int) float64 { return math.Log(pi[x]) }, cand
+	}
+	return func(x int) float64 { return c.LogProb(chaffPrev, x) }, c.Successors(chaffPrev)
+}
+
+// moStep executes one slot of Algorithm 2. chaffPrev and userPrev are −1
+// on the first slot. excluded (may be nil) removes cells from the chaff's
+// candidate set — the RMO hook of Section VI-B. It returns the chaff's
+// location and the updated log-likelihood gap γ_t = log p(user prefix) −
+// log p(chaff prefix).
+func moStep(c *markov.Chain, pi []float64, gammaPrev float64, userPrev, userLoc, chaffPrev int, excluded func(int) bool) (int, float64) {
+	score, candidates := moScore(c, pi, chaffPrev)
+
+	argmax := func(skip func(int) bool) int {
+		best, bestV := -1, math.Inf(-1)
+		for _, x := range candidates {
+			if skip != nil && skip(x) {
+				continue
+			}
+			if v := score(x); v > bestV {
+				best, bestV = x, v
+			}
+		}
+		return best
+	}
+
+	x1 := argmax(excluded)
+	if x1 < 0 {
+		// Every candidate excluded: fall back to the unrestricted ML move
+		// so the chaff trajectory stays feasible.
+		x1 = argmax(nil)
+	}
+
+	var incUser float64
+	if userPrev < 0 {
+		incUser = safeLogAt(pi, userLoc)
+	} else {
+		incUser = c.LogProb(userPrev, userLoc)
+	}
+
+	choose := x1
+	if x1 == userLoc {
+		x2 := argmax(func(x int) bool {
+			return x == userLoc || (excluded != nil && excluded(x))
+		})
+		// Case (2) of Section IV-D.2: take the second-best cell when the
+		// chaff's cumulative likelihood stays at least the user's.
+		if x2 >= 0 && gammaPrev+incUser-score(x2) <= 0 {
+			choose = x2
+		}
+	}
+	return choose, gammaPrev + incUser - score(choose)
+}
+
+func safeLogAt(pi []float64, x int) float64 {
+	if pi[x] <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(pi[x])
+}
+
+// Gamma implements TrajectoryMapper: MO's chaff is a deterministic causal
+// function of the user's trajectory.
+func (s *MO) Gamma(user markov.Trajectory) (markov.Trajectory, error) {
+	if len(user) == 0 {
+		return nil, fmt.Errorf("chaff: empty user trajectory")
+	}
+	if err := user.Validate(s.chain.NumStates()); err != nil {
+		return nil, err
+	}
+	pi, err := s.chain.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	tr := make(markov.Trajectory, len(user))
+	gamma := 0.0
+	chaffPrev, userPrev := -1, -1
+	for t, u := range user {
+		tr[t], gamma = moStep(s.chain, pi, gamma, userPrev, u, chaffPrev, nil)
+		chaffPrev, userPrev = tr[t], u
+	}
+	return tr, nil
+}
+
+// GenerateChaffs implements Strategy; extra chaffs duplicate the
+// deterministic MO trajectory.
+func (s *MO) GenerateChaffs(_ *rand.Rand, user markov.Trajectory, numChaffs int) ([]markov.Trajectory, error) {
+	if err := validateGenerate(user, numChaffs, s.chain.NumStates()); err != nil {
+		return nil, err
+	}
+	tr, err := s.Gamma(user)
+	if err != nil {
+		return nil, err
+	}
+	return replicate(tr, numChaffs), nil
+}
+
+// --- OnlineController ---
+
+// Reset implements OnlineController.
+func (s *MO) Reset(_ *rand.Rand, numChaffs int) error {
+	if numChaffs < 1 {
+		return fmt.Errorf("chaff: numChaffs %d must be >= 1", numChaffs)
+	}
+	s.ep = &moEpisode{userPrev: -1, loc: -1}
+	s.epN = numChaffs
+	return nil
+}
+
+// Step implements OnlineController.
+func (s *MO) Step(userLoc int) ([]int, error) {
+	if s.ep == nil {
+		return nil, fmt.Errorf("chaff: MO.Step before Reset")
+	}
+	pi, err := s.chain.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	prev := -1
+	if s.ep.started {
+		prev = s.ep.loc
+	}
+	loc, gamma := moStep(s.chain, pi, s.ep.gamma, s.ep.userPrev, userLoc, prev, nil)
+	s.ep.loc, s.ep.gamma, s.ep.userPrev, s.ep.started = loc, gamma, userLoc, true
+	out := make([]int, s.epN)
+	for i := range out {
+		out[i] = loc
+	}
+	return out, nil
+}

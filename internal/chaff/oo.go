@@ -1,0 +1,264 @@
+package chaff
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chaffmec/internal/markov"
+	"chaffmec/internal/trellis"
+)
+
+// OO is the optimal offline strategy (Section IV-C, Algorithm 1): given
+// the user's entire trajectory, the chaff follows a trajectory that
+// (i) out-weighs the user's likelihood so the ML detector picks the chaff
+// (constraint (5)), and (ii) among such trajectories co-locates with the
+// user the minimum number of times (objective (4)). When the user's own
+// trajectory is the maximum-likelihood one, constraint (5) is infeasible
+// and the strategy switches to likelihood equality, forcing the detector
+// into a coin flip, exactly as the paper prescribes.
+//
+// The implementation is the paper's dynamic program over the Fig. 2
+// trellis with state (slot, cell, remaining co-location budget). The
+// budget axis is grown adaptively (the optimum i* is almost always tiny),
+// so the common-case complexity is O(T·E·i*) instead of the paper's
+// worst-case O(T²L²).
+type OO struct {
+	chain *markov.Chain
+	// excl restricts the chaff's trellis (used by the robust ROO variant);
+	// nil for the plain strategy.
+	excl *trellis.ExclusionSet
+}
+
+// NewOO returns the optimal offline strategy over the user's chain.
+func NewOO(chain *markov.Chain) *OO { return &OO{chain: chain} }
+
+var _ Strategy = (*OO)(nil)
+var _ TrajectoryMapper = (*OO)(nil)
+
+// Name implements Strategy.
+func (s *OO) Name() string { return "OO" }
+
+// OOResult reports the planned chaff trajectory and the achieved optimum.
+type OOResult struct {
+	// Chaff is the planned chaff trajectory.
+	Chaff markov.Trajectory
+	// Intersections is i*, the number of slots the chaff co-locates with
+	// the user (the optimal value of objective (4)).
+	Intersections int
+	// Strict reports whether the likelihood constraint (5) was satisfied
+	// strictly; false means the equality fallback (detector coin flip) or,
+	// under exclusions, the best-achievable-likelihood fallback was used.
+	Strict bool
+	// ChaffCost and UserCost are the negative log-likelihoods of the two
+	// trajectories (path lengths in the Fig. 2 graph).
+	ChaffCost, UserCost float64
+}
+
+// initialBudgetCap is the starting size of the adaptive co-location budget
+// axis; it doubles until i* fits (bounded by T).
+const initialBudgetCap = 8
+
+// Plan computes the optimal chaff trajectory for the given user trajectory.
+func (s *OO) Plan(user markov.Trajectory) (*OOResult, error) {
+	T := len(user)
+	if T == 0 {
+		return nil, fmt.Errorf("chaff: empty user trajectory")
+	}
+	if err := user.Validate(s.chain.NumStates()); err != nil {
+		return nil, err
+	}
+	userLL, err := s.chain.LogLikelihood(user)
+	if err != nil {
+		return nil, err
+	}
+	userCost := -userLL
+	cap0 := initialBudgetCap
+	if cap0 > T {
+		cap0 = T
+	}
+	for budgetCap := cap0; ; budgetCap *= 2 {
+		if budgetCap > T {
+			budgetCap = T
+		}
+		res, ok, err := s.planWithCap(user, userCost, budgetCap)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return res, nil
+		}
+		if budgetCap == T {
+			return nil, fmt.Errorf("chaff: OO found no feasible chaff trajectory (horizon %d)", T)
+		}
+	}
+}
+
+// planWithCap runs the DP with co-location budgets 0..budgetCap. It
+// reports ok=false when a larger budget axis is needed.
+func (s *OO) planWithCap(user markov.Trajectory, userCost float64, budgetCap int) (*OOResult, bool, error) {
+	c := s.chain
+	T := len(user)
+	L := c.NumStates()
+	nb := budgetCap + 1
+	inf := math.Inf(1)
+	pi, err := c.SteadyState()
+	if err != nil {
+		return nil, false, err
+	}
+
+	// K_t(x,i): min cost from (slot t, cell x) to the sink visiting the
+	// user's path at most i times, counting slot t itself. Two rolling
+	// value layers; backpointers kept for every slot.
+	cur := make([]float64, L*nb)  // layer t
+	next := make([]float64, L*nb) // layer t+1
+	back := make([][]int32, T)    // back[t][x*nb+i] = successor cell at t+1
+	for t := range back {
+		back[t] = make([]int32, L*nb)
+	}
+	at := func(x, i int) int { return x*nb + i }
+
+	// Base layer t = T-1.
+	for x := 0; x < L; x++ {
+		for i := 0; i < nb; i++ {
+			v := 0.0
+			if s.excl.Excluded(x, T-1) || (x == user[T-1] && i == 0) {
+				v = inf
+			}
+			cur[at(x, i)] = v
+			back[T-1][at(x, i)] = -1
+		}
+	}
+
+	// Backward induction t = T-2 .. 0.
+	for t := T - 2; t >= 0; t-- {
+		cur, next = next, cur // cur becomes the layer being filled
+		for x := 0; x < L; x++ {
+			excluded := s.excl.Excluded(x, t)
+			hit := x == user[t]
+			for i := 0; i < nb; i++ {
+				idx := at(x, i)
+				back[t][idx] = -1
+				if excluded {
+					cur[idx] = inf
+					continue
+				}
+				j := i
+				if hit {
+					j = i - 1
+				}
+				if j < 0 {
+					cur[idx] = inf
+					continue
+				}
+				best, bestX := inf, int32(-1)
+				for _, xn := range c.Successors(x) {
+					nv := next[at(xn, j)]
+					if math.IsInf(nv, 1) {
+						continue
+					}
+					// Successors ascend, strict < keeps lowest index on tie.
+					if v := -c.LogProb(x, xn) + nv; v < best {
+						best, bestX = v, int32(xn)
+					}
+				}
+				cur[idx] = best
+				back[t][idx] = bestX
+			}
+		}
+	}
+
+	// Virtual source: K0[i] = min_x −log π(x) + K_0layer(x,i).
+	k0 := make([]float64, nb)
+	n0 := make([]int32, nb)
+	for i := 0; i < nb; i++ {
+		best, bestX := inf, int32(-1)
+		for x := 0; x < L; x++ {
+			if pi[x] <= 0 || math.IsInf(cur[at(x, i)], 1) {
+				continue
+			}
+			if v := -math.Log(pi[x]) + cur[at(x, i)]; v < best {
+				best, bestX = v, int32(x)
+			}
+		}
+		k0[i] = best
+		n0[i] = bestX
+	}
+
+	tol := 1e-9 * (1 + math.Abs(userCost))
+	minCost := k0[budgetCap] // k0 is non-increasing in i
+	strict := minCost < userCost-tol
+
+	iStar := -1
+	if strict {
+		for i := 0; i < nb; i++ {
+			if k0[i] < userCost-tol {
+				iStar = i
+				break
+			}
+		}
+	} else {
+		if budgetCap < T {
+			// A larger budget might still unlock a strictly better path.
+			return nil, false, nil
+		}
+		// Equality fallback (detector coin flip), or — under exclusions
+		// that sever every path at least as likely as the user's — the
+		// best-achievable-likelihood fallback.
+		for i := 0; i < nb; i++ {
+			if k0[i] <= minCost+tol {
+				iStar = i
+				break
+			}
+		}
+	}
+	if iStar < 0 {
+		return nil, false, nil
+	}
+
+	// Reconstruction (paper steps 1–2 after Algorithm 1, 0-indexed).
+	tr := make(markov.Trajectory, T)
+	tr[0] = int(n0[iStar])
+	budget := iStar
+	// Replay the DP's layer values are gone, but backpointers suffice:
+	// back[t] was filled for layer t with the budget held at slot t.
+	for t := 1; t < T; t++ {
+		nh := back[t-1][at(tr[t-1], budget)]
+		if nh < 0 {
+			return nil, false, fmt.Errorf("chaff: OO reconstruction hit a dead end at slot %d", t)
+		}
+		if tr[t-1] == user[t-1] {
+			budget--
+		}
+		tr[t] = int(nh)
+	}
+	return &OOResult{
+		Chaff:         tr,
+		Intersections: iStar,
+		Strict:        strict,
+		ChaffCost:     k0[iStar],
+		UserCost:      userCost,
+	}, true, nil
+}
+
+// Gamma implements TrajectoryMapper.
+func (s *OO) Gamma(user markov.Trajectory) (markov.Trajectory, error) {
+	res, err := s.Plan(user)
+	if err != nil {
+		return nil, err
+	}
+	return res.Chaff, nil
+}
+
+// GenerateChaffs implements Strategy; extra chaffs duplicate the optimal
+// trajectory (a single chaff suffices against the deterministic detector).
+func (s *OO) GenerateChaffs(_ *rand.Rand, user markov.Trajectory, numChaffs int) ([]markov.Trajectory, error) {
+	if err := validateGenerate(user, numChaffs, s.chain.NumStates()); err != nil {
+		return nil, err
+	}
+	tr, err := s.Gamma(user)
+	if err != nil {
+		return nil, err
+	}
+	return replicate(tr, numChaffs), nil
+}

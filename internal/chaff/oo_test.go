@@ -1,0 +1,210 @@
+package chaff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/markov"
+	"chaffmec/internal/trellis"
+)
+
+func randomChain(rng *rand.Rand, n int) *markov.Chain {
+	p := make([][]float64, n)
+	for i := range p {
+		row := make([]float64, n)
+		sum := 0.0
+		for j := range row {
+			row[j] = rng.Float64() + 1e-9
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		p[i] = row
+	}
+	return markov.MustNew(p)
+}
+
+// bruteForceMinIntersections enumerates every trajectory of length T and
+// returns the minimum number of user-intersections among trajectories with
+// strictly higher likelihood than the user's, whether such a trajectory
+// exists, and the same minimum for likelihood-equal trajectories.
+func bruteForceMinIntersections(t *testing.T, c *markov.Chain, user markov.Trajectory) (strictMin int, strictOK bool, equalMin int, equalOK bool) {
+	t.Helper()
+	userLL, err := c.LogLikelihood(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := c.NumStates()
+	T := len(user)
+	strictMin, equalMin = T+1, T+1
+	tr := make(markov.Trajectory, T)
+	tol := 1e-9 * (1 + math.Abs(userLL))
+	var rec func(slot int)
+	rec = func(slot int) {
+		if slot == T {
+			ll, err := c.LogLikelihood(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inter := tr.Intersections(user)
+			if ll > userLL+tol && inter < strictMin {
+				strictMin, strictOK = inter, true
+			}
+			if math.Abs(ll-userLL) <= tol && inter < equalMin {
+				equalMin, equalOK = inter, true
+			}
+			return
+		}
+		for x := 0; x < L; x++ {
+			tr[slot] = x
+			rec(slot + 1)
+		}
+	}
+	rec(0)
+	return strictMin, strictOK, equalMin, equalOK
+}
+
+func TestOOMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		L := 3 + rng.Intn(2) // 3-4 cells
+		T := 3 + rng.Intn(3) // 3-5 slots
+		c := randomChain(rng, L)
+		user, err := c.Sample(rng, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := NewOO(c).Plan(user)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		strictMin, strictOK, equalMin, equalOK := bruteForceMinIntersections(t, c, user)
+		if strictOK {
+			if !res.Strict {
+				t.Fatalf("seed %d: strict solution exists (i=%d) but OO fell back", seed, strictMin)
+			}
+			if res.Intersections != strictMin {
+				t.Fatalf("seed %d: OO i* = %d, brute force = %d", seed, res.Intersections, strictMin)
+			}
+		} else {
+			if res.Strict {
+				t.Fatalf("seed %d: OO claims strict but brute force found none", seed)
+			}
+			if equalOK && res.Intersections != equalMin {
+				t.Fatalf("seed %d: OO equality i* = %d, brute force = %d", seed, res.Intersections, equalMin)
+			}
+		}
+		// Reported intersections must match the actual trajectory.
+		if got := res.Chaff.Intersections(user); got != res.Intersections {
+			t.Fatalf("seed %d: reported i*=%d but trajectory intersects %d times", seed, res.Intersections, got)
+		}
+		// Constraint (5): the chaff's likelihood is at least the user's.
+		chaffLL, err := c.LogLikelihood(res.Chaff)
+		if err != nil {
+			t.Fatal(err)
+		}
+		userLL, _ := c.LogLikelihood(user)
+		if chaffLL < userLL-1e-9*(1+math.Abs(userLL)) {
+			t.Fatalf("seed %d: chaff LL %v < user LL %v", seed, chaffLL, userLL)
+		}
+	}
+}
+
+func TestOOEqualityFallbackOnMLUser(t *testing.T) {
+	// When the user walks the ML trajectory itself, no trajectory has a
+	// strictly higher likelihood: OO must fall back to equality.
+	rng := rand.New(rand.NewSource(4))
+	c := randomChain(rng, 5)
+	user, _, err := trellis.MLTrajectory(c, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewOO(c).Plan(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strict {
+		t.Fatal("OO reports strict solution against an ML user")
+	}
+	chaffLL, _ := c.LogLikelihood(res.Chaff)
+	userLL, _ := c.LogLikelihood(user)
+	if math.Abs(chaffLL-userLL) > 1e-6*(1+math.Abs(userLL)) {
+		t.Fatalf("equality fallback: chaff LL %v != user LL %v", chaffLL, userLL)
+	}
+}
+
+func TestOOBudgetGrowth(t *testing.T) {
+	// Force the adaptive budget axis to grow: a near-deterministic chain
+	// where the user sits on the dominant cycle, so any competitive chaff
+	// must intersect many times (> initialBudgetCap).
+	p := [][]float64{
+		{0.998, 0.001, 0.001},
+		{0.998, 0.001, 0.001},
+		{0.998, 0.001, 0.001},
+	}
+	c := markov.MustNew(p)
+	T := initialBudgetCap + 6
+	user := make(markov.Trajectory, T)
+	for i := range user {
+		user[i] = 0 // the user parks on the dominant state
+	}
+	res, err := NewOO(c).Plan(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The user is (essentially) the ML trajectory: equality fallback with
+	// full co-location is the only way to match the likelihood.
+	if res.Intersections != T {
+		t.Fatalf("i* = %d, want %d (chaff must shadow the user)", res.Intersections, T)
+	}
+}
+
+func TestOOHorizonOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := randomChain(rng, 4)
+	pi := c.MustSteadyState()
+	user := markov.Trajectory{markov.ArgmaxDist(pi)}
+	res, err := NewOO(c).Plan(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chaff) != 1 {
+		t.Fatalf("chaff length %d, want 1", len(res.Chaff))
+	}
+	// User holds the most likely cell: fallback must co-locate or tie.
+	if res.Strict {
+		t.Fatal("strict impossible when user occupies the argmax-π cell at T=1")
+	}
+}
+
+func TestOOValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := randomChain(rng, 3)
+	if _, err := NewOO(c).Plan(nil); err == nil {
+		t.Fatal("empty user accepted")
+	}
+	if _, err := NewOO(c).Plan(markov.Trajectory{7}); err == nil {
+		t.Fatal("out-of-range user state accepted")
+	}
+	if _, err := NewOO(c).GenerateChaffs(rng, markov.Trajectory{0, 1}, 0); err == nil {
+		t.Fatal("numChaffs=0 accepted")
+	}
+}
+
+func TestOOGenerateChaffsReplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := randomChain(rng, 4)
+	user, _ := c.Sample(rng, 10)
+	chaffs, err := NewOO(c).GenerateChaffs(rng, user, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chaffs) != 3 {
+		t.Fatalf("got %d chaffs, want 3", len(chaffs))
+	}
+	if !chaffs[0].Equal(chaffs[1]) || !chaffs[1].Equal(chaffs[2]) {
+		t.Fatal("deterministic strategy chaffs differ")
+	}
+}

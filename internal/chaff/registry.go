@@ -1,0 +1,45 @@
+package chaff
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chaffmec/internal/markov"
+)
+
+// NewByName constructs the strategy with the given paper abbreviation
+// (case-insensitive): IM, ML, CML, OO, MO, RML, ROO, RMO, or Rollout.
+func NewByName(name string, chain *markov.Chain) (Strategy, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "IM":
+		return NewIM(chain), nil
+	case "ML":
+		return NewML(chain), nil
+	case "CML":
+		return NewCML(chain), nil
+	case "OO":
+		return NewOO(chain), nil
+	case "MO":
+		return NewMO(chain), nil
+	case "RML":
+		return NewRML(chain), nil
+	case "ROO":
+		return NewROO(chain), nil
+	case "RMO":
+		return NewRMO(chain), nil
+	case "ROLLOUT":
+		return NewRollout(chain), nil
+	case "APPROXDP":
+		return NewApproxDP(chain)
+	default:
+		return nil, fmt.Errorf("chaff: unknown strategy %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+}
+
+// Names lists the registered strategy names in sorted order.
+func Names() []string {
+	n := []string{"IM", "ML", "CML", "OO", "MO", "RML", "ROO", "RMO", "Rollout", "ApproxDP"}
+	sort.Strings(n)
+	return n
+}

@@ -1,0 +1,200 @@
+package chaff
+
+import (
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mobility"
+	"chaffmec/internal/trellis"
+)
+
+func TestDrawExclusionsOnePairPerTrajectory(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fixed := []markov.Trajectory{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{1, 1, 1, 1},
+	}
+	excl := drawExclusions(rng, fixed, 1)
+	if got := excl.Len(); got > len(fixed) || got == 0 {
+		t.Fatalf("exclusion count %d, want in (0,%d]", got, len(fixed))
+	}
+	// k pairs per trajectory (duplicates collapse, so ≤ k·|fixed|).
+	multi := drawExclusions(rng, fixed, 3)
+	if got := multi.Len(); got > 3*len(fixed) || got < excl.Len() {
+		t.Fatalf("k=3 exclusion count %d out of range", got)
+	}
+	// k<1 behaves as the paper's k=1.
+	if got := drawExclusions(rng, fixed, 0).Len(); got == 0 || got > len(fixed) {
+		t.Fatalf("k=0 exclusion count %d", got)
+	}
+	// Every excluded pair must lie on one of the fixed trajectories.
+	for slot := 0; slot < 4; slot++ {
+		for cell := 0; cell < 4; cell++ {
+			if !excl.Excluded(cell, slot) {
+				continue
+			}
+			found := false
+			for _, tr := range fixed {
+				if tr[slot] == cell {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("excluded pair (%d,%d) not on any fixed trajectory", cell, slot)
+			}
+		}
+	}
+}
+
+func TestRMLProducesDistinctHighLikelihoodChaffs(t *testing.T) {
+	c, err := mobility.Build(mobility.ModelSpatiallySkewed, rand.New(rand.NewSource(42)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	user, _ := c.Sample(rng, 50)
+	chaffs, err := NewRML(c).GenerateChaffs(rng, user, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chaffs) != 9 {
+		t.Fatalf("got %d chaffs, want 9", len(chaffs))
+	}
+	plainML, _, err := trellis.MLTrajectory(c, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainLL, _ := c.LogLikelihood(plainML)
+	distinctFromML := 0
+	seen := map[string]bool{}
+	for _, tr := range chaffs {
+		if err := tr.Validate(c.NumStates()); err != nil {
+			t.Fatal(err)
+		}
+		ll, _ := c.LogLikelihood(tr)
+		if ll > plainLL+1e-9 {
+			t.Fatalf("perturbed ML chaff beats the unconstrained ML trajectory")
+		}
+		if !tr.Equal(plainML) {
+			distinctFromML++
+		}
+		seen[tr.String()] = true
+	}
+	if distinctFromML == 0 {
+		t.Fatal("all 9 RML chaffs equal the deterministic ML trajectory")
+	}
+	if len(seen) < 2 {
+		t.Fatal("RML produced no diversity across chaffs")
+	}
+}
+
+func TestROOChaffsStayLikelihoodCompetitive(t *testing.T) {
+	c, err := mobility.Build(mobility.ModelNonSkewed, rand.New(rand.NewSource(5)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	user, _ := c.Sample(rng, 40)
+	userLL, _ := c.LogLikelihood(user)
+	chaffs, err := NewROO(c).GenerateChaffs(rng, user, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range chaffs {
+		ll, _ := c.LogLikelihood(tr)
+		// The exclusion may sever every path beating the user, but on a
+		// dense random chain with one excluded vertex per prior
+		// trajectory this is vanishingly rare; require competitiveness.
+		if ll < userLL-1e-6 {
+			t.Fatalf("ROO chaff %d LL %v below user LL %v", i, ll, userLL)
+		}
+	}
+}
+
+func TestRMOAvoidanceAndReproducibility(t *testing.T) {
+	c, err := mobility.Build(mobility.ModelTemporallySkewed, rand.New(rand.NewSource(11)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, _ := c.Sample(rand.New(rand.NewSource(12)), 30)
+	a, err := NewRMO(c).GenerateChaffs(rand.New(rand.NewSource(9)), user, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRMO(c).GenerateChaffs(rand.New(rand.NewSource(9)), user, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("RMO chaff %d not reproducible under a fixed seed", i)
+		}
+		if err := a[i].Validate(c.NumStates()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Different seeds should (almost surely) give different chaff sets.
+	d, err := NewRMO(c).GenerateChaffs(rand.New(rand.NewSource(10)), user, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if !a[i].Equal(d[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("RMO identical across different seeds — randomization inert")
+	}
+}
+
+func TestRMOOnlineController(t *testing.T) {
+	c, err := mobility.Build(mobility.ModelNonSkewed, rand.New(rand.NewSource(2)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmo := NewRMO(c)
+	if _, err := rmo.Step(0); err == nil {
+		t.Fatal("Step before Reset accepted")
+	}
+	if err := rmo.Reset(nil, 2); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if err := rmo.Reset(rand.New(rand.NewSource(4)), 3); err != nil {
+		t.Fatal(err)
+	}
+	// Run past one horizon chunk to exercise the schedule extension.
+	for slot := 0; slot < rmoHorizonChunk+10; slot++ {
+		locs, err := rmo.Step(slot % c.NumStates())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(locs) != 3 {
+			t.Fatalf("got %d chaff locations, want 3", len(locs))
+		}
+		for _, l := range locs {
+			if l < 0 || l >= c.NumStates() {
+				t.Fatalf("location %d out of range", l)
+			}
+		}
+	}
+}
+
+func TestRobustStrategiesValidation(t *testing.T) {
+	c, err := mobility.Build(mobility.ModelNonSkewed, rand.New(rand.NewSource(2)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range []Strategy{NewRML(c), NewROO(c), NewRMO(c)} {
+		if _, err := s.GenerateChaffs(rng, nil, 1); err == nil {
+			t.Fatalf("%s: empty user accepted", s.Name())
+		}
+		if _, err := s.GenerateChaffs(rng, markov.Trajectory{0, 1}, 0); err == nil {
+			t.Fatalf("%s: numChaffs=0 accepted", s.Name())
+		}
+	}
+}

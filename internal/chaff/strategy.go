@@ -1,0 +1,86 @@
+// Package chaff implements the paper's chaff-control strategies — the
+// primary contribution of "Location Privacy in Mobile Edge Clouds: A
+// Chaff-based Approach". A strategy decides where chaff services are
+// instantiated and migrated so that a cyber eavesdropper running
+// maximum-likelihood detection on observed service trajectories cannot
+// track the user.
+//
+// Strategies (Section IV and VI-B of the paper):
+//
+//   - IM  — impersonating: chaffs follow independent copies of the user's
+//     mobility chain.
+//   - ML  — maximum likelihood: the chaff follows the globally most likely
+//     trajectory (Eq. 2), computed on the Fig. 2 trellis.
+//   - CML — constrained ML: greedy ML moves that never co-locate with the
+//     user (the auxiliary strategy of Section V-C).
+//   - OO  — optimal offline: Algorithm 1; minimizes co-location count
+//     subject to out-weighing the user's likelihood (Eqs. 4–5).
+//   - MO  — myopic online: Algorithm 2; the causal variant of OO.
+//   - RML / ROO / RMO — randomized robust versions (Section VI-B) that
+//     survive an eavesdropper who knows the strategy.
+//   - Rollout — an MDP rollout solver for the online problem, the
+//     improvement direction the paper names in Section IV-D.
+package chaff
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"chaffmec/internal/markov"
+)
+
+// Strategy generates chaff trajectories against a user trajectory. All
+// trajectories have the user's length; randomness (if any) is drawn from
+// the supplied rng so experiments are reproducible.
+type Strategy interface {
+	// Name returns the paper's abbreviation for the strategy (IM, ML, …).
+	Name() string
+	// GenerateChaffs returns numChaffs chaff trajectories for the given
+	// user trajectory.
+	GenerateChaffs(rng *rand.Rand, user markov.Trajectory, numChaffs int) ([]markov.Trajectory, error)
+}
+
+// TrajectoryMapper is implemented by deterministic strategies whose single
+// chaff trajectory is a function Γ(user). The advanced eavesdropper of
+// Section VI-A exploits Γ to recognize and discard chaffs.
+type TrajectoryMapper interface {
+	// Gamma returns the chaff trajectory this strategy would produce for
+	// the given user trajectory.
+	Gamma(user markov.Trajectory) (markov.Trajectory, error)
+}
+
+// OnlineController is the causal interface used by the MEC substrate
+// simulator: it observes the user's location slot by slot and returns the
+// chaff locations for the same slot. Implemented by the online strategies
+// (IM, CML, MO, RMO, Rollout).
+type OnlineController interface {
+	// Reset starts a new episode with the given number of chaffs.
+	Reset(rng *rand.Rand, numChaffs int) error
+	// Step observes the user's location at the next slot and returns the
+	// chaff locations for that slot.
+	Step(userLoc int) ([]int, error)
+}
+
+// errNumChaffs validates the chaff budget N−1 ≥ 1.
+func validateGenerate(user markov.Trajectory, numChaffs, numStates int) error {
+	if len(user) == 0 {
+		return errors.New("chaff: empty user trajectory")
+	}
+	if numChaffs < 1 {
+		return fmt.Errorf("chaff: numChaffs %d must be >= 1", numChaffs)
+	}
+	return user.Validate(numStates)
+}
+
+// replicate returns n copies of tr. The deterministic strategies (ML, OO,
+// MO, CML) gain nothing from extra chaffs (Section IV-B: "a single chaff
+// suffices as the detector is deterministic"), so additional chaffs simply
+// duplicate the designed trajectory.
+func replicate(tr markov.Trajectory, n int) []markov.Trajectory {
+	out := make([]markov.Trajectory, n)
+	for i := range out {
+		out[i] = tr.Clone()
+	}
+	return out
+}

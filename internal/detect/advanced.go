@@ -1,0 +1,87 @@
+package detect
+
+import (
+	"fmt"
+
+	"chaffmec/internal/markov"
+)
+
+// GammaFunc maps a hypothetical user trajectory to the chaff trajectory a
+// deterministic strategy would generate for it (the Γ_i(·) of Section
+// VI-A.3). For the ML strategy Γ is constant in its argument.
+type GammaFunc func(user markov.Trajectory) (markov.Trajectory, error)
+
+// AdvancedDetector is the strategy-aware eavesdropper of Section VI-A: it
+// knows the user's chaff-control strategy (including its deterministic
+// tie-breaking) and first filters out every observed trajectory that the
+// strategy would have generated as a chaff for one of the other observed
+// trajectories; it then runs ML detection on the remainder. If every
+// trajectory is filtered out, it falls back to a uniform random guess
+// (expected value reported by the metrics).
+type AdvancedDetector struct {
+	ml    *MLDetector
+	gamma GammaFunc
+}
+
+// NewAdvancedDetector builds an advanced eavesdropper from the mobility
+// model and the strategy's trajectory map. gamma must never be nil.
+func NewAdvancedDetector(chain *markov.Chain, gamma GammaFunc) (*AdvancedDetector, error) {
+	if gamma == nil {
+		return nil, fmt.Errorf("detect: advanced detector needs a strategy map Γ")
+	}
+	return &AdvancedDetector{ml: NewMLDetector(chain), gamma: gamma}, nil
+}
+
+// Survivors computes the filter: include[u] is false when trajectory u
+// matches Γ(x_v) for some other observed trajectory v, i.e. when u is
+// recognizably a chaff for v.
+func (d *AdvancedDetector) Survivors(trs []markov.Trajectory) ([]bool, error) {
+	include := make([]bool, len(trs))
+	for u := range include {
+		include[u] = true
+	}
+	for v, tr := range trs {
+		ch, err := d.gamma(tr)
+		if err != nil {
+			return nil, fmt.Errorf("detect: evaluating Γ on trajectory %d: %w", v, err)
+		}
+		for u, cand := range trs {
+			if u == v {
+				continue
+			}
+			if cand.Equal(ch) {
+				include[u] = false
+			}
+		}
+	}
+	return include, nil
+}
+
+// PrefixDetections returns, for every slot, the detector's tie set after
+// filtering. The filter is computed once on the full trajectories — the
+// eavesdropper analyses a recorded observation window — and the per-slot
+// curve comes from prefix ML detection among the survivors.
+func (d *AdvancedDetector) PrefixDetections(trs []markov.Trajectory) ([][]int, error) {
+	include, err := d.Survivors(trs)
+	if err != nil {
+		return nil, err
+	}
+	ll, err := d.ml.prefixLogLik(trs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, len(ll))
+	for t, row := range ll {
+		out[t] = argmaxSet(row, include)
+	}
+	return out, nil
+}
+
+// Detect returns the tie set for the full trajectories after filtering.
+func (d *AdvancedDetector) Detect(trs []markov.Trajectory) ([]int, error) {
+	dets, err := d.PrefixDetections(trs)
+	if err != nil {
+		return nil, err
+	}
+	return dets[len(dets)-1], nil
+}

@@ -1,0 +1,150 @@
+// Package detect implements the eavesdropper side of the paper: the
+// maximum-likelihood detector of Section III (Eq. 1), the strategy-aware
+// advanced eavesdropper of Section VI-A, and the tracking/detection
+// accuracy metrics of Section II-D.
+//
+// Detection is evaluated per slot on trajectory prefixes: at slot t the
+// eavesdropper has observed the first t+1 locations of each of the N
+// service trajectories and picks the prefix with the maximum
+// log-likelihood under the user's mobility model. Ties are resolved by a
+// uniformly random guess among the maximizers; the metrics below report
+// the expectation over that guess, which is deterministic given the
+// trajectories and matches the ½·1{γ=0} term of the paper's MDP cost.
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"chaffmec/internal/markov"
+)
+
+// llTieTol is the absolute tolerance for treating two prefix
+// log-likelihoods as tied. Likelihood sums over ~100 slots accumulate
+// rounding in the last few bits; a strict equality test would miss the
+// intentional ties engineered by the OO equality fallback.
+const llTieTol = 1e-9
+
+// MLDetector is the basic eavesdropper: it knows the user's transition
+// matrix P (e.g. from profiling typical users) but not the chaff-control
+// strategy.
+type MLDetector struct {
+	chain *markov.Chain
+}
+
+// NewMLDetector returns an ML detector using the given mobility model.
+func NewMLDetector(chain *markov.Chain) *MLDetector { return &MLDetector{chain: chain} }
+
+// Chain returns the detector's mobility model.
+func (d *MLDetector) Chain() *markov.Chain { return d.chain }
+
+// prefixLogLik fills ll[t][u] with the log-likelihood of trajectory u's
+// prefix of length t+1.
+func (d *MLDetector) prefixLogLik(trs []markov.Trajectory) ([][]float64, error) {
+	if len(trs) == 0 {
+		return nil, errors.New("detect: no trajectories")
+	}
+	T := len(trs[0])
+	pi, err := d.chain.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	for u, tr := range trs {
+		if len(tr) != T {
+			return nil, fmt.Errorf("detect: trajectory %d has length %d, want %d", u, len(tr), T)
+		}
+		if err := tr.Validate(d.chain.NumStates()); err != nil {
+			return nil, err
+		}
+	}
+	ll := make([][]float64, T)
+	run := make([]float64, len(trs))
+	for u, tr := range trs {
+		if pi[tr[0]] > 0 {
+			run[u] = math.Log(pi[tr[0]])
+		} else {
+			run[u] = math.Inf(-1)
+		}
+	}
+	for t := 0; t < T; t++ {
+		if t > 0 {
+			for u, tr := range trs {
+				run[u] += d.chain.LogProb(tr[t-1], tr[t])
+			}
+		}
+		row := make([]float64, len(trs))
+		copy(row, run)
+		ll[t] = row
+	}
+	return ll, nil
+}
+
+// PrefixDetections returns, for every slot t, the indices of the
+// trajectories achieving the maximum prefix log-likelihood (the detector's
+// tie set). The eavesdropper's pick at slot t is uniform over that set.
+func (d *MLDetector) PrefixDetections(trs []markov.Trajectory) ([][]int, error) {
+	ll, err := d.prefixLogLik(trs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, len(ll))
+	for t, row := range ll {
+		out[t] = argmaxSet(row, nil)
+	}
+	return out, nil
+}
+
+// Detect returns the tie set for the full trajectories (the last slot of
+// PrefixDetections), i.e. the paper's detector (Eq. 1).
+func (d *MLDetector) Detect(trs []markov.Trajectory) ([]int, error) {
+	dets, err := d.PrefixDetections(trs)
+	if err != nil {
+		return nil, err
+	}
+	return dets[len(dets)-1], nil
+}
+
+// argmaxSet returns the indices within tol of the maximum of row,
+// restricted to indices where include is true (include == nil means all).
+// All-(-Inf) rows (or empty include sets) return every included index:
+// the detector has no information and guesses uniformly.
+func argmaxSet(row []float64, include []bool) []int {
+	best := math.Inf(-1)
+	n := 0
+	for u, v := range row {
+		if include != nil && !include[u] {
+			continue
+		}
+		n++
+		if v > best {
+			best = v
+		}
+	}
+	if n == 0 {
+		// Everything filtered out: uniform guess over all trajectories.
+		out := make([]int, len(row))
+		for u := range row {
+			out[u] = u
+		}
+		return out
+	}
+	var out []int
+	if math.IsInf(best, -1) {
+		for u := range row {
+			if include == nil || include[u] {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+	for u, v := range row {
+		if include != nil && !include[u] {
+			continue
+		}
+		if best-v <= llTieTol {
+			out = append(out, u)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"chaffmec/internal/markov"
+)
+
+// TrackingAccuracySeries returns, for each slot t, the expected
+// probability that the eavesdropper's pick is at the user's location:
+// (1/|tie set|)·Σ_{u∈tie set} 1{x_{u,t} = x_{user,t}} (Section II-D).
+// Note detection need not be correct for tracking to succeed: a chaff
+// standing on the user's cell also tracks the user.
+func TrackingAccuracySeries(dets [][]int, trs []markov.Trajectory, userIdx int) ([]float64, error) {
+	if userIdx < 0 || userIdx >= len(trs) {
+		return nil, fmt.Errorf("detect: user index %d outside [0,%d)", userIdx, len(trs))
+	}
+	if len(dets) != len(trs[userIdx]) {
+		return nil, errors.New("detect: detections/trajectory length mismatch")
+	}
+	out := make([]float64, len(dets))
+	user := trs[userIdx]
+	for t, set := range dets {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("detect: empty tie set at slot %d", t)
+		}
+		hit := 0
+		for _, u := range set {
+			if trs[u][t] == user[t] {
+				hit++
+			}
+		}
+		out[t] = float64(hit) / float64(len(set))
+	}
+	return out, nil
+}
+
+// DetectionAccuracySeries returns, for each slot t, the expected
+// probability that the eavesdropper picks the user's own trajectory.
+func DetectionAccuracySeries(dets [][]int, numTrajectories, userIdx int) ([]float64, error) {
+	if userIdx < 0 || userIdx >= numTrajectories {
+		return nil, fmt.Errorf("detect: user index %d outside [0,%d)", userIdx, numTrajectories)
+	}
+	out := make([]float64, len(dets))
+	for t, set := range dets {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("detect: empty tie set at slot %d", t)
+		}
+		for _, u := range set {
+			if u == userIdx {
+				out[t] = 1 / float64(len(set))
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// TimeAverage returns the mean of a per-slot series — the paper's overall
+// tracking accuracy (1/T)·Σ_t.
+func TimeAverage(series []float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range series {
+		s += v
+	}
+	return s / float64(len(series))
+}
+
+// ExpectedDistanceSeries returns, for each slot, the expected physical
+// distance between the eavesdropper's location estimate (the cell of the
+// trajectory he picks, uniform over the tie set) and the user's true cell.
+// coord maps a cell index to planar coordinates. This complements the
+// paper's binary tracking accuracy with a geographic-error privacy metric:
+// a defense can be judged by how far it displaces the adversary's
+// estimate, not just how often the estimate is exactly right.
+func ExpectedDistanceSeries(dets [][]int, trs []markov.Trajectory, userIdx int, coord func(cell int) (x, y float64)) ([]float64, error) {
+	if userIdx < 0 || userIdx >= len(trs) {
+		return nil, fmt.Errorf("detect: user index %d outside [0,%d)", userIdx, len(trs))
+	}
+	if coord == nil {
+		return nil, errors.New("detect: nil coordinate map")
+	}
+	if len(dets) != len(trs[userIdx]) {
+		return nil, errors.New("detect: detections/trajectory length mismatch")
+	}
+	user := trs[userIdx]
+	out := make([]float64, len(dets))
+	for t, set := range dets {
+		if len(set) == 0 {
+			return nil, fmt.Errorf("detect: empty tie set at slot %d", t)
+		}
+		ux, uy := coord(user[t])
+		sum := 0.0
+		for _, u := range set {
+			gx, gy := coord(trs[u][t])
+			dx, dy := gx-ux, gy-uy
+			sum += math.Sqrt(dx*dx + dy*dy)
+		}
+		out[t] = sum / float64(len(set))
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+// Package figures reproduces every table and figure of the paper's
+// evaluation (Section VII): the steady-state panels and KL skewness
+// numbers of Fig. 4, the basic-eavesdropper curves of Fig. 5, the c_t
+// distributions of Fig. 6, the advanced-eavesdropper curves of Fig. 7, the
+// trace-driven pipeline and experiments of Figs. 8–10, the Eq. 11
+// closed-form validation, and the Theorem V.4/V.5 bound comparisons.
+// Each runner returns plain data; cmd/experiments renders CSV and ASCII.
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mobility"
+)
+
+// Config carries the synthetic-experiment parameters of Section VII-A:
+// T=100 slots, L=10 cells, 1000 Monte-Carlo runs.
+type Config struct {
+	// Runs is the Monte-Carlo repetition count.
+	Runs int
+	// Horizon is T.
+	Horizon int
+	// Cells is L.
+	Cells int
+	// Seed makes every experiment reproducible.
+	Seed int64
+	// Workers caps parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Default returns the paper's settings.
+func Default() Config {
+	return Config{Runs: 1000, Horizon: 100, Cells: 10, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs <= 0 {
+		c.Runs = 1000
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 100
+	}
+	if c.Cells <= 0 {
+		c.Cells = 10
+	}
+	return c
+}
+
+// buildModel constructs one of the four mobility models with a seed
+// derived from the experiment seed, so models (a)/(b) — which have random
+// transition matrices — are identical across figures of one experiment
+// run, as in the paper.
+func buildModel(id mobility.ModelID, cfg Config) (*markov.Chain, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(id)))
+	c, err := mobility.Build(id, rng, cfg.Cells)
+	if err != nil {
+		return nil, fmt.Errorf("figures: building model %v: %w", id, err)
+	}
+	return c, nil
+}

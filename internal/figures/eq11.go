@@ -1,0 +1,65 @@
+package figures
+
+import (
+	"fmt"
+
+	"chaffmec/internal/analysis"
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/mobility"
+	"chaffmec/internal/sim"
+)
+
+// Eq11Row compares the closed-form IM tracking accuracy (Eq. 11) with the
+// simulated value for one (model, N) pair.
+type Eq11Row struct {
+	Model      mobility.ModelID
+	N          int
+	ClosedForm float64
+	Simulated  float64
+	// Limit is the N→∞ asymptote Σπ².
+	Limit float64
+}
+
+// Eq11 validates the IM analysis across models and chaff budgets.
+func Eq11(cfg Config, ns []int) ([]Eq11Row, error) {
+	cfg = cfg.withDefaults()
+	if len(ns) == 0 {
+		ns = []int{2, 4, 6, 8, 10}
+	}
+	var rows []Eq11Row
+	for _, id := range mobility.AllModels {
+		chain, err := buildModel(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		limit, err := analysis.IMAccuracyLimit(chain)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range ns {
+			if n < 2 {
+				return nil, fmt.Errorf("figures: eq11 N=%d must be >= 2", n)
+			}
+			closed, err := analysis.IMAccuracy(chain, n)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Run(sim.Scenario{
+				Chain:     chain,
+				Strategy:  chaff.NewIM(chain),
+				NumChaffs: n - 1,
+				Horizon:   cfg.Horizon,
+			}, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Eq11Row{
+				Model: id, N: n,
+				ClosedForm: closed,
+				Simulated:  res.Overall,
+				Limit:      limit,
+			})
+		}
+	}
+	return rows, nil
+}

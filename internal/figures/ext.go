@@ -1,0 +1,204 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mec"
+	"chaffmec/internal/mobility"
+	"chaffmec/internal/multiuser"
+	"chaffmec/internal/sim"
+)
+
+// The EXT experiments extend the paper along the directions its own text
+// opens: comparing MDP solvers for the online strategy (Section IV-D),
+// the multi-user scenario (Sections II-A/III remarks), and the
+// cost-privacy tradeoff (Section VIII).
+
+// ExtSolverRow compares online-strategy solvers on one mobility model.
+type ExtSolverRow struct {
+	Model    mobility.ModelID
+	Strategy string
+	// Overall and Final are the time-average and final-slot tracking
+	// accuracies of the basic eavesdropper.
+	Overall, Final float64
+}
+
+// ExtSolvers compares MO (the paper's myopic heuristic), the rollout
+// solver, and the γ-discretized value-iteration solver (ApproxDP).
+func ExtSolvers(cfg Config) ([]ExtSolverRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []ExtSolverRow
+	for _, id := range mobility.AllModels {
+		chain, err := buildModel(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		dp, err := chaff.NewApproxDP(chain)
+		if err != nil {
+			return nil, err
+		}
+		for _, entry := range []struct {
+			name     string
+			strategy chaff.Strategy
+		}{
+			{"MO", chaff.NewMO(chain)},
+			{"Rollout", chaff.NewRollout(chain)},
+			{"ApproxDP", dp},
+		} {
+			res, err := sim.Run(sim.Scenario{
+				Chain:     chain,
+				Strategy:  entry.strategy,
+				NumChaffs: 1,
+				Horizon:   cfg.Horizon,
+			}, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, fmt.Errorf("figures: ext-solvers %v/%s: %w", id, entry.name, err)
+			}
+			rows = append(rows, ExtSolverRow{
+				Model:    id,
+				Strategy: entry.name,
+				Overall:  res.Overall,
+				Final:    res.PerSlot[len(res.PerSlot)-1],
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ExtMultiuserRow reports the target's tracking accuracy with a given
+// number of coexisting users, with and without a chaff.
+type ExtMultiuserRow struct {
+	Model          mobility.ModelID
+	OtherUsers     int
+	Unprotected    float64
+	WithMOChaff    float64
+	CollisionLimit float64
+}
+
+// ExtMultiuser quantifies the Sections II-A/III multi-user remarks —
+// including the regression-toward-Σπ² effect on tracking accuracy that
+// the paper's "additional protection" remark glosses over (see
+// EXPERIMENTS.md).
+func ExtMultiuser(cfg Config, crowds []int) ([]ExtMultiuserRow, error) {
+	cfg = cfg.withDefaults()
+	if len(crowds) == 0 {
+		crowds = []int{0, 4, 9, 19}
+	}
+	var rows []ExtMultiuserRow
+	for _, id := range []mobility.ModelID{mobility.ModelSpatiallySkewed, mobility.ModelBothSkewed} {
+		chain, err := buildModel(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		coll, err := chain.CollisionProbability()
+		if err != nil {
+			return nil, err
+		}
+		for _, others := range crowds {
+			var otherChains []*markov.Chain
+			for i := 0; i < others; i++ {
+				otherChains = append(otherChains, chain)
+			}
+			unprot, err := multiuser.Run(multiuser.Config{
+				TargetChain: chain, OtherChains: otherChains, Horizon: cfg.Horizon,
+			}, multiuser.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			prot, err := multiuser.Run(multiuser.Config{
+				TargetChain: chain, OtherChains: otherChains, Horizon: cfg.Horizon,
+				Strategy: chaff.NewMO(chain), NumChaffs: 1,
+			}, multiuser.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ExtMultiuserRow{
+				Model:          id,
+				OtherUsers:     others,
+				Unprotected:    unprot.Overall,
+				WithMOChaff:    prot.Overall,
+				CollisionLimit: coll,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ExtCostRow is one point of the cost-privacy tradeoff curve.
+type ExtCostRow struct {
+	Strategy  string
+	NumChaffs int
+	// Accuracy is the eavesdropper's tracking accuracy in the MEC
+	// simulation; the cost columns are the per-episode price breakdown.
+	Accuracy                            float64
+	MigrationCost, ChaffCost, TotalCost float64
+}
+
+// ExtCostPrivacy runs the MEC substrate across chaff budgets and reports
+// tracking accuracy against the money spent — the tradeoff the paper
+// leaves to future work (Section VIII).
+func ExtCostPrivacy(cfg Config, budgets []int) ([]ExtCostRow, error) {
+	cfg = cfg.withDefaults()
+	if len(budgets) == 0 {
+		budgets = []int{1, 2, 4, 8}
+	}
+	grid, err := mobility.NewGrid(5, 5)
+	if err != nil {
+		return nil, err
+	}
+	chain, err := grid.Walk(0.7, 1e-6)
+	if err != nil {
+		return nil, err
+	}
+	episodes := cfg.Runs / 10
+	if episodes < 10 {
+		episodes = 10
+	}
+	var rows []ExtCostRow
+	for _, strategyName := range []string{"IM", "RMO"} {
+		for _, n := range budgets {
+			strat, err := chaff.NewByName(strategyName, chain)
+			if err != nil {
+				return nil, err
+			}
+			ctrl, ok := strat.(chaff.OnlineController)
+			if !ok {
+				return nil, fmt.Errorf("figures: %s is not an online controller", strategyName)
+			}
+			s, err := mec.NewSimulator(mec.Config{
+				Chain:      chain,
+				Controller: ctrl,
+				NumChaffs:  n,
+				Horizon:    cfg.Horizon,
+				Grid:       grid,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var acc, mig, chf, tot float64
+			for e := 0; e < episodes; e++ {
+				rep, err := s.Run(rand.New(rand.NewSource(cfg.Seed + int64(e))))
+				if err != nil {
+					return nil, err
+				}
+				acc += rep.Overall
+				mig += rep.Costs.Migration
+				chf += rep.Costs.Chaff
+				tot += rep.Costs.Total()
+			}
+			f := float64(episodes)
+			rows = append(rows, ExtCostRow{
+				Strategy:      strategyName,
+				NumChaffs:     n,
+				Accuracy:      acc / f,
+				MigrationCost: mig / f,
+				ChaffCost:     chf / f,
+				TotalCost:     tot / f,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,76 @@
+package figures
+
+import (
+	"fmt"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mobility"
+	"chaffmec/internal/sim"
+)
+
+// Fig5Curve is one strategy's per-slot tracking accuracy curve.
+type Fig5Curve struct {
+	Label   string
+	PerSlot []float64
+	Overall float64
+}
+
+// Fig5Panel is one mobility-model panel of Fig. 5.
+type Fig5Panel struct {
+	Model  mobility.ModelID
+	Curves []Fig5Curve
+}
+
+// fig5Strategies lists the curves of each Fig. 5 panel: the paper plots
+// IM/ML/OO/MO/CML with a single chaff plus IM with nine chaffs.
+func fig5Strategies(chain *markov.Chain) []struct {
+	label     string
+	strategy  chaff.Strategy
+	numChaffs int
+} {
+	return []struct {
+		label     string
+		strategy  chaff.Strategy
+		numChaffs int
+	}{
+		{"IM (N=2)", chaff.NewIM(chain), 1},
+		{"ML (N=2)", chaff.NewML(chain), 1},
+		{"OO (N=2)", chaff.NewOO(chain), 1},
+		{"MO (N=2)", chaff.NewMO(chain), 1},
+		{"CML (N=2)", chaff.NewCML(chain), 1},
+		{"IM (N=10)", chaff.NewIM(chain), 9},
+	}
+}
+
+// Fig5 reproduces Fig. 5: tracking accuracy of the basic ML eavesdropper
+// over time, for the four mobility models and six strategy/budget curves.
+func Fig5(cfg Config) ([]Fig5Panel, error) {
+	cfg = cfg.withDefaults()
+	panels := make([]Fig5Panel, 0, len(mobility.AllModels))
+	for _, id := range mobility.AllModels {
+		chain, err := buildModel(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		panel := Fig5Panel{Model: id}
+		for _, entry := range fig5Strategies(chain) {
+			res, err := sim.Run(sim.Scenario{
+				Chain:     chain,
+				Strategy:  entry.strategy,
+				NumChaffs: entry.numChaffs,
+				Horizon:   cfg.Horizon,
+			}, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, fmt.Errorf("figures: fig5 %v/%s: %w", id, entry.label, err)
+			}
+			panel.Curves = append(panel.Curves, Fig5Curve{
+				Label:   entry.label,
+				PerSlot: res.PerSlot,
+				Overall: res.Overall,
+			})
+		}
+		panels = append(panels, panel)
+	}
+	return panels, nil
+}

@@ -1,0 +1,77 @@
+package figures
+
+import (
+	"fmt"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/mobility"
+	"chaffmec/internal/sim"
+	"chaffmec/internal/stats"
+)
+
+// Fig6Panel is one mobility-model panel of Fig. 6: the empirical CDF of
+// the per-slot log-likelihood gap c_t (Eqs. 14–15) under the CML and MO
+// strategies. E[c_t] < 0 is the decay condition of Theorems V.4/V.5.
+type Fig6Panel struct {
+	Model mobility.ModelID
+	// CML and MO are the empirical CDFs (plot-ready point lists).
+	CML, MO CDF
+	// MeanCML and MeanMO are the sample means of c_t (≈ −µ and −µ′).
+	MeanCML, MeanMO float64
+}
+
+// CDF is a plottable empirical distribution function.
+type CDF struct {
+	X []float64
+	F []float64
+}
+
+func toCDF(samples []float64) (CDF, float64, error) {
+	e, err := stats.NewECDF(samples)
+	if err != nil {
+		return CDF{}, 0, err
+	}
+	xs, fs := e.Points()
+	return CDF{X: xs, F: fs}, stats.Mean(samples), nil
+}
+
+// Fig6 reproduces Fig. 6 by collecting c_t samples from Monte-Carlo runs
+// of the CML and MO strategies on each mobility model.
+func Fig6(cfg Config) ([]Fig6Panel, error) {
+	cfg = cfg.withDefaults()
+	panels := make([]Fig6Panel, 0, len(mobility.AllModels))
+	for _, id := range mobility.AllModels {
+		chain, err := buildModel(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		panel := Fig6Panel{Model: id}
+		for _, entry := range []struct {
+			strategy chaff.Strategy
+			cdf      *CDF
+			mean     *float64
+		}{
+			{chaff.NewCML(chain), &panel.CML, &panel.MeanCML},
+			{chaff.NewMO(chain), &panel.MO, &panel.MeanMO},
+		} {
+			res, err := sim.Run(sim.Scenario{
+				Chain:     chain,
+				Strategy:  entry.strategy,
+				NumChaffs: 1,
+				Horizon:   cfg.Horizon,
+				CollectCt: true,
+			}, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, fmt.Errorf("figures: fig6 %v/%s: %w", id, entry.strategy.Name(), err)
+			}
+			cdf, mean, err := toCDF(res.CtSamples)
+			if err != nil {
+				return nil, fmt.Errorf("figures: fig6 %v/%s: %w", id, entry.strategy.Name(), err)
+			}
+			*entry.cdf = cdf
+			*entry.mean = mean
+		}
+		panels = append(panels, panel)
+	}
+	return panels, nil
+}

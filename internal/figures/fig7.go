@@ -1,0 +1,77 @@
+package figures
+
+import (
+	"fmt"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/detect"
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mobility"
+	"chaffmec/internal/sim"
+)
+
+// Fig7Panel is one mobility-model panel of Fig. 7: per-slot tracking
+// accuracy of the advanced (strategy-aware) eavesdropper against the IM
+// strategy and the robust randomized strategies, at N=10.
+type Fig7Panel struct {
+	Model  mobility.ModelID
+	Curves []Fig5Curve
+}
+
+// fig7Entries pairs each evaluated strategy with the deterministic Γ the
+// advanced eavesdropper uses to recognize chaffs. IM has no deterministic
+// map — the strategy-aware eavesdropper degenerates to the basic ML
+// detector (Section VI-A.1).
+func fig7Entries(chain *markov.Chain) []struct {
+	label    string
+	strategy chaff.Strategy
+	gamma    detect.GammaFunc
+} {
+	return []struct {
+		label    string
+		strategy chaff.Strategy
+		gamma    detect.GammaFunc
+	}{
+		{"IM", chaff.NewIM(chain), nil},
+		{"RML", chaff.NewRML(chain), chaff.NewML(chain).Gamma},
+		{"ROO", chaff.NewROO(chain), chaff.NewOO(chain).Gamma},
+		{"RMO", chaff.NewRMO(chain), chaff.NewMO(chain).Gamma},
+	}
+}
+
+// Fig7 reproduces Fig. 7 with N=10 (nine chaffs).
+func Fig7(cfg Config) ([]Fig7Panel, error) {
+	cfg = cfg.withDefaults()
+	const numChaffs = 9
+	panels := make([]Fig7Panel, 0, len(mobility.AllModels))
+	for _, id := range mobility.AllModels {
+		chain, err := buildModel(id, cfg)
+		if err != nil {
+			return nil, err
+		}
+		panel := Fig7Panel{Model: id}
+		for _, entry := range fig7Entries(chain) {
+			sc := sim.Scenario{
+				Chain:     chain,
+				Strategy:  entry.strategy,
+				NumChaffs: numChaffs,
+				Horizon:   cfg.Horizon,
+			}
+			if entry.gamma != nil {
+				sc.Detector = sim.AdvancedDetector
+				sc.Gamma = entry.gamma
+			}
+			res, err := sim.Run(sc, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, fmt.Errorf("figures: fig7 %v/%s: %w", id, entry.label, err)
+			}
+			panel.Curves = append(panel.Curves, Fig5Curve{
+				Label:   entry.label,
+				PerSlot: res.PerSlot,
+				Overall: res.Overall,
+			})
+		}
+		panels = append(panels, panel)
+	}
+	return panels, nil
+}

@@ -1,0 +1,128 @@
+package figures
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/detect"
+	"chaffmec/internal/markov"
+)
+
+// Fig9aResult reproduces Fig. 9(a): per-user tracking accuracy of the
+// basic eavesdropper with no chaffs, against the 1/N random-guess
+// baseline. A subset of (predictable) users is tracked far above baseline.
+type Fig9aResult struct {
+	// Nodes and Accuracy are aligned and sorted by descending accuracy.
+	Nodes    []string
+	Accuracy []float64
+	// Baseline is 1/N (N = number of observed trajectories).
+	Baseline float64
+}
+
+// Fig9a runs the multi-user no-chaff evaluation.
+func Fig9a(lab *TraceLab) (*Fig9aResult, error) {
+	accs, err := lab.UserAccuracies(nil)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, len(accs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return accs[idx[a]] > accs[idx[b]] })
+	res := &Fig9aResult{Baseline: 1 / float64(len(lab.Trajectories))}
+	for _, u := range idx {
+		res.Nodes = append(res.Nodes, lab.Nodes[u])
+		res.Accuracy = append(res.Accuracy, accs[u])
+	}
+	return res, nil
+}
+
+// TraceBarResult is the Fig. 9(b)/Fig. 10 data shape: tracking accuracy of
+// the top-K users under each strategy.
+type TraceBarResult struct {
+	// Users holds the node ids of the top-K most-tracked users.
+	Users []string
+	// UserIdx are their indices into the lab's trajectory list.
+	UserIdx []int
+	// Strategies names the columns of Acc.
+	Strategies []string
+	// Acc[u][s] is user u's tracking accuracy under strategy s.
+	Acc [][]float64
+}
+
+// Fig9b reproduces Fig. 9(b): the top-K users' tracking accuracy before
+// and after adding a single chaff controlled by IM, MO, ML, or OO. The
+// eavesdropper is the basic ML detector over all trajectories plus the
+// chaff.
+func Fig9b(lab *TraceLab, topK int, seed int64) (*TraceBarResult, error) {
+	top, accs, err := lab.TopUsers(topK)
+	if err != nil {
+		return nil, err
+	}
+	strategies := []struct {
+		label string
+		build func() chaff.Strategy
+	}{
+		{"no chaff", nil},
+		{"IM", func() chaff.Strategy { return chaff.NewIM(lab.Chain) }},
+		{"MO", func() chaff.Strategy { return chaff.NewMO(lab.Chain) }},
+		{"ML", func() chaff.Strategy { return chaff.NewML(lab.Chain) }},
+		{"OO", func() chaff.Strategy { return chaff.NewOO(lab.Chain) }},
+	}
+	res := &TraceBarResult{}
+	for _, s := range strategies {
+		res.Strategies = append(res.Strategies, s.label)
+	}
+	for rank, u := range top {
+		res.Users = append(res.Users, lab.Nodes[u])
+		res.UserIdx = append(res.UserIdx, u)
+		row := make([]float64, 0, len(strategies))
+		for _, s := range strategies {
+			if s.build == nil {
+				row = append(row, accs[u])
+				continue
+			}
+			rng := rand.New(rand.NewSource(seed + int64(rank)*101))
+			acc, err := lab.userAccuracyWithChaffs(u, s.build(), 1, rng, nil)
+			if err != nil {
+				return nil, fmt.Errorf("figures: fig9b user %s strategy %s: %w", lab.Nodes[u], s.label, err)
+			}
+			row = append(row, acc)
+		}
+		res.Acc = append(res.Acc, row)
+	}
+	return res, nil
+}
+
+// userAccuracyWithChaffs computes user u's time-average tracking accuracy
+// after adding numChaffs chaff trajectories generated for u. A nil gamma
+// uses the basic ML detector; otherwise the advanced strategy-aware
+// detector of Section VI-A filters with Γ before detecting.
+func (lab *TraceLab) userAccuracyWithChaffs(u int, strategy chaff.Strategy, numChaffs int, rng *rand.Rand, gamma detect.GammaFunc) (float64, error) {
+	chaffs, err := strategy.GenerateChaffs(rng, lab.Trajectories[u], numChaffs)
+	if err != nil {
+		return 0, err
+	}
+	trs := append(append([]markov.Trajectory{}, lab.Trajectories...), chaffs...)
+	var dets [][]int
+	if gamma == nil {
+		dets, err = detect.NewMLDetector(lab.Chain).PrefixDetections(trs)
+	} else {
+		var adv *detect.AdvancedDetector
+		adv, err = detect.NewAdvancedDetector(lab.Chain, gamma)
+		if err == nil {
+			dets, err = adv.PrefixDetections(trs)
+		}
+	}
+	if err != nil {
+		return 0, err
+	}
+	series, err := detect.TrackingAccuracySeries(dets, trs, u)
+	if err != nil {
+		return 0, err
+	}
+	return detect.TimeAverage(series), nil
+}

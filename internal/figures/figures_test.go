@@ -1,0 +1,231 @@
+package figures
+
+import (
+	"math"
+	"testing"
+
+	"chaffmec/internal/mobility"
+)
+
+// smallCfg keeps unit tests fast; cmd/experiments runs the full sizes.
+func smallCfg() Config {
+	return Config{Runs: 60, Horizon: 60, Cells: 10, Seed: 1}
+}
+
+func TestFig4ShapesMatchPaper(t *testing.T) {
+	rows, err := Fig4(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byModel := map[mobility.ModelID]Fig4Row{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+		sum := 0.0
+		for _, v := range r.SteadyState {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("model %v steady state sums to %v", r.Model, sum)
+		}
+	}
+	// Spatial skewness: (b) and (d) peaked, (c) uniform.
+	cRow := byModel[mobility.ModelTemporallySkewed]
+	for _, v := range cRow.SteadyState {
+		if math.Abs(v-0.1) > 1e-3 {
+			t.Fatalf("model (c) not uniform: %v", cRow.SteadyState)
+		}
+	}
+	if max(byModel[mobility.ModelSpatiallySkewed].SteadyState) < 0.2 {
+		t.Fatal("model (b) not spatially skewed")
+	}
+	if max(byModel[mobility.ModelBothSkewed].SteadyState) < 0.3 {
+		t.Fatal("model (d) not spatially skewed")
+	}
+	// Temporal skewness ordering of the KL table (0.44, 0.34, 8.18, 8.48):
+	// the walks are an order of magnitude above the random matrices.
+	if byModel[mobility.ModelTemporallySkewed].AvgRowKL < 4 ||
+		byModel[mobility.ModelBothSkewed].AvgRowKL < 4 {
+		t.Fatalf("walk models insufficiently temporally skewed: %v / %v",
+			byModel[mobility.ModelTemporallySkewed].AvgRowKL,
+			byModel[mobility.ModelBothSkewed].AvgRowKL)
+	}
+	if byModel[mobility.ModelNonSkewed].AvgRowKL > 2 ||
+		byModel[mobility.ModelSpatiallySkewed].AvgRowKL > 2 {
+		t.Fatal("random-matrix models too temporally skewed")
+	}
+}
+
+func max(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestFig5ShapesMatchPaper(t *testing.T) {
+	panels, err := Fig5(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(panels) != 4 {
+		t.Fatalf("panels = %d", len(panels))
+	}
+	for _, p := range panels {
+		curves := map[string]Fig5Curve{}
+		for _, c := range p.Curves {
+			curves[c.Label] = c
+			if len(c.PerSlot) != 60 {
+				t.Fatalf("%v/%s: %d slots", p.Model, c.Label, len(c.PerSlot))
+			}
+		}
+		// (iii) more IM chaffs lower the accuracy.
+		if curves["IM (N=10)"].Overall >= curves["IM (N=2)"].Overall {
+			t.Fatalf("%v: IM(N=10) %v not below IM(N=2) %v", p.Model,
+				curves["IM (N=10)"].Overall, curves["IM (N=2)"].Overall)
+		}
+		// (i) OO/MO decay toward zero on every model except the most
+		// predictable; on model (d) they still beat IM.
+		if p.Model != mobility.ModelBothSkewed {
+			tail := mean(curves["OO (N=2)"].PerSlot[50:])
+			if tail > 0.12 {
+				t.Fatalf("%v: OO tail %v", p.Model, tail)
+			}
+		}
+		if curves["OO (N=2)"].Overall >= curves["IM (N=2)"].Overall {
+			t.Fatalf("%v: OO %v not below IM %v", p.Model,
+				curves["OO (N=2)"].Overall, curves["IM (N=2)"].Overall)
+		}
+	}
+	// (ii) more skewed mobility ⇒ higher tracking accuracy (compare the
+	// IM N=2 curve across models (a) and (d)).
+	var accA, accD float64
+	for _, p := range panels {
+		for _, c := range p.Curves {
+			if c.Label == "IM (N=2)" {
+				switch p.Model {
+				case mobility.ModelNonSkewed:
+					accA = c.Overall
+				case mobility.ModelBothSkewed:
+					accD = c.Overall
+				}
+			}
+		}
+	}
+	if accD <= accA {
+		t.Fatalf("skewness ordering violated: IM(d)=%v <= IM(a)=%v", accD, accA)
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestFig6CtMostlyNegative(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Runs = 30
+	panels, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range panels {
+		if p.Model == mobility.ModelBothSkewed {
+			continue // the predictable user makes c_t straddle zero
+		}
+		if p.MeanCML >= 0 || p.MeanMO >= 0 {
+			t.Fatalf("%v: mean c_t CML=%v MO=%v, want negative", p.Model, p.MeanCML, p.MeanMO)
+		}
+		if len(p.CML.X) == 0 || len(p.MO.X) == 0 {
+			t.Fatalf("%v: empty CDFs", p.Model)
+		}
+	}
+}
+
+func TestFig7RobustStrategiesWork(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Runs = 40
+	panels, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range panels {
+		curves := map[string]Fig5Curve{}
+		for _, c := range p.Curves {
+			curves[c.Label] = c
+		}
+		// The robust strategies must keep the advanced eavesdropper well
+		// below certainty on every model; RML/ROO should also beat IM on
+		// the less-skewed models.
+		for _, name := range []string{"RML", "ROO", "RMO"} {
+			if curves[name].Overall > 0.9 {
+				t.Fatalf("%v: %s overall %v — robustness failed", p.Model, name, curves[name].Overall)
+			}
+		}
+		if p.Model == mobility.ModelNonSkewed {
+			if curves["ROO"].Overall >= curves["IM"].Overall {
+				t.Fatalf("ROO %v not below IM %v on model (a)",
+					curves["ROO"].Overall, curves["IM"].Overall)
+			}
+		}
+	}
+}
+
+func TestEq11MatchesClosedForm(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Runs = 400
+	rows, err := Eq11(cfg, []int{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Eq. 11 is exact for a random-guess detector; under the actual
+		// ML detector the mis-detected trajectory is likelihood-biased,
+		// which correlates it with the user's location on the highly
+		// skewed model (d). Allow a wider band there (see EXPERIMENTS.md).
+		tol := 0.05
+		if r.Model == mobility.ModelBothSkewed {
+			tol = 0.09
+		}
+		if math.Abs(r.Simulated-r.ClosedForm) > tol {
+			t.Fatalf("%v N=%d: simulated %v vs closed form %v", r.Model, r.N, r.Simulated, r.ClosedForm)
+		}
+		if r.ClosedForm < r.Limit {
+			t.Fatalf("%v N=%d: closed form below the N→∞ limit", r.Model, r.N)
+		}
+	}
+}
+
+func TestTheoryBoundsUpperBoundSimulation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Runs = 80
+	rows, err := Theory(cfg, []int{300, 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Holds {
+			t.Fatalf("%s T=%d: condition fails", r.Label, r.T)
+		}
+		// The theoretical bound must upper-bound the simulated per-slot
+		// accuracy at T (within Monte-Carlo noise).
+		if r.SimFinal > r.Bound+0.05 {
+			t.Fatalf("%s T=%d: simulated final %v exceeds bound %v", r.Label, r.T, r.SimFinal, r.Bound)
+		}
+	}
+	// The bounds decay with T.
+	if rows[2].Bound >= rows[0].Bound {
+		t.Fatalf("V.4 bound not decaying: %v → %v", rows[0].Bound, rows[2].Bound)
+	}
+}

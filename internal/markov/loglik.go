@@ -1,0 +1,50 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogLikelihood returns log p(x) = log π(x₁) + Σ_{t≥2} log P(x_t|x_{t−1}),
+// the quantity maximised by the eavesdropper's detector (Eq. 1 of the
+// paper). Impossible trajectories return -Inf.
+func (c *Chain) LogLikelihood(tr Trajectory) (float64, error) {
+	if len(tr) == 0 {
+		return 0, fmt.Errorf("markov: empty trajectory")
+	}
+	if err := tr.Validate(c.n); err != nil {
+		return 0, err
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	ll := safeLog(pi[tr[0]])
+	for t := 1; t < len(tr); t++ {
+		ll += c.logp[tr[t-1]][tr[t]]
+		if math.IsInf(ll, -1) {
+			return ll, nil
+		}
+	}
+	return ll, nil
+}
+
+// TransitionLogLikelihood returns Σ_{t≥2} log P(x_t|x_{t−1}) without the
+// initial-distribution term.
+func (c *Chain) TransitionLogLikelihood(tr Trajectory) (float64, error) {
+	if err := tr.Validate(c.n); err != nil {
+		return 0, err
+	}
+	ll := 0.0
+	for t := 1; t < len(tr); t++ {
+		ll += c.logp[tr[t-1]][tr[t]]
+	}
+	return ll, nil
+}
+
+func safeLog(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(v)
+}

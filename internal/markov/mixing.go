@@ -1,0 +1,83 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// TotalVariation returns the total-variation distance ½ Σ|p−q| between two
+// distributions of equal length.
+func TotalVariation(p, q []float64) float64 {
+	d := 0.0
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2
+}
+
+// MixingTime returns t_mix(ε) = min{t : max_x TV(Pᵗ(x,·), π) ≤ ε}, the
+// ε-mixing time used by Lemma V.2 and the Theorem V.4/V.5 bounds.
+// maxT caps the search; an error is returned if the chain has not mixed
+// within maxT steps.
+func (c *Chain) MixingTime(eps float64, maxT int) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("markov: mixing-time epsilon %v outside (0,1)", eps)
+	}
+	if maxT <= 0 {
+		return 0, errors.New("markov: maxT must be positive")
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		return 0, err
+	}
+	// rows[i] holds Pᵗ(i,·); propagate all rows one step per iteration.
+	rows := make([][]float64, c.n)
+	next := make([][]float64, c.n)
+	for i := range rows {
+		rows[i] = make([]float64, c.n)
+		copy(rows[i], c.p[i])
+		next[i] = make([]float64, c.n)
+	}
+	for t := 1; t <= maxT; t++ {
+		worst := 0.0
+		for i := range rows {
+			if d := TotalVariation(rows[i], pi); d > worst {
+				worst = d
+			}
+		}
+		if worst <= eps {
+			return t, nil
+		}
+		for i := range rows {
+			propagate(c, rows[i], next[i])
+			rows[i], next[i] = next[i], rows[i]
+		}
+	}
+	return 0, fmt.Errorf("markov: chain not mixed to eps=%v within %d steps", eps, maxT)
+}
+
+// propagate computes dst = src·P using the sparse successor lists.
+func propagate(c *Chain, src, dst []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, v := range src {
+		if v == 0 {
+			continue
+		}
+		for _, j := range c.succ[i] {
+			dst[j] += v * c.p[i][j]
+		}
+	}
+}
+
+// StepDistribution returns dist·P for an arbitrary distribution.
+func (c *Chain) StepDistribution(dist []float64) ([]float64, error) {
+	if len(dist) != c.n {
+		return nil, fmt.Errorf("markov: distribution length %d, want %d", len(dist), c.n)
+	}
+	out := make([]float64, c.n)
+	propagate(c, dist, out)
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTotalVariation(t *testing.T) {
+	p := []float64{1, 0}
+	q := []float64{0, 1}
+	if d := TotalVariation(p, q); d != 1 {
+		t.Fatalf("TV of disjoint point masses = %v, want 1", d)
+	}
+	if d := TotalVariation(p, p); d != 0 {
+		t.Fatalf("TV(p,p) = %v, want 0", d)
+	}
+}
+
+func TestMixingTimeUniform(t *testing.T) {
+	// A chain that jumps to uniform in one step mixes at t=1.
+	c := uniformChain(6)
+	got, err := c.MixingTime(0.01, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("mixing time = %d, want 1", got)
+	}
+}
+
+func TestMixingTimeMonotoneInEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := randomChain(rng, 8)
+	loose, err := c.MixingTime(0.25, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := c.MixingTime(1e-3, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight < loose {
+		t.Fatalf("t_mix(1e-3)=%d < t_mix(0.25)=%d", tight, loose)
+	}
+}
+
+func TestMixingTimeSlowChain(t *testing.T) {
+	// Nearly-reducible chain: rare transitions between two lumps.
+	eps := 1e-4
+	c := MustNew([][]float64{
+		{1 - eps, eps},
+		{eps, 1 - eps},
+	})
+	fast, err := c.MixingTime(0.45, 2000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast < 100 {
+		t.Fatalf("slow chain reported mixing time %d, want >= 100", fast)
+	}
+}
+
+func TestMixingTimePeriodicFails(t *testing.T) {
+	c := MustNew([][]float64{{0, 1}, {1, 0}})
+	if _, err := c.MixingTime(0.01, 500); err == nil {
+		t.Fatal("periodic chain mixed, want error")
+	}
+}
+
+func TestMixingTimeArgValidation(t *testing.T) {
+	c := uniformChain(3)
+	if _, err := c.MixingTime(0, 10); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := c.MixingTime(1.5, 10); err == nil {
+		t.Fatal("eps>1 accepted")
+	}
+	if _, err := c.MixingTime(0.1, 0); err == nil {
+		t.Fatal("maxT=0 accepted")
+	}
+}
+
+func TestStepDistribution(t *testing.T) {
+	c := twoState(0.3, 0.1)
+	out, err := c.StepDistribution([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-0.7) > 1e-12 || math.Abs(out[1]-0.3) > 1e-12 {
+		t.Fatalf("StepDistribution = %v, want [0.7 0.3]", out)
+	}
+	if _, err := c.StepDistribution([]float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package markov
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SampleDist draws an index from the distribution dist using rng.
+// dist must sum to ~1; the final index absorbs rounding slack.
+func SampleDist(rng *rand.Rand, dist []float64) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i, v := range dist {
+		acc += v
+		if u < acc {
+			return i
+		}
+	}
+	return len(dist) - 1
+}
+
+// Step samples the successor of state from.
+func (c *Chain) Step(rng *rand.Rand, from int) int {
+	u := rng.Float64()
+	acc := 0.0
+	succ := c.succ[from]
+	for _, j := range succ {
+		acc += c.p[from][j]
+		if u < acc {
+			return j
+		}
+	}
+	return succ[len(succ)-1]
+}
+
+// Sample draws a trajectory of length T: the initial state from the
+// stationary distribution, subsequent states from the transition matrix.
+func (c *Chain) Sample(rng *rand.Rand, T int) (Trajectory, error) {
+	if T <= 0 {
+		return nil, fmt.Errorf("markov: trajectory length %d must be positive", T)
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	tr := make(Trajectory, T)
+	tr[0] = SampleDist(rng, pi)
+	for t := 1; t < T; t++ {
+		tr[t] = c.Step(rng, tr[t-1])
+	}
+	return tr, nil
+}
+
+// SampleFrom draws a trajectory of length T starting at the given state.
+func (c *Chain) SampleFrom(rng *rand.Rand, start, T int) (Trajectory, error) {
+	if T <= 0 {
+		return nil, fmt.Errorf("markov: trajectory length %d must be positive", T)
+	}
+	if start < 0 || start >= c.n {
+		return nil, fmt.Errorf("markov: start state %d outside [0,%d)", start, c.n)
+	}
+	tr := make(Trajectory, T)
+	tr[0] = start
+	for t := 1; t < T; t++ {
+		tr[t] = c.Step(rng, tr[t-1])
+	}
+	return tr, nil
+}

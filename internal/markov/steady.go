@@ -1,0 +1,155 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// steadyMaxIter bounds power iteration; ergodic chains of the sizes used
+// here (≤ a few thousand states) converge far earlier.
+const steadyMaxIter = 200000
+
+// steadyTol is the L1 convergence threshold for power iteration.
+const steadyTol = 1e-13
+
+// SteadyState returns the stationary distribution π with πP = π.
+// The result is cached; subsequent calls are free. It solves the balance
+// equations directly for small chains and falls back to power iteration
+// for larger ones, returning an error if the chain does not converge
+// (e.g. periodic or reducible chains).
+func (c *Chain) SteadyState() ([]float64, error) {
+	c.steadyOnce.Do(func() {
+		if c.n <= 512 {
+			pi, err := steadyDirect(c.p)
+			if err == nil {
+				c.steady = pi
+				return
+			}
+			// Fall through to power iteration on numerical failure.
+		}
+		c.steady, c.steadyErr = steadyPower(c)
+	})
+	if c.steadyErr != nil {
+		return nil, c.steadyErr
+	}
+	out := make([]float64, c.n)
+	copy(out, c.steady)
+	return out, nil
+}
+
+// MustSteadyState is SteadyState for chains known to be ergodic.
+func (c *Chain) MustSteadyState() []float64 {
+	pi, err := c.SteadyState()
+	if err != nil {
+		panic(err)
+	}
+	return pi
+}
+
+// steadyDirect solves π(P−I) = 0, Σπ = 1 by Gaussian elimination with
+// partial pivoting on the transposed system (Pᵀ−I)πᵀ = 0 where the last
+// equation is replaced with the normalization constraint.
+func steadyDirect(p [][]float64) ([]float64, error) {
+	n := len(p)
+	// Build A = Pᵀ - I with the last row replaced by ones; b = e_n.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = p[j][i]
+		}
+		a[i][i] -= 1
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	b[n-1] = 1
+
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return nil, fmt.Errorf("markov: singular system at column %d (chain may be reducible)", col)
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	pi := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[i][k] * pi[k]
+		}
+		pi[i] = s / a[i][i]
+	}
+	// Clamp tiny negatives from roundoff and renormalize.
+	sum := 0.0
+	for i, v := range pi {
+		if v < 0 {
+			if v < -1e-9 {
+				return nil, fmt.Errorf("markov: negative stationary probability %v at state %d", v, i)
+			}
+			pi[i] = 0
+		}
+		sum += pi[i]
+	}
+	if sum <= 0 {
+		return nil, errors.New("markov: stationary distribution sums to zero")
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi, nil
+}
+
+// steadyPower runs power iteration from the uniform distribution.
+func steadyPower(c *Chain) ([]float64, error) {
+	n := c.n
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < steadyMaxIter; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			if cur[i] == 0 {
+				continue
+			}
+			for _, j := range c.succ[i] {
+				next[j] += cur[i] * c.p[i][j]
+			}
+		}
+		diff := 0.0
+		for j := range next {
+			diff += math.Abs(next[j] - cur[j])
+		}
+		cur, next = next, cur
+		if diff < steadyTol {
+			out := make([]float64, n)
+			copy(out, cur)
+			return out, nil
+		}
+	}
+	return nil, errors.New("markov: power iteration did not converge (chain may be periodic)")
+}

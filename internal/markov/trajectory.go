@@ -1,0 +1,64 @@
+package markov
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Trajectory is a sequence of states visited at slots 1..T.
+type Trajectory []int
+
+// Equal reports whether two trajectories are identical slot by slot.
+func (tr Trajectory) Equal(other Trajectory) bool {
+	if len(tr) != len(other) {
+		return false
+	}
+	for i := range tr {
+		if tr[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersections counts the slots at which tr and other coincide.
+func (tr Trajectory) Intersections(other Trajectory) int {
+	n := len(tr)
+	if len(other) < n {
+		n = len(other)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		if tr[i] == other[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// Clone returns a copy of the trajectory.
+func (tr Trajectory) Clone() Trajectory {
+	out := make(Trajectory, len(tr))
+	copy(out, tr)
+	return out
+}
+
+// String renders the trajectory as "3→4→4→5".
+func (tr Trajectory) String() string {
+	parts := make([]string, len(tr))
+	for i, s := range tr {
+		parts[i] = strconv.Itoa(s)
+	}
+	return strings.Join(parts, "→")
+}
+
+// Validate checks every state is within [0, n).
+func (tr Trajectory) Validate(n int) error {
+	for t, s := range tr {
+		if s < 0 || s >= n {
+			return fmt.Errorf("markov: trajectory slot %d has state %d outside [0,%d)", t, s, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package mec
+
+// CostModel prices the mechanisms the paper discusses in Sections II-B and
+// VIII: migrations consume backhaul/compute, every running chaff bills its
+// owner per slot (the budget N), and user-to-service distance degrades QoS
+// (priced as a communication cost per hop per slot).
+type CostModel struct {
+	// MigrationCost is charged per successful migration (real or chaff).
+	MigrationCost float64
+	// ChaffSlotCost is charged per chaff per slot.
+	ChaffSlotCost float64
+	// CommCostPerHop is charged per slot per grid hop between the user
+	// and the real service (zero when co-located).
+	CommCostPerHop float64
+}
+
+// DefaultCostModel provides unit prices useful for relative comparisons.
+func DefaultCostModel() CostModel {
+	return CostModel{MigrationCost: 1, ChaffSlotCost: 0.1, CommCostPerHop: 0.5}
+}
+
+// CostBreakdown accumulates the per-category spend of one run.
+type CostBreakdown struct {
+	Migration float64
+	Chaff     float64
+	Comm      float64
+}
+
+// Total sums all categories.
+func (c CostBreakdown) Total() float64 { return c.Migration + c.Chaff + c.Comm }

@@ -1,0 +1,59 @@
+package mec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEventLogReconstructionProperty checks losslessness of the
+// eavesdropper's observation channel: for any randomly generated but
+// well-formed event sequence, the reconstructed trajectories equal the
+// ground-truth service locations slot by slot.
+func TestEventLogReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numServices := 1 + rng.Intn(4)
+		slots := 2 + rng.Intn(40)
+		cells := 2 + rng.Intn(12)
+
+		log := &EventLog{}
+		truth := make([][]CellID, numServices)
+		for s := 0; s < numServices; s++ {
+			truth[s] = make([]CellID, slots)
+			cur := rng.Intn(cells)
+			log.Append(Event{Slot: 0, Type: EventPlace, Service: ServiceID(s), From: -1, To: cur})
+			truth[s][0] = cur
+			for t := 1; t < slots; t++ {
+				switch rng.Intn(3) {
+				case 0: // successful migration
+					to := rng.Intn(cells)
+					if to != cur {
+						log.Append(Event{Slot: t, Type: EventMigrate, Service: ServiceID(s), From: cur, To: to})
+						cur = to
+					}
+				case 1: // dropped migration: location unchanged
+					log.Append(Event{Slot: t, Type: EventMigrateFailed, Service: ServiceID(s), From: cur, To: rng.Intn(cells)})
+				default: // no event this slot
+				}
+				truth[s][t] = cur
+			}
+		}
+		trs, err := log.Trajectories(slots)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < numServices; s++ {
+			tr := trs[ServiceID(s)]
+			for t := 0; t < slots; t++ {
+				if tr[t] != truth[s][t] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package mec
+
+import (
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mobility"
+)
+
+func gridChain(t *testing.T) (*markov.Chain, mobility.Grid) {
+	t.Helper()
+	g, err := mobility.NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.Walk(0.7, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g
+}
+
+func TestEventLogReconstruction(t *testing.T) {
+	log := &EventLog{}
+	log.Append(Event{Slot: 0, Type: EventPlace, Service: 0, From: -1, To: 3})
+	log.Append(Event{Slot: 1, Type: EventMigrate, Service: 0, From: 3, To: 5})
+	log.Append(Event{Slot: 2, Type: EventMigrateFailed, Service: 0, From: 5, To: 7})
+	trs, err := log.Trajectories(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := markov.Trajectory{3, 5, 5, 5}
+	if !trs[0].Equal(want) {
+		t.Fatalf("reconstructed %v, want %v", trs[0], want)
+	}
+}
+
+func TestEventLogRejectsInconsistentMigration(t *testing.T) {
+	log := &EventLog{}
+	log.Append(Event{Slot: 0, Type: EventPlace, Service: 0, From: -1, To: 3})
+	log.Append(Event{Slot: 1, Type: EventMigrate, Service: 0, From: 9, To: 5})
+	if _, err := log.Trajectories(2); err == nil {
+		t.Fatal("inconsistent migration accepted")
+	}
+}
+
+func TestEventLogRejectsMissingPlacement(t *testing.T) {
+	log := &EventLog{}
+	log.Append(Event{Slot: 1, Type: EventMigrate, Service: 0, From: 0, To: 5})
+	if _, err := log.Trajectories(2); err == nil {
+		t.Fatal("missing placement accepted")
+	}
+	if _, err := (&EventLog{}).Trajectories(0); err == nil {
+		t.Fatal("numSlots=0 accepted")
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	if (FollowUser{}).Decide(3, 7) != 7 {
+		t.Fatal("FollowUser must return the user's cell")
+	}
+	g, _ := mobility.NewGrid(4, 4)
+	p := ThresholdPolicy{Grid: g, MaxHops: 2}
+	// Distance 1: tolerate.
+	if got := p.Decide(g.Index(0, 0), g.Index(1, 0)); got != g.Index(0, 0) {
+		t.Fatalf("threshold migrated at distance 1: %d", got)
+	}
+	// Distance 4: migrate.
+	if got := p.Decide(g.Index(0, 0), g.Index(2, 2)); got != g.Index(2, 2) {
+		t.Fatalf("threshold did not migrate at distance 4: %d", got)
+	}
+}
+
+func TestSimulatorFollowUserTracksWithoutChaffProtection(t *testing.T) {
+	c, g := gridChain(t)
+	simCfg := Config{
+		Chain:      c,
+		Controller: chaff.NewMO(c),
+		NumChaffs:  1,
+		Horizon:    40,
+		Grid:       g,
+	}
+	s, err := NewSimulator(simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Follow-user policy with no failures: real service co-located always.
+	if rep.QoSViolations != 0 {
+		t.Fatalf("QoS violations %d under follow-user with no failures", rep.QoSViolations)
+	}
+	if !rep.Services[0].Equal(rep.User) {
+		t.Fatal("real service trajectory deviates from the user under follow-user")
+	}
+	if len(rep.Services) != 2 {
+		t.Fatalf("services = %d, want 2", len(rep.Services))
+	}
+	if rep.Overall < 0 || rep.Overall > 1 {
+		t.Fatalf("overall tracking %v out of range", rep.Overall)
+	}
+	if rep.Costs.Chaff <= 0 || rep.Costs.Migration <= 0 {
+		t.Fatalf("costs not accounted: %+v", rep.Costs)
+	}
+}
+
+func TestSimulatorReconstructionMatchesReality(t *testing.T) {
+	// The eavesdropper's event-log reconstruction must agree with the
+	// simulator's actual service locations (lossless observation channel).
+	c, g := gridChain(t)
+	s, err := NewSimulator(Config{
+		Chain:      c,
+		Controller: chaff.NewIM(c),
+		NumChaffs:  3,
+		Horizon:    30,
+		Grid:       g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Services) != 4 {
+		t.Fatalf("services = %d, want 4", len(rep.Services))
+	}
+	for id, tr := range rep.Services {
+		if len(tr) != 30 {
+			t.Fatalf("service %d trajectory length %d", id, len(tr))
+		}
+		if err := tr.Validate(c.NumStates()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimulatorFailureInjection(t *testing.T) {
+	c, g := gridChain(t)
+	s, err := NewSimulator(Config{
+		Chain:             c,
+		Controller:        chaff.NewMO(c),
+		NumChaffs:         1,
+		Horizon:           60,
+		Grid:              g,
+		MigrationFailProb: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedMigrations == 0 {
+		t.Fatal("no failed migrations at 40% drop rate")
+	}
+	// Dropped real-service migrations leave the user un-served.
+	if rep.QoSViolations == 0 {
+		t.Fatal("no QoS violations despite dropped migrations")
+	}
+	// Reconstruction still consistent.
+	for _, tr := range rep.Services {
+		if len(tr) != 60 {
+			t.Fatal("reconstruction broken under failures")
+		}
+	}
+}
+
+func TestSimulatorThresholdPolicyReducesMigrations(t *testing.T) {
+	c, g := gridChain(t)
+	run := func(p Policy) *Report {
+		s, err := NewSimulator(Config{
+			Chain:      c,
+			Controller: chaff.NewIM(c),
+			NumChaffs:  1,
+			Horizon:    80,
+			Grid:       g,
+			Policy:     p,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(rand.New(rand.NewSource(13)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	follow := run(FollowUser{})
+	lazy := run(ThresholdPolicy{Grid: g, MaxHops: 2})
+	if lazy.Migrations >= follow.Migrations {
+		t.Fatalf("threshold policy migrations %d not below follow-user %d",
+			lazy.Migrations, follow.Migrations)
+	}
+	if lazy.QoSViolations == 0 {
+		t.Fatal("threshold policy shows no QoS cost — tradeoff not exercised")
+	}
+	if lazy.Costs.Comm <= follow.Costs.Comm {
+		t.Fatal("threshold policy should pay more communication cost")
+	}
+}
+
+func TestSimulatorReplayUserTrajectory(t *testing.T) {
+	c, g := gridChain(t)
+	user := markov.Trajectory{0, 1, 2, 3, 3, 2}
+	s, err := NewSimulator(Config{
+		Chain:          c,
+		Controller:     chaff.NewCML(c),
+		NumChaffs:      1,
+		Horizon:        6,
+		Grid:           g,
+		UserTrajectory: user,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.User.Equal(user) {
+		t.Fatalf("replayed user %v != %v", rep.User, user)
+	}
+	// CML chaff never co-locates, so tracking equals detection here.
+	if rep.Services[1].Intersections(user) != 0 {
+		t.Fatal("CML chaff co-located in MEC simulation")
+	}
+}
+
+func TestSimulatorValidation(t *testing.T) {
+	c, _ := gridChain(t)
+	bad := []Config{
+		{},
+		{Chain: c},
+		{Chain: c, Controller: chaff.NewMO(c)},
+		{Chain: c, Controller: chaff.NewMO(c), NumChaffs: 1},
+		{Chain: c, Controller: chaff.NewMO(c), NumChaffs: 1, Horizon: 5, MigrationFailProb: 2},
+		{Chain: c, Controller: chaff.NewMO(c), NumChaffs: 1, Horizon: 5, UserTrajectory: markov.Trajectory{0}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSimulator(cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	for _, e := range []EventType{EventPlace, EventMigrate, EventMigrateFailed, EventStop} {
+		if e.String() == "" || e.String()[0] == 'E' {
+			t.Fatalf("EventType %d has bad name %q", int(e), e.String())
+		}
+	}
+	if EventType(99).String() != "EventType(99)" {
+		t.Fatal("unknown event name wrong")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	b := CostBreakdown{Migration: 1, Chaff: 2, Comm: 3}
+	if b.Total() != 6 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	m := DefaultCostModel()
+	if m.MigrationCost <= 0 || m.ChaffSlotCost <= 0 || m.CommCostPerHop <= 0 {
+		t.Fatal("default cost model has non-positive prices")
+	}
+}

@@ -1,0 +1,63 @@
+package mec
+
+import (
+	"chaffmec/internal/mobility"
+)
+
+// Policy decides where the real service should run given the user's
+// current cell. The paper assumes the worst case for privacy — the service
+// always follows the user (Section I-A: "we consider the worst case ...
+// that the real service always follows the user") — implemented by
+// FollowUser. ThresholdPolicy is the cost-aware relaxation the paper
+// defers to future work: it tolerates bounded user-service distance,
+// trading QoS for fewer migrations.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Decide returns the target cell; returning serviceCell means no
+	// migration this slot.
+	Decide(serviceCell, userCell CellID) CellID
+}
+
+// FollowUser migrates the service to the user's cell every slot.
+type FollowUser struct{}
+
+// Name implements Policy.
+func (FollowUser) Name() string { return "follow-user" }
+
+// Decide implements Policy.
+func (FollowUser) Decide(_, userCell CellID) CellID { return userCell }
+
+// ThresholdPolicy migrates only when the user is further than MaxHops
+// (grid Manhattan distance) from the service's cell; it then migrates all
+// the way to the user's cell.
+type ThresholdPolicy struct {
+	// Grid supplies cell coordinates for the distance computation.
+	Grid mobility.Grid
+	// MaxHops is the tolerated distance; 0 behaves like FollowUser.
+	MaxHops int
+}
+
+// Name implements Policy.
+func (p ThresholdPolicy) Name() string { return "threshold" }
+
+// Decide implements Policy.
+func (p ThresholdPolicy) Decide(serviceCell, userCell CellID) CellID {
+	if p.hops(serviceCell, userCell) > p.MaxHops {
+		return userCell
+	}
+	return serviceCell
+}
+
+func (p ThresholdPolicy) hops(a, b CellID) int {
+	ac, ar := p.Grid.Coords(a)
+	bc, br := p.Grid.Coords(b)
+	return iabs(ac-bc) + iabs(ar-br)
+}
+
+func iabs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

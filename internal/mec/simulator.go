@@ -1,0 +1,235 @@
+package mec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/detect"
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mobility"
+)
+
+// Config describes one end-to-end MEC simulation: a user moving over the
+// cell space, a real service placed/migrated by Policy, chaff services
+// driven by an online controller, and an eavesdropper reconstructing all
+// service trajectories from the control-plane event log.
+type Config struct {
+	// Chain is the user's mobility model over the cells. The eavesdropper
+	// uses the same model for ML detection.
+	Chain *markov.Chain
+	// Controller drives the chaffs slot by slot (any online strategy:
+	// IM, CML, MO, RMO, Rollout).
+	Controller chaff.OnlineController
+	// NumChaffs is N−1 ≥ 1.
+	NumChaffs int
+	// Horizon is the number of slots.
+	Horizon int
+	// Policy places the real service (default FollowUser).
+	Policy Policy
+	// Grid, when non-zero, supplies coordinates for the communication
+	// cost; without it the comm distance is 0/1 (co-located or not).
+	Grid mobility.Grid
+	// Costs prices the run (default DefaultCostModel).
+	Costs *CostModel
+	// MigrationFailProb drops each migration request independently with
+	// this probability (failure injection; 0 disables).
+	MigrationFailProb float64
+	// UserTrajectory, when set, replays a fixed user path instead of
+	// sampling from Chain (used by trace-driven experiments).
+	UserTrajectory markov.Trajectory
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Chain == nil:
+		return errors.New("mec: config needs a chain")
+	case c.Controller == nil:
+		return errors.New("mec: config needs a chaff controller")
+	case c.NumChaffs < 1:
+		return fmt.Errorf("mec: NumChaffs %d must be >= 1", c.NumChaffs)
+	case c.Horizon < 1:
+		return fmt.Errorf("mec: Horizon %d must be >= 1", c.Horizon)
+	case c.MigrationFailProb < 0 || c.MigrationFailProb > 1:
+		return fmt.Errorf("mec: MigrationFailProb %v outside [0,1]", c.MigrationFailProb)
+	case c.UserTrajectory != nil && len(c.UserTrajectory) != c.Horizon:
+		return fmt.Errorf("mec: user trajectory length %d != horizon %d", len(c.UserTrajectory), c.Horizon)
+	}
+	if c.UserTrajectory != nil {
+		return c.UserTrajectory.Validate(c.Chain.NumStates())
+	}
+	return nil
+}
+
+// Report is the outcome of one simulated run.
+type Report struct {
+	// User is the user's physical trajectory.
+	User markov.Trajectory
+	// Services maps every service id to its reconstructed trajectory
+	// (id 0 = real service).
+	Services map[ServiceID]markov.Trajectory
+	// Log is the raw control-plane event log.
+	Log *EventLog
+	// Tracking is the eavesdropper's expected per-slot probability of
+	// pointing at the user's physical cell; Overall is its time average.
+	Tracking []float64
+	Overall  float64
+	// Migrations and FailedMigrations count successful/dropped migration
+	// events across all services.
+	Migrations, FailedMigrations int
+	// QoSViolations counts slots where the real service is not
+	// co-located with the user (possible under ThresholdPolicy or
+	// migration failures).
+	QoSViolations int
+	// Costs is the priced breakdown of the run.
+	Costs CostBreakdown
+}
+
+// Simulator runs MEC episodes.
+type Simulator struct {
+	cfg Config
+}
+
+// NewSimulator validates the configuration.
+func NewSimulator(cfg Config) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = FollowUser{}
+	}
+	if cfg.Costs == nil {
+		m := DefaultCostModel()
+		cfg.Costs = &m
+	}
+	return &Simulator{cfg: cfg}, nil
+}
+
+// Run executes one episode. All randomness (user mobility, controller,
+// failure injection) draws from rng, so runs are reproducible.
+func (s *Simulator) Run(rng *rand.Rand) (*Report, error) {
+	cfg := s.cfg
+	T := cfg.Horizon
+
+	user := cfg.UserTrajectory
+	if user == nil {
+		var err error
+		user, err = cfg.Chain.Sample(rng, T)
+		if err != nil {
+			return nil, fmt.Errorf("mec: sampling user: %w", err)
+		}
+	}
+	if err := cfg.Controller.Reset(rng, cfg.NumChaffs); err != nil {
+		return nil, fmt.Errorf("mec: controller reset: %w", err)
+	}
+
+	log := &EventLog{}
+	report := &Report{User: user.Clone(), Log: log}
+	costs := &report.Costs
+
+	// Current actual cell of each service (0 = real, 1.. = chaffs).
+	cells := make([]CellID, 1+cfg.NumChaffs)
+	for i := range cells {
+		cells[i] = -1
+	}
+
+	tryMigrate := func(slot int, id ServiceID, to CellID) {
+		from := cells[id]
+		if from == to {
+			return
+		}
+		if cfg.MigrationFailProb > 0 && rng.Float64() < cfg.MigrationFailProb {
+			log.Append(Event{Slot: slot, Type: EventMigrateFailed, Service: id, From: from, To: to})
+			report.FailedMigrations++
+			return
+		}
+		log.Append(Event{Slot: slot, Type: EventMigrate, Service: id, From: from, To: to})
+		report.Migrations++
+		costs.Migration += cfg.Costs.MigrationCost
+		cells[id] = to
+	}
+
+	for slot := 0; slot < T; slot++ {
+		uCell := user[slot]
+
+		// Real service: place at the user's cell initially, then follow
+		// the policy.
+		if slot == 0 {
+			cells[0] = cfg.Policy.Decide(uCell, uCell)
+			log.Append(Event{Slot: 0, Type: EventPlace, Service: 0, From: -1, To: cells[0]})
+		} else {
+			tryMigrate(slot, 0, cfg.Policy.Decide(cells[0], uCell))
+		}
+
+		// Chaffs: the orchestrator issues placement/migration requests
+		// for the cells the controller picked.
+		want, err := cfg.Controller.Step(uCell)
+		if err != nil {
+			return nil, fmt.Errorf("mec: controller step at slot %d: %w", slot, err)
+		}
+		if len(want) != cfg.NumChaffs {
+			return nil, fmt.Errorf("mec: controller returned %d cells, want %d", len(want), cfg.NumChaffs)
+		}
+		for k, cell := range want {
+			id := ServiceID(k + 1)
+			if slot == 0 {
+				cells[id] = cell
+				log.Append(Event{Slot: 0, Type: EventPlace, Service: id, From: -1, To: cell})
+				continue
+			}
+			tryMigrate(slot, id, cell)
+		}
+
+		// QoS and per-slot costs.
+		if cells[0] != uCell {
+			report.QoSViolations++
+		}
+		costs.Comm += cfg.Costs.CommCostPerHop * float64(s.hops(cells[0], uCell))
+		costs.Chaff += cfg.Costs.ChaffSlotCost * float64(cfg.NumChaffs)
+	}
+
+	// The eavesdropper's view: reconstruct trajectories from the log and
+	// run ML detection per slot prefix.
+	services, err := log.Trajectories(T)
+	if err != nil {
+		return nil, fmt.Errorf("mec: reconstructing trajectories: %w", err)
+	}
+	report.Services = services
+	ids := log.ServiceIDs()
+	trs := make([]markov.Trajectory, len(ids))
+	for i, id := range ids {
+		trs[i] = services[id]
+	}
+	dets, err := detect.NewMLDetector(cfg.Chain).PrefixDetections(trs)
+	if err != nil {
+		return nil, fmt.Errorf("mec: detection: %w", err)
+	}
+	report.Tracking = make([]float64, T)
+	for t, set := range dets {
+		hit := 0
+		for _, u := range set {
+			if trs[u][t] == user[t] {
+				hit++
+			}
+		}
+		report.Tracking[t] = float64(hit) / float64(len(set))
+	}
+	report.Overall = detect.TimeAverage(report.Tracking)
+	return report, nil
+}
+
+// hops measures the user-service distance for the comm cost: grid
+// Manhattan distance when a grid is configured, else 0/1.
+func (s *Simulator) hops(a, b CellID) int {
+	if a == b {
+		return 0
+	}
+	g := s.cfg.Grid
+	if g.W > 0 && g.H > 0 {
+		ac, ar := g.Coords(a)
+		bc, br := g.Coords(b)
+		return iabs(ac-bc) + iabs(ar-br)
+	}
+	return 1
+}

@@ -1,0 +1,137 @@
+package mobility
+
+import (
+	"fmt"
+
+	"chaffmec/internal/markov"
+)
+
+// Grid describes a rectangular W×H cell layout. It maps between (col,row)
+// coordinates and flat state indices, and builds 2-D lazy random walks for
+// the MEC substrate simulator, matching the 2-D mobility models referenced
+// in the related service-migration literature ([5],[14] in the paper).
+type Grid struct {
+	W, H int
+}
+
+// NewGrid validates the dimensions.
+func NewGrid(w, h int) (Grid, error) {
+	if w <= 0 || h <= 0 {
+		return Grid{}, fmt.Errorf("mobility: invalid grid %dx%d", w, h)
+	}
+	return Grid{W: w, H: h}, nil
+}
+
+// Cells returns the number of cells W·H.
+func (g Grid) Cells() int { return g.W * g.H }
+
+// Index maps (col,row) to the flat state index.
+func (g Grid) Index(col, row int) int { return row*g.W + col }
+
+// Coords maps a flat state index back to (col,row).
+func (g Grid) Coords(idx int) (col, row int) { return idx % g.W, idx / g.W }
+
+// InBounds reports whether (col,row) lies on the grid.
+func (g Grid) InBounds(col, row int) bool {
+	return col >= 0 && col < g.W && row >= 0 && row < g.H
+}
+
+// Walk builds a lazy random walk on the grid: with probability 1−pMove the
+// walker stays; otherwise it moves to one of the in-bounds 4-neighbours
+// uniformly. eps-smoothing (see Smooth) is applied when eps > 0 so that
+// arbitrary trajectories keep finite likelihood.
+func (g Grid) Walk(pMove, eps float64) (*markov.Chain, error) {
+	if pMove < 0 || pMove > 1 {
+		return nil, fmt.Errorf("mobility: pMove %v outside [0,1]", pMove)
+	}
+	n := g.Cells()
+	if eps < 0 || (eps > 0 && eps >= 1.0/float64(n)) {
+		return nil, fmt.Errorf("mobility: smoothing eps %v outside [0, 1/cells)", eps)
+	}
+	p := make([][]float64, n)
+	for idx := 0; idx < n; idx++ {
+		row := make([]float64, n)
+		col, r := g.Coords(idx)
+		var neigh []int
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nc, nr := col+d[0], r+d[1]
+			if g.InBounds(nc, nr) {
+				neigh = append(neigh, g.Index(nc, nr))
+			}
+		}
+		row[idx] = 1 - pMove
+		if len(neigh) > 0 {
+			share := pMove / float64(len(neigh))
+			for _, j := range neigh {
+				row[j] += share
+			}
+		} else {
+			row[idx] = 1
+		}
+		p[idx] = row
+	}
+	return markov.New(smoothNonAdjacent(p, eps))
+}
+
+// BiasedWalk builds a grid walk with a drift toward the target cell: a
+// fraction bias of the move probability always goes to the neighbour
+// closest to target (ties to lower index), modeling commuter-like
+// spatially-skewed 2-D mobility.
+func (g Grid) BiasedWalk(pMove, bias float64, target int, eps float64) (*markov.Chain, error) {
+	if bias < 0 || bias > 1 {
+		return nil, fmt.Errorf("mobility: bias %v outside [0,1]", bias)
+	}
+	n := g.Cells()
+	if target < 0 || target >= n {
+		return nil, fmt.Errorf("mobility: target %d outside [0,%d)", target, n)
+	}
+	base, err := g.Walk(pMove, 0)
+	if err != nil {
+		return nil, err
+	}
+	tc, trow := g.Coords(target)
+	p := base.Matrix()
+	for idx := 0; idx < n; idx++ {
+		if idx == target {
+			continue
+		}
+		col, r := g.Coords(idx)
+		// Neighbour minimizing Manhattan distance to the target.
+		bestJ, bestD := idx, abs(col-tc)+abs(r-trow)
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nc, nr := col+d[0], r+d[1]
+			if !g.InBounds(nc, nr) {
+				continue
+			}
+			dist := abs(nc-tc) + abs(nr-trow)
+			if dist < bestD {
+				bestJ, bestD = g.Index(nc, nr), dist
+			}
+		}
+		// Shift a bias fraction of the total move mass onto bestJ.
+		move := pMove
+		for j := range p[idx] {
+			if j == idx {
+				continue
+			}
+			p[idx][j] *= (1 - bias)
+		}
+		p[idx][bestJ] += bias * move
+		// Renormalize (stay probability absorbs roundoff).
+		sum := 0.0
+		for _, v := range p[idx] {
+			sum += v
+		}
+		for j := range p[idx] {
+			p[idx][j] /= sum
+		}
+	}
+	return markov.New(smoothNonAdjacent(p, eps))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

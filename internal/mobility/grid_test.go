@@ -1,0 +1,75 @@
+package mobility
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGridRoundTrip(t *testing.T) {
+	g, err := NewGrid(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint16) bool {
+		idx := int(raw) % g.Cells()
+		c, r := g.Coords(idx)
+		return g.InBounds(c, r) && g.Index(c, r) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.InBounds(7, 0) || g.InBounds(0, 5) || g.InBounds(-1, 0) {
+		t.Fatal("out-of-bounds coordinates reported in bounds")
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 5); err == nil {
+		t.Fatal("0-width grid accepted")
+	}
+	if _, err := NewGrid(5, -1); err == nil {
+		t.Fatal("negative-height grid accepted")
+	}
+}
+
+func TestGridWalk(t *testing.T) {
+	g, _ := NewGrid(4, 4)
+	c, err := g.Walk(0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumStates() != 16 {
+		t.Fatalf("states = %d, want 16", c.NumStates())
+	}
+	// A corner has 2 neighbours + itself.
+	if got := len(c.Successors(0)); got != 3 {
+		t.Fatalf("corner successors = %d, want 3", got)
+	}
+	// An interior cell has 4 neighbours + itself.
+	if got := len(c.Successors(g.Index(1, 1))); got != 5 {
+		t.Fatalf("interior successors = %d, want 5", got)
+	}
+	if _, err := g.Walk(1.5, 0); err == nil {
+		t.Fatal("pMove > 1 accepted")
+	}
+}
+
+func TestGridBiasedWalkDrifts(t *testing.T) {
+	g, _ := NewGrid(5, 5)
+	target := g.Index(4, 4)
+	c, err := g.BiasedWalk(0.8, 0.5, target, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := c.MustSteadyState()
+	far := g.Index(0, 0)
+	if pi[target] <= pi[far] {
+		t.Fatalf("π(target)=%v ≤ π(far)=%v; bias should concentrate mass", pi[target], pi[far])
+	}
+	if _, err := g.BiasedWalk(0.8, 2, target, 0); err == nil {
+		t.Fatal("bias > 1 accepted")
+	}
+	if _, err := g.BiasedWalk(0.8, 0.5, 99, 0); err == nil {
+		t.Fatal("target out of range accepted")
+	}
+}

@@ -1,0 +1,251 @@
+// Package mobility constructs the user mobility models evaluated in the
+// paper (Section VII-A.1): four synthetic single-ring models spanning the
+// spatial/temporal skewness quadrant, plus 2-D grid walks used by the MEC
+// substrate simulator.
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chaffmec/internal/markov"
+)
+
+// ModelID identifies one of the paper's synthetic mobility models.
+type ModelID int
+
+const (
+	// ModelNonSkewed is model (a): a Markov chain with uniformly random
+	// transition probabilities — neither spatially nor temporally skewed.
+	ModelNonSkewed ModelID = iota + 1
+	// ModelSpatiallySkewed is model (b): random transition probabilities
+	// with one column boosted, giving a high probability of transiting
+	// into one particular cell.
+	ModelSpatiallySkewed
+	// ModelTemporallySkewed is model (c): a ring random walk with a
+	// uniform steady state (temporally skewed only).
+	ModelTemporallySkewed
+	// ModelBothSkewed is model (d): the random walk of (c) without
+	// wrapping, yielding a non-uniform steady state (skewed both ways).
+	ModelBothSkewed
+)
+
+// AllModels lists the four models in paper order.
+var AllModels = []ModelID{ModelNonSkewed, ModelSpatiallySkewed, ModelTemporallySkewed, ModelBothSkewed}
+
+// String returns the paper's label for the model.
+func (m ModelID) String() string {
+	switch m {
+	case ModelNonSkewed:
+		return "non-skewed"
+	case ModelSpatiallySkewed:
+		return "spatially-skewed"
+	case ModelTemporallySkewed:
+		return "temporally-skewed"
+	case ModelBothSkewed:
+		return "spatially&temporally-skewed"
+	default:
+		return fmt.Sprintf("ModelID(%d)", int(m))
+	}
+}
+
+// Paper defaults (Section VII-A.1 and its footnotes).
+const (
+	// DefaultHotCell is the boosted column j=5 of model (b) (1-indexed in
+	// the paper; state index 4 here).
+	DefaultHotCell = 4
+	// DefaultHotBoost is the value the boosted column is set to before
+	// row normalization.
+	DefaultHotBoost = 2.0
+	// DefaultPRight and DefaultPLeft are the walk probabilities of
+	// models (c)/(d); the residual 0.25 is the staying probability.
+	DefaultPRight = 0.5
+	DefaultPLeft  = 0.25
+	// DefaultEps is the probability of transitions between nonadjacent
+	// cells in models (c)/(d), keeping every trajectory's likelihood
+	// finite.
+	DefaultEps = 1e-5
+)
+
+// Build constructs the identified model with the paper's default
+// parameters over L cells. rng drives the random matrices of models
+// (a)/(b) and is unused for (c)/(d).
+func Build(id ModelID, rng *rand.Rand, L int) (*markov.Chain, error) {
+	switch id {
+	case ModelNonSkewed:
+		return RandomChain(rng, L)
+	case ModelSpatiallySkewed:
+		return SpatiallySkewed(rng, L, DefaultHotCell, DefaultHotBoost)
+	case ModelTemporallySkewed:
+		return RingWalk(L, DefaultPRight, DefaultPLeft, DefaultEps)
+	case ModelBothSkewed:
+		return ReflectingWalk(L, DefaultPRight, DefaultPLeft, DefaultEps)
+	default:
+		return nil, fmt.Errorf("mobility: unknown model %d", int(id))
+	}
+}
+
+// RandomChain returns model (a): every entry drawn uniformly from [0,1),
+// rows normalized. All transitions are positive almost surely.
+func RandomChain(rng *rand.Rand, L int) (*markov.Chain, error) {
+	if L < 2 {
+		return nil, fmt.Errorf("mobility: need at least 2 cells, got %d", L)
+	}
+	p := make([][]float64, L)
+	for i := range p {
+		row := make([]float64, L)
+		sum := 0.0
+		for j := range row {
+			// Guard against a pathological all-zero row by bounding away
+			// from zero; uniform [ε,1) keeps the chain ergodic.
+			v := rng.Float64()
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			row[j] = v
+			sum += v
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		p[i] = row
+	}
+	return markov.New(p)
+}
+
+// SpatiallySkewed returns model (b): a random matrix whose hot column is
+// set to boost before normalization, so every state transits into hot with
+// high probability.
+func SpatiallySkewed(rng *rand.Rand, L, hot int, boost float64) (*markov.Chain, error) {
+	if L < 2 {
+		return nil, fmt.Errorf("mobility: need at least 2 cells, got %d", L)
+	}
+	if hot < 0 || hot >= L {
+		return nil, fmt.Errorf("mobility: hot cell %d outside [0,%d)", hot, L)
+	}
+	if boost <= 0 {
+		return nil, fmt.Errorf("mobility: boost %v must be positive", boost)
+	}
+	p := make([][]float64, L)
+	for i := range p {
+		row := make([]float64, L)
+		sum := 0.0
+		for j := range row {
+			v := rng.Float64()
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			if j == hot {
+				v = boost
+			}
+			row[j] = v
+			sum += v
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		p[i] = row
+	}
+	return markov.New(p)
+}
+
+// RingWalk returns model (c): a lazy random walk on a ring of L cells with
+// P(right)=pRight, P(left)=pLeft, P(stay)=1−pRight−pLeft, wrapped at the
+// boundaries, plus eps probability on every nonadjacent transition. The
+// steady state is uniform, so the model is temporally but not spatially
+// skewed.
+func RingWalk(L int, pRight, pLeft, eps float64) (*markov.Chain, error) {
+	if err := walkArgs(L, pRight, pLeft, eps); err != nil {
+		return nil, err
+	}
+	p := make([][]float64, L)
+	for i := range p {
+		row := make([]float64, L)
+		row[(i+1)%L] += pRight
+		row[(i-1+L)%L] += pLeft
+		row[i] += 1 - pRight - pLeft
+		p[i] = row
+	}
+	return markov.New(smoothNonAdjacent(p, eps))
+}
+
+// ReflectingWalk returns model (d): the walk of model (c) without wrapping.
+// At the boundaries the blocked move converts into staying, so probability
+// mass drifts toward (and accumulates at) the right boundary, producing a
+// steady state that is skewed both spatially and temporally.
+func ReflectingWalk(L int, pRight, pLeft, eps float64) (*markov.Chain, error) {
+	if err := walkArgs(L, pRight, pLeft, eps); err != nil {
+		return nil, err
+	}
+	p := make([][]float64, L)
+	for i := range p {
+		row := make([]float64, L)
+		stay := 1 - pRight - pLeft
+		if i+1 < L {
+			row[i+1] += pRight
+		} else {
+			stay += pRight
+		}
+		if i-1 >= 0 {
+			row[i-1] += pLeft
+		} else {
+			stay += pLeft
+		}
+		row[i] += stay
+		p[i] = row
+	}
+	return markov.New(smoothNonAdjacent(p, eps))
+}
+
+func walkArgs(L int, pRight, pLeft, eps float64) error {
+	if L < 3 {
+		return fmt.Errorf("mobility: ring/reflecting walk needs at least 3 cells, got %d", L)
+	}
+	if pRight < 0 || pLeft < 0 || pRight+pLeft > 1 {
+		return fmt.Errorf("mobility: invalid walk probabilities right=%v left=%v", pRight, pLeft)
+	}
+	if eps < 0 || eps >= 1.0/float64(L) {
+		return fmt.Errorf("mobility: smoothing eps %v outside [0, 1/L)", eps)
+	}
+	return nil
+}
+
+// smoothNonAdjacent assigns eps to every zero entry of each row and
+// rescales the positive entries so the row still sums to one. With eps=0
+// it returns p unchanged.
+func smoothNonAdjacent(p [][]float64, eps float64) [][]float64 {
+	if eps == 0 {
+		return p
+	}
+	L := len(p)
+	for i := range p {
+		zeros := 0
+		for _, v := range p[i] {
+			if v == 0 {
+				zeros++
+			}
+		}
+		if zeros == 0 {
+			continue
+		}
+		scale := 1 - eps*float64(zeros)
+		for j := 0; j < L; j++ {
+			if p[i][j] == 0 {
+				p[i][j] = eps
+			} else {
+				p[i][j] *= scale
+			}
+		}
+	}
+	return p
+}
+
+// Smooth returns a copy of the chain with every zero transition replaced
+// by eps and the remaining mass rescaled, preserving ergodicity arguments
+// that require all trajectories to have finite log-likelihood.
+func Smooth(c *markov.Chain, eps float64) (*markov.Chain, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("mobility: smoothing eps %v must be positive", eps)
+	}
+	return markov.New(smoothNonAdjacent(c.Matrix(), eps))
+}

@@ -1,0 +1,187 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/markov"
+)
+
+func TestBuildAllModels(t *testing.T) {
+	for _, id := range AllModels {
+		t.Run(id.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			c, err := Build(id, rng, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.NumStates() != 10 {
+				t.Fatalf("states = %d, want 10", c.NumStates())
+			}
+			if _, err := c.SteadyState(); err != nil {
+				t.Fatalf("steady state: %v", err)
+			}
+		})
+	}
+	if _, err := Build(ModelID(99), rand.New(rand.NewSource(1)), 10); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	want := map[ModelID]string{
+		ModelNonSkewed:        "non-skewed",
+		ModelSpatiallySkewed:  "spatially-skewed",
+		ModelTemporallySkewed: "temporally-skewed",
+		ModelBothSkewed:       "spatially&temporally-skewed",
+	}
+	for id, w := range want {
+		if got := id.String(); got != w {
+			t.Fatalf("%d.String() = %q, want %q", int(id), got, w)
+		}
+	}
+}
+
+func TestSpatiallySkewedHotCell(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := SpatiallySkewed(rng, 10, DefaultHotCell, DefaultHotBoost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := c.MustSteadyState()
+	hot := pi[DefaultHotCell]
+	for x, v := range pi {
+		if x != DefaultHotCell && v >= hot {
+			t.Fatalf("π(%d)=%v ≥ π(hot)=%v; hot cell should dominate", x, v, hot)
+		}
+	}
+	// The boosted column should give the hot cell roughly 2/(2+avg 0.5·9)
+	// ≈ 0.3 of the steady-state mass (Fig. 4(b) shows ≈0.3).
+	if hot < 0.2 || hot > 0.45 {
+		t.Fatalf("π(hot) = %v, want ≈ 0.3", hot)
+	}
+}
+
+func TestRingWalkUniformSteadyState(t *testing.T) {
+	c, err := RingWalk(10, DefaultPRight, DefaultPLeft, DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := c.MustSteadyState()
+	for x, v := range pi {
+		if math.Abs(v-0.1) > 1e-6 {
+			t.Fatalf("π(%d) = %v, want 0.1 (uniform)", x, v)
+		}
+	}
+}
+
+func TestReflectingWalkSkewedRight(t *testing.T) {
+	c, err := ReflectingWalk(10, DefaultPRight, DefaultPLeft, DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := c.MustSteadyState()
+	// Drift right (p=0.5 > q=0.25) piles mass at the right boundary; the
+	// paper's Fig. 4(d) peaks near 0.5 at the last cell.
+	if pi[9] < 0.3 {
+		t.Fatalf("π(9) = %v, want ≥ 0.3 (right-boundary accumulation)", pi[9])
+	}
+	for x := 0; x < 9; x++ {
+		if pi[x] > pi[x+1]+1e-9 {
+			t.Fatalf("π not increasing toward the drift boundary: π(%d)=%v > π(%d)=%v",
+				x, pi[x], x+1, pi[x+1])
+		}
+	}
+}
+
+func TestWalkSmoothingMakesAllTransitionsPositive(t *testing.T) {
+	c, err := RingWalk(10, DefaultPRight, DefaultPLeft, DefaultEps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := len(c.Successors(i)); got != 10 {
+			t.Fatalf("state %d has %d successors after smoothing, want 10", i, got)
+		}
+	}
+	// Without smoothing the walk has exactly 3 successors per state.
+	raw, err := RingWalk(10, DefaultPRight, DefaultPLeft, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := len(raw.Successors(i)); got != 3 {
+			t.Fatalf("unsmoothed state %d has %d successors, want 3", i, got)
+		}
+	}
+}
+
+func TestKLSkewnessOrdering(t *testing.T) {
+	// Section VII-A.1 reports average row-KL of 0.44, 0.34, 8.18, 8.48 for
+	// models (a)-(d): the walks are an order of magnitude more temporally
+	// skewed than the random matrices.
+	rng := rand.New(rand.NewSource(2024))
+	kls := make(map[ModelID]float64)
+	for _, id := range AllModels {
+		c, err := Build(id, rng, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kls[id] = c.AvgPairwiseRowKL()
+	}
+	for _, flat := range []ModelID{ModelNonSkewed, ModelSpatiallySkewed} {
+		for _, walk := range []ModelID{ModelTemporallySkewed, ModelBothSkewed} {
+			if kls[walk] < 4*kls[flat] {
+				t.Fatalf("KL(%v)=%v not ≫ KL(%v)=%v", walk, kls[walk], flat, kls[flat])
+			}
+		}
+	}
+	if kls[ModelNonSkewed] > 2 || kls[ModelTemporallySkewed] < 4 {
+		t.Fatalf("KL magnitudes off: %v", kls)
+	}
+}
+
+func TestWalkArgValidation(t *testing.T) {
+	if _, err := RingWalk(2, 0.5, 0.25, 0); err == nil {
+		t.Fatal("L=2 accepted")
+	}
+	if _, err := RingWalk(10, 0.9, 0.2, 0); err == nil {
+		t.Fatal("p+q>1 accepted")
+	}
+	if _, err := ReflectingWalk(10, -0.1, 0.2, 0); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if _, err := RingWalk(10, 0.5, 0.25, 0.5); err == nil {
+		t.Fatal("eps ≥ 1/L accepted")
+	}
+	if _, err := RandomChain(rand.New(rand.NewSource(1)), 1); err == nil {
+		t.Fatal("L=1 accepted")
+	}
+	if _, err := SpatiallySkewed(rand.New(rand.NewSource(1)), 10, 11, 2); err == nil {
+		t.Fatal("hot cell out of range accepted")
+	}
+	if _, err := SpatiallySkewed(rand.New(rand.NewSource(1)), 10, 0, -1); err == nil {
+		t.Fatal("negative boost accepted")
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	c := markov.MustNew([][]float64{
+		{0, 1, 0},
+		{0.5, 0, 0.5},
+		{0, 1, 0},
+	})
+	s, err := Smooth(c, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if len(s.Successors(i)) != 3 {
+			t.Fatalf("row %d not fully positive after smoothing", i)
+		}
+	}
+	if _, err := Smooth(c, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}

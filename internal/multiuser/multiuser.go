@@ -1,0 +1,166 @@
+// Package multiuser evaluates the multi-user scenario the paper outlines
+// in the remarks of Sections II-A and III: several users' services coexist
+// in the MEC network, the eavesdropper targets one user of interest whose
+// mobility model he knows (Eq. 1 applied to all observed trajectories),
+// and the single-user results act as performance lower bounds because
+// coexisting users (and their chaffs) provide additional cover.
+package multiuser
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/detect"
+	"chaffmec/internal/markov"
+)
+
+// Config describes one multi-user scenario.
+type Config struct {
+	// TargetChain is the mobility model of the user of interest; the
+	// eavesdropper profiles and knows this chain.
+	TargetChain *markov.Chain
+	// OtherChains are the coexisting users' mobility models, one per
+	// user, over the same cell space. They may equal TargetChain.
+	OtherChains []*markov.Chain
+	// Strategy, when non-nil, protects the target with NumChaffs chaffs.
+	Strategy  chaff.Strategy
+	NumChaffs int
+	// Horizon is the trajectory length T.
+	Horizon int
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.TargetChain == nil:
+		return errors.New("multiuser: config needs the target's chain")
+	case c.Horizon < 1:
+		return fmt.Errorf("multiuser: horizon %d must be >= 1", c.Horizon)
+	case c.Strategy != nil && c.NumChaffs < 1:
+		return errors.New("multiuser: strategy set but NumChaffs < 1")
+	}
+	L := c.TargetChain.NumStates()
+	for i, oc := range c.OtherChains {
+		if oc == nil {
+			return fmt.Errorf("multiuser: other chain %d is nil", i)
+		}
+		if oc.NumStates() != L {
+			return fmt.Errorf("multiuser: other chain %d has %d cells, want %d", i, oc.NumStates(), L)
+		}
+	}
+	return nil
+}
+
+// Result aggregates the Monte-Carlo runs.
+type Result struct {
+	// PerSlot is the mean per-slot tracking accuracy for the target;
+	// Overall its time average.
+	PerSlot []float64
+	Overall float64
+	// Runs echoes the repetition count.
+	Runs int
+}
+
+// Options tunes the runner (mirrors sim.Options).
+type Options struct {
+	Runs    int
+	Seed    int64
+	Workers int
+}
+
+// Run executes the scenario: each run samples the target, the coexisting
+// users and the chaffs, and evaluates the per-slot prefix ML detector that
+// knows the target's chain.
+func Run(cfg Config, opts Options) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = 1000
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	T := cfg.Horizon
+
+	jobs := make(chan int)
+	type partial struct {
+		sum []float64
+		err error
+	}
+	parts := make(chan *partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := &partial{sum: make([]float64, T)}
+			for run := range jobs {
+				series, err := runOnce(cfg, opts.Seed, run)
+				if err != nil {
+					p.err = err
+					break
+				}
+				for t, v := range series {
+					p.sum[t] += v
+				}
+			}
+			parts <- p
+		}()
+	}
+	for run := 0; run < runs; run++ {
+		jobs <- run
+	}
+	close(jobs)
+	wg.Wait()
+	close(parts)
+
+	res := &Result{PerSlot: make([]float64, T), Runs: runs}
+	for p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		for t, v := range p.sum {
+			res.PerSlot[t] += v
+		}
+	}
+	for t := range res.PerSlot {
+		res.PerSlot[t] /= float64(runs)
+	}
+	res.Overall = detect.TimeAverage(res.PerSlot)
+	return res, nil
+}
+
+func runOnce(cfg Config, seed int64, run int) ([]float64, error) {
+	mixed := uint64(seed) ^ (uint64(run)+1)*0x9e3779b97f4a7c15
+	rng := rand.New(rand.NewSource(int64(mixed)))
+	target, err := cfg.TargetChain.Sample(rng, cfg.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	trs := []markov.Trajectory{target}
+	for _, oc := range cfg.OtherChains {
+		tr, err := oc.Sample(rng, cfg.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		trs = append(trs, tr)
+	}
+	if cfg.Strategy != nil {
+		chaffs, err := cfg.Strategy.GenerateChaffs(rng, target, cfg.NumChaffs)
+		if err != nil {
+			return nil, err
+		}
+		trs = append(trs, chaffs...)
+	}
+	dets, err := detect.NewMLDetector(cfg.TargetChain).PrefixDetections(trs)
+	if err != nil {
+		return nil, err
+	}
+	return detect.TrackingAccuracySeries(dets, trs, 0)
+}

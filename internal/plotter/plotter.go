@@ -1,0 +1,161 @@
+// Package plotter renders experiment output as CSV series (for external
+// plotting) and as ASCII charts (for terminal inspection), using only the
+// standard library.
+package plotter
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// NewSeries builds a series from y-values indexed 0..n−1.
+func NewSeries(name string, ys []float64) Series {
+	xs := make([]float64, len(ys))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return Series{Name: name, X: xs, Y: ys}
+}
+
+// WriteCSV emits the series in long format: series,x,y.
+func WriteCSV(w io.Writer, series []Series) error {
+	if _, err := io.WriteString(w, "series,x,y\n"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plotter: series %q has %d x but %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			line := s.Name + "," +
+				strconv.FormatFloat(s.X[i], 'g', -1, 64) + "," +
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64) + "\n"
+			if _, err := io.WriteString(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// markers cycles across series in ASCII charts.
+var markers = []byte{'o', 'x', '+', '*', '#', '@', '%', '&', '$', '~'}
+
+// ASCIIChart renders the series into a width×height text canvas with axis
+// ranges and a legend. It is intentionally simple — the CSV output is the
+// canonical artifact; this is the at-a-glance view.
+func ASCIIChart(title string, series []Series, width, height int) (string, error) {
+	if width < 20 || height < 5 {
+		return "", errors.New("plotter: chart too small")
+	}
+	if len(series) == 0 {
+		return "", errors.New("plotter: no series")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plotter: series %q length mismatch", s.Name)
+		}
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 0) {
+		return "", errors.New("plotter: series have no points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			grid[row][col] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "y: [%.4g, %.4g]\n", minY, maxY)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "x: [%.4g, %.4g]\n", minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String(), nil
+}
+
+// Bar is one labelled group of values in a grouped bar chart.
+type Bar struct {
+	// Label names the bar group (e.g. "user1").
+	Label string
+	// Values holds one value per series, aligned with the names passed to
+	// ASCIIBars.
+	Values []float64
+}
+
+// ASCIIBars renders grouped horizontal bars (the Fig. 9(b)/Fig. 10 style):
+// one block per group, one bar per series.
+func ASCIIBars(title string, seriesNames []string, groups []Bar, width int) (string, error) {
+	if width < 20 {
+		return "", errors.New("plotter: chart too small")
+	}
+	if len(groups) == 0 || len(seriesNames) == 0 {
+		return "", errors.New("plotter: nothing to draw")
+	}
+	maxV := 0.0
+	nameW := 0
+	for _, n := range seriesNames {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for _, g := range groups {
+		if len(g.Values) != len(seriesNames) {
+			return "", fmt.Errorf("plotter: group %q has %d values, want %d", g.Label, len(g.Values), len(seriesNames))
+		}
+		for _, v := range g.Values {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (bar max = %.4g)\n", title, maxV)
+	for _, g := range groups {
+		fmt.Fprintf(&b, "%s\n", g.Label)
+		for i, name := range seriesNames {
+			n := int(g.Values[i] / maxV * float64(width))
+			fmt.Fprintf(&b, "  %-*s |%s %.4g\n", nameW, name, strings.Repeat("█", n), g.Values[i])
+		}
+	}
+	return b.String(), nil
+}

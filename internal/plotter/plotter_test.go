@@ -1,0 +1,79 @@
+package plotter
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []Series{
+		NewSeries("a", []float64{1, 2}),
+		{Name: "b", X: []float64{0.5}, Y: []float64{3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "series,x,y\na,0,1\na,1,2\nb,0.5,3\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+	if err := WriteCSV(&buf, []Series{{Name: "bad", X: []float64{1}, Y: nil}}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	chart, err := ASCIIChart("demo", []Series{
+		NewSeries("up", []float64{0, 1, 2, 3}),
+		NewSeries("down", []float64{3, 2, 1, 0}),
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "o up", "x down", "x: [0, 3]", "y: [0, 3]"} {
+		if !strings.Contains(chart, want) {
+			t.Fatalf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	if _, err := ASCIIChart("too small", []Series{NewSeries("a", []float64{1})}, 5, 2); err == nil {
+		t.Fatal("tiny canvas accepted")
+	}
+	if _, err := ASCIIChart("empty", nil, 40, 10); err == nil {
+		t.Fatal("no series accepted")
+	}
+	// Degenerate flat series must not divide by zero.
+	flat, err := ASCIIChart("flat", []Series{NewSeries("f", []float64{2, 2, 2})}, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(flat, "f") {
+		t.Fatal("flat chart lost its series")
+	}
+}
+
+func TestASCIIBars(t *testing.T) {
+	out, err := ASCIIBars("accuracy", []string{"no chaff", "OO"}, []Bar{
+		{Label: "user1", Values: []float64{0.5, 0.1}},
+		{Label: "user2", Values: []float64{0.3, 0.0}},
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"user1", "user2", "no chaff", "OO", "0.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bars missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ASCIIBars("bad", []string{"a"}, []Bar{{Label: "g", Values: []float64{1, 2}}}, 30); err == nil {
+		t.Fatal("misaligned bar group accepted")
+	}
+	if _, err := ASCIIBars("bad", nil, nil, 30); err == nil {
+		t.Fatal("empty bars accepted")
+	}
+	// All-zero values fall back to a unit scale.
+	if _, err := ASCIIBars("zeros", []string{"a"}, []Bar{{Label: "g", Values: []float64{0}}}, 25); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package sim is the Monte-Carlo harness behind the paper's evaluation
+// (Section VII): it repeats a chaff-vs-eavesdropper scenario over many
+// independently seeded runs in parallel and aggregates per-slot tracking
+// (and detection) accuracy, matching the paper's protocol of averaging
+// 1000 runs at T=100.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/detect"
+	"chaffmec/internal/markov"
+)
+
+// DetectorKind selects the eavesdropper model of a scenario.
+type DetectorKind int
+
+const (
+	// BasicDetector is the ML detector of Section III (Eq. 1).
+	BasicDetector DetectorKind = iota
+	// AdvancedDetector is the strategy-aware eavesdropper of Section VI-A;
+	// Scenario.Gamma must be set.
+	AdvancedDetector
+)
+
+// Scenario describes one synthetic experiment.
+type Scenario struct {
+	// Chain is the user's mobility model (the eavesdropper knows it too).
+	Chain *markov.Chain
+	// Strategy controls the chaffs.
+	Strategy chaff.Strategy
+	// NumChaffs is N−1 ≥ 1.
+	NumChaffs int
+	// Horizon is the trajectory length T.
+	Horizon int
+	// Detector selects the eavesdropper; AdvancedDetector requires Gamma.
+	Detector DetectorKind
+	// Gamma is the strategy map the advanced eavesdropper assumes the
+	// user employs (normally the deterministic variant of Strategy).
+	Gamma detect.GammaFunc
+	// CollectCt additionally gathers the per-slot log-likelihood gaps
+	// c_t (t ≥ 2, Eq. 15) between the user and the first chaff, for the
+	// Fig. 6 distribution plots.
+	CollectCt bool
+}
+
+func (sc *Scenario) validate() error {
+	switch {
+	case sc.Chain == nil:
+		return errors.New("sim: scenario needs a chain")
+	case sc.Strategy == nil:
+		return errors.New("sim: scenario needs a strategy")
+	case sc.NumChaffs < 1:
+		return fmt.Errorf("sim: NumChaffs %d must be >= 1", sc.NumChaffs)
+	case sc.Horizon < 1:
+		return fmt.Errorf("sim: Horizon %d must be >= 1", sc.Horizon)
+	case sc.Detector == AdvancedDetector && sc.Gamma == nil:
+		return errors.New("sim: advanced detector requires Gamma")
+	}
+	return nil
+}
+
+// Result aggregates a scenario's Monte-Carlo runs.
+type Result struct {
+	// PerSlot[t] is the mean tracking accuracy at slot t across runs.
+	PerSlot []float64
+	// PerSlotStdErr[t] is the standard error of PerSlot[t].
+	PerSlotStdErr []float64
+	// Detection[t] is the mean detection accuracy at slot t.
+	Detection []float64
+	// Overall is the time-average of PerSlot — the paper's headline
+	// tracking-accuracy number.
+	Overall float64
+	// Runs is the number of Monte-Carlo runs aggregated.
+	Runs int
+	// CtSamples holds the collected c_t values when Scenario.CollectCt.
+	CtSamples []float64
+}
+
+// Options tunes the runner.
+type Options struct {
+	// Runs is the number of Monte-Carlo repetitions (default 1000, the
+	// paper's setting).
+	Runs int
+	// Seed derives the per-run RNG streams; a fixed seed makes the whole
+	// experiment reproducible regardless of scheduling.
+	Seed int64
+	// Workers caps the parallel workers (default GOMAXPROCS).
+	Workers int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Runs <= 0 {
+		out.Runs = 1000
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	return out
+}
+
+// Run executes the scenario.
+func Run(sc Scenario, opts Options) (*Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	T := sc.Horizon
+
+	type partial struct {
+		sum, sumSq, det []float64
+		ct              []float64
+		err             error
+	}
+	jobs := make(chan int)
+	parts := make(chan *partial, o.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := &partial{
+				sum:   make([]float64, T),
+				sumSq: make([]float64, T),
+				det:   make([]float64, T),
+			}
+			for run := range jobs {
+				track, det, ct, err := sc.runOnce(o.Seed, run)
+				if err != nil {
+					p.err = err
+					break
+				}
+				for t := 0; t < T; t++ {
+					p.sum[t] += track[t]
+					p.sumSq[t] += track[t] * track[t]
+					p.det[t] += det[t]
+				}
+				p.ct = append(p.ct, ct...)
+			}
+			parts <- p
+		}()
+	}
+	for run := 0; run < o.Runs; run++ {
+		jobs <- run
+	}
+	close(jobs)
+	wg.Wait()
+	close(parts)
+
+	sum := make([]float64, T)
+	sumSq := make([]float64, T)
+	detSum := make([]float64, T)
+	var cts []float64
+	for p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		for t := 0; t < T; t++ {
+			sum[t] += p.sum[t]
+			sumSq[t] += p.sumSq[t]
+			detSum[t] += p.det[t]
+		}
+		cts = append(cts, p.ct...)
+	}
+
+	res := &Result{
+		PerSlot:       make([]float64, T),
+		PerSlotStdErr: make([]float64, T),
+		Detection:     make([]float64, T),
+		Runs:          o.Runs,
+		CtSamples:     cts,
+	}
+	n := float64(o.Runs)
+	for t := 0; t < T; t++ {
+		mean := sum[t] / n
+		res.PerSlot[t] = mean
+		res.Detection[t] = detSum[t] / n
+		if o.Runs > 1 {
+			variance := (sumSq[t] - n*mean*mean) / (n - 1)
+			if variance < 0 {
+				variance = 0
+			}
+			res.PerSlotStdErr[t] = math.Sqrt(variance / n)
+		}
+	}
+	res.Overall = detect.TimeAverage(res.PerSlot)
+	return res, nil
+}
+
+// runOnce executes a single Monte-Carlo run with its own deterministic RNG
+// stream. Stream layout: run r uses seed ⊕ golden-ratio mixing so streams
+// are decorrelated but reproducible.
+func (sc *Scenario) runOnce(seed int64, run int) (track, det, ct []float64, err error) {
+	rng := rand.New(rand.NewSource(mixSeed(seed, int64(run))))
+	user, err := sc.Chain.Sample(rng, sc.Horizon)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("sim: sampling user: %w", err)
+	}
+	chaffs, err := sc.Strategy.GenerateChaffs(rng, user, sc.NumChaffs)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("sim: generating chaffs: %w", err)
+	}
+	trs := make([]markov.Trajectory, 0, 1+len(chaffs))
+	trs = append(trs, user)
+	trs = append(trs, chaffs...)
+
+	var dets [][]int
+	switch sc.Detector {
+	case BasicDetector:
+		dets, err = detect.NewMLDetector(sc.Chain).PrefixDetections(trs)
+	case AdvancedDetector:
+		var adv *detect.AdvancedDetector
+		adv, err = detect.NewAdvancedDetector(sc.Chain, sc.Gamma)
+		if err == nil {
+			dets, err = adv.PrefixDetections(trs)
+		}
+	default:
+		err = fmt.Errorf("sim: unknown detector kind %d", sc.Detector)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	track, err = detect.TrackingAccuracySeries(dets, trs, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	det, err = detect.DetectionAccuracySeries(dets, len(trs), 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if sc.CollectCt {
+		ch := chaffs[0]
+		for t := 1; t < sc.Horizon; t++ {
+			v := sc.Chain.LogProb(user[t-1], user[t]) - sc.Chain.LogProb(ch[t-1], ch[t])
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				ct = append(ct, v)
+			}
+		}
+	}
+	return track, det, ct, nil
+}
+
+// mixSeed decorrelates per-run RNG streams from a base seed.
+func mixSeed(seed, run int64) int64 {
+	x := uint64(seed) ^ (uint64(run)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}

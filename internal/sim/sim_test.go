@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/analysis"
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mobility"
+)
+
+func modelChain(t *testing.T, id mobility.ModelID) *markov.Chain {
+	t.Helper()
+	c, err := mobility.Build(id, rand.New(rand.NewSource(99)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunValidation(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	bad := []Scenario{
+		{},
+		{Chain: c},
+		{Chain: c, Strategy: chaff.NewIM(c)},
+		{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: 1},
+		{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: 1, Horizon: 10, Detector: AdvancedDetector},
+	}
+	for i, sc := range bad {
+		if _, err := Run(sc, Options{Runs: 1}); err == nil {
+			t.Fatalf("scenario %d accepted", i)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c := modelChain(t, mobility.ModelSpatiallySkewed)
+	sc := Scenario{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: 3, Horizon: 20}
+	a, err := Run(sc, Options{Runs: 50, Seed: 42, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc, Options{Runs: 50, Seed: 42, Workers: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tSlot := range a.PerSlot {
+		if a.PerSlot[tSlot] != b.PerSlot[tSlot] {
+			t.Fatalf("slot %d differs across worker counts: %v vs %v",
+				tSlot, a.PerSlot[tSlot], b.PerSlot[tSlot])
+		}
+	}
+	if a.Overall != b.Overall || a.Runs != 50 {
+		t.Fatal("aggregate results differ")
+	}
+}
+
+func TestIMMatchesClosedForm(t *testing.T) {
+	// Eq. 11 validation: simulated IM accuracy ≈ Σπ² + (1/N)(1−Σπ²).
+	c := modelChain(t, mobility.ModelNonSkewed)
+	for _, n := range []int{2, 10} {
+		sc := Scenario{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: n - 1, Horizon: 60}
+		res, err := Run(sc, Options{Runs: 1200, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := analysis.IMAccuracy(c, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Overall-want) > 0.02 {
+			t.Fatalf("N=%d: simulated %v vs Eq.11 %v", n, res.Overall, want)
+		}
+	}
+}
+
+func TestOODrivesAccuracyDown(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	oo := Scenario{Chain: c, Strategy: chaff.NewOO(c), NumChaffs: 1, Horizon: 100}
+	im := Scenario{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: 1, Horizon: 100}
+	resOO, err := Run(oo, Options{Runs: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resIM, err := Run(im, Options{Runs: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOO.Overall >= resIM.Overall {
+		t.Fatalf("OO overall %v not below IM %v", resOO.Overall, resIM.Overall)
+	}
+	// Per-slot decay: the tail should be near zero on model (a).
+	tail := resOO.PerSlot[90]
+	for _, v := range resOO.PerSlot[90:] {
+		if v > tail {
+			tail = v
+		}
+	}
+	if tail > 0.05 {
+		t.Fatalf("OO tail accuracy %v, want ≤ 0.05 (Theorem V.4 regime)", tail)
+	}
+}
+
+func TestMODecaysToZero(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	sc := Scenario{Chain: c, Strategy: chaff.NewMO(c), NumChaffs: 1, Horizon: 100}
+	res, err := Run(sc, Options{Runs: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := res.PerSlot[0]
+	tail := 0.0
+	for _, v := range res.PerSlot[90:] {
+		tail += v
+	}
+	tail /= 10
+	if tail > 0.05 || tail >= head {
+		t.Fatalf("MO accuracy head %v tail %v, want decaying toward 0", head, tail)
+	}
+}
+
+func TestMLStaysNonZero(t *testing.T) {
+	// Eq. 12: P_ML = (1/T)Σπ(x₂,t) > 0 — bounded away from zero.
+	c := modelChain(t, mobility.ModelSpatiallySkewed)
+	sc := Scenario{Chain: c, Strategy: chaff.NewML(c), NumChaffs: 1, Horizon: 100}
+	res, err := Run(sc, Options{Runs: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall < 0.05 {
+		t.Fatalf("ML overall %v, want clearly non-zero on the spatially-skewed model", res.Overall)
+	}
+}
+
+func TestAdvancedDetectorBeatsDeterministicStrategies(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	mo := chaff.NewMO(c)
+	sc := Scenario{
+		Chain: c, Strategy: mo, NumChaffs: 1, Horizon: 50,
+		Detector: AdvancedDetector, Gamma: mo.Gamma,
+	}
+	res, err := Run(sc, Options{Runs: 100, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall < 0.99 {
+		t.Fatalf("advanced eavesdropper vs deterministic MO: %v, want ≈ 1", res.Overall)
+	}
+}
+
+func TestRobustStrategiesResistAdvancedDetector(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	mo := chaff.NewMO(c)
+	rmo := chaff.NewRMO(c)
+	sc := Scenario{
+		Chain: c, Strategy: rmo, NumChaffs: 9, Horizon: 50,
+		Detector: AdvancedDetector, Gamma: mo.Gamma,
+	}
+	res, err := Run(sc, Options{Runs: 100, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overall > 0.5 {
+		t.Fatalf("RMO vs advanced eavesdropper: %v, want well below 1", res.Overall)
+	}
+}
+
+func TestCollectCt(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	sc := Scenario{Chain: c, Strategy: chaff.NewCML(c), NumChaffs: 1, Horizon: 50, CollectCt: true}
+	res, err := Run(sc, Options{Runs: 50, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CtSamples) == 0 {
+		t.Fatal("no c_t samples collected")
+	}
+	mean := 0.0
+	for _, v := range res.CtSamples {
+		mean += v
+	}
+	mean /= float64(len(res.CtSamples))
+	if mean >= 0 {
+		t.Fatalf("mean c_t = %v, want < 0 (CML keeps the likelihood race won)", mean)
+	}
+}
+
+func TestMixSeedDistinct(t *testing.T) {
+	seen := make(map[int64]bool)
+	for run := int64(0); run < 1000; run++ {
+		s := mixSeed(12345, run)
+		if seen[s] {
+			t.Fatalf("seed collision at run %d", run)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryStatistics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if got := StdErr(xs); math.Abs(got-math.Sqrt(32.0/7)/math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("StdErr = %v", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 || StdErr(nil) != 0 {
+		t.Fatal("empty/singleton edge cases wrong")
+	}
+	if got := CI95(xs); math.Abs(got-1.96*StdErr(xs)) > 1e-12 {
+		t.Fatalf("CI95 = %v", got)
+	}
+	if Min(xs) != 2 || Max(xs) != 9 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range tests {
+		if got := e.At(tc.x); got != tc.want {
+			t.Fatalf("F(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := e.Quantile(0); got != 1 {
+		t.Fatalf("Q(0) = %v, want 1", got)
+	}
+	if got := e.Quantile(1); got != 3 {
+		t.Fatalf("Q(1) = %v, want 3", got)
+	}
+	if got := e.Quantile(0.5); got != 2 {
+		t.Fatalf("Q(0.5) = %v, want 2", got)
+	}
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	xs, fs := e.Points()
+	if len(xs) != 3 || xs[1] != 2 || fs[1] != 0.75 || fs[2] != 1 {
+		t.Fatalf("Points = %v %v", xs, fs)
+	}
+	if _, err := NewECDF(nil); err == nil {
+		t.Fatal("empty ECDF accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 0.1, 0.9, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 2 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	if got := h.Density(0); got != 0.5 {
+		t.Fatalf("Density(0) = %v", got)
+	}
+	if c := h.BinCenter(0); math.Abs(c-0.25) > 1e-12 {
+		t.Fatalf("BinCenter(0) = %v", c)
+	}
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Fatal("empty histogram accepted")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Fatal("nbins=0 accepted")
+	}
+	// Degenerate single-value sample.
+	h2, err := NewHistogram([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h2.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("degenerate histogram lost samples: %v", h2.Counts)
+	}
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"chaffmec/internal/geo"
+)
+
+// csvHeader is the column layout of the trace interchange format.
+var csvHeader = []string{"node", "minute", "x", "y"}
+
+// WriteCSV serialises records as CSV with a header row. The format is
+// node,minute,x,y with positions in meters.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	row := make([]string, 4)
+	for i, r := range records {
+		row[0] = r.Node
+		row[1] = strconv.FormatFloat(r.Minute, 'f', -1, 64)
+		row[2] = strconv.FormatFloat(r.Pos.X, 'f', -1, 64)
+		row[3] = strconv.FormatFloat(r.Pos.Y, 'f', -1, 64)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the CSV trace format produced by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	var out []Record
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		minute, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad minute %q: %w", line, row[1], err)
+		}
+		x, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad x %q: %w", line, row[2], err)
+		}
+		y, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad y %q: %w", line, row[3], err)
+		}
+		out = append(out, Record{Node: row[0], Minute: minute, Pos: geo.Point{X: x, Y: y}})
+	}
+	return out, nil
+}

@@ -1,0 +1,226 @@
+// Package trace implements the mobility-trace pipeline of Section VII-B:
+// raw position reports with irregular intervals are filtered for inactive
+// nodes (no update for 5 minutes), regularised onto a fixed slot grid by
+// linear interpolation, quantised into Voronoi cells, and fitted into an
+// empirical Markov chain (transition matrix + empirical steady state)
+// shared by all nodes.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"chaffmec/internal/geo"
+	"chaffmec/internal/markov"
+)
+
+// Record is one raw position report.
+type Record struct {
+	// Node identifies the reporting node (taxi).
+	Node string
+	// Minute is the report time in minutes from the observation start.
+	Minute float64
+	// Pos is the reported position.
+	Pos geo.Point
+}
+
+// Set groups raw records by node, each node's records sorted by time.
+type Set struct {
+	nodes   []string
+	records map[string][]Record
+}
+
+// NewSet groups and time-sorts raw records.
+func NewSet(records []Record) *Set {
+	byNode := make(map[string][]Record)
+	for _, r := range records {
+		byNode[r.Node] = append(byNode[r.Node], r)
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+		sort.Slice(byNode[n], func(i, j int) bool { return byNode[n][i].Minute < byNode[n][j].Minute })
+	}
+	sort.Strings(nodes)
+	return &Set{nodes: nodes, records: byNode}
+}
+
+// Nodes returns the node ids in deterministic (sorted) order.
+func (s *Set) Nodes() []string { return append([]string(nil), s.nodes...) }
+
+// Records returns the time-sorted records of one node.
+func (s *Set) Records(node string) []Record {
+	return append([]Record(nil), s.records[node]...)
+}
+
+// Len returns the number of nodes.
+func (s *Set) Len() int { return len(s.nodes) }
+
+// RegularizeOptions controls the resampling of Section VII-B.1.
+type RegularizeOptions struct {
+	// StartMinute and Slots define the output grid: slot t corresponds to
+	// time StartMinute + t·IntervalMin.
+	StartMinute float64
+	Slots       int
+	// IntervalMin is the slot length in minutes (the paper uses 1).
+	IntervalMin float64
+	// MaxGapMin marks a node inactive when two consecutive reports (or
+	// the window edges) are further apart (the paper uses 5).
+	MaxGapMin float64
+}
+
+func (o RegularizeOptions) validate() error {
+	switch {
+	case o.Slots < 1:
+		return fmt.Errorf("trace: Slots %d must be >= 1", o.Slots)
+	case o.IntervalMin <= 0:
+		return fmt.Errorf("trace: IntervalMin %v must be positive", o.IntervalMin)
+	case o.MaxGapMin <= 0:
+		return fmt.Errorf("trace: MaxGapMin %v must be positive", o.MaxGapMin)
+	}
+	return nil
+}
+
+// Regularize resamples one node's reports onto the slot grid with linear
+// interpolation. ok is false when the node is inactive in the window:
+// it has no report within MaxGapMin of the window start or end, or two
+// consecutive reports straddling the window are more than MaxGapMin apart.
+func Regularize(records []Record, opts RegularizeOptions) (points []geo.Point, ok bool, err error) {
+	if err := opts.validate(); err != nil {
+		return nil, false, err
+	}
+	if len(records) == 0 {
+		return nil, false, nil
+	}
+	end := opts.StartMinute + float64(opts.Slots-1)*opts.IntervalMin
+	// Gap scan across the window, including the edges.
+	prev := opts.StartMinute - opts.MaxGapMin // sentinel: edge allowance
+	idxFirst := -1
+	for i, r := range records {
+		if r.Minute < opts.StartMinute-opts.MaxGapMin || r.Minute > end+opts.MaxGapMin {
+			continue
+		}
+		if idxFirst < 0 {
+			idxFirst = i
+			if r.Minute-opts.StartMinute > opts.MaxGapMin {
+				return nil, false, nil // silent at the window start
+			}
+		} else if r.Minute-prev > opts.MaxGapMin && prev < end {
+			return nil, false, nil // mid-window silence
+		}
+		prev = r.Minute
+	}
+	if idxFirst < 0 || end-prev > opts.MaxGapMin {
+		return nil, false, nil // no usable reports / silent at the end
+	}
+
+	points = make([]geo.Point, opts.Slots)
+	j := 0
+	for t := 0; t < opts.Slots; t++ {
+		at := opts.StartMinute + float64(t)*opts.IntervalMin
+		for j+1 < len(records) && records[j+1].Minute <= at {
+			j++
+		}
+		switch {
+		case records[j].Minute >= at:
+			// Before (or exactly at) the first report: clamp.
+			points[t] = records[j].Pos
+		case j+1 >= len(records):
+			// After the last report: clamp.
+			points[t] = records[j].Pos
+		default:
+			a, b := records[j], records[j+1]
+			span := b.Minute - a.Minute
+			if span <= 0 {
+				points[t] = b.Pos
+			} else {
+				points[t] = geo.Lerp(a.Pos, b.Pos, (at-a.Minute)/span)
+			}
+		}
+	}
+	return points, true, nil
+}
+
+// RegularizeSet applies Regularize to every node and keeps the active
+// ones, returning their resampled position sequences in node order.
+func (s *Set) RegularizeSet(opts RegularizeOptions) (nodes []string, tracks [][]geo.Point, err error) {
+	for _, n := range s.nodes {
+		pts, ok, err := Regularize(s.records[n], opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: node %s: %w", n, err)
+		}
+		if !ok {
+			continue
+		}
+		nodes = append(nodes, n)
+		tracks = append(tracks, pts)
+	}
+	return nodes, tracks, nil
+}
+
+// QuantizeTracks maps resampled position tracks into cell trajectories.
+func QuantizeTracks(tracks [][]geo.Point, q *geo.Quantizer) []markov.Trajectory {
+	out := make([]markov.Trajectory, len(tracks))
+	for i, pts := range tracks {
+		out[i] = markov.Trajectory(q.QuantizeAll(pts))
+	}
+	return out
+}
+
+// EstimateChain fits the empirical mobility model of Section VII-B.1:
+// transition counts pooled over all trajectories (they are modeled as
+// independent samples of one chain), row-normalised, with the empirical
+// visit frequencies as the stationary distribution. States never left get
+// a self-loop. numCells fixes the state space (cells with no visits keep
+// zero stationary mass).
+func EstimateChain(trajs []markov.Trajectory, numCells int) (*markov.Chain, error) {
+	if len(trajs) == 0 {
+		return nil, errors.New("trace: no trajectories to fit")
+	}
+	if numCells < 2 {
+		return nil, fmt.Errorf("trace: numCells %d must be >= 2", numCells)
+	}
+	counts := make([][]float64, numCells)
+	for i := range counts {
+		counts[i] = make([]float64, numCells)
+	}
+	visits := make([]float64, numCells)
+	total := 0.0
+	for _, tr := range trajs {
+		if err := tr.Validate(numCells); err != nil {
+			return nil, err
+		}
+		for t, s := range tr {
+			visits[s]++
+			total++
+			if t > 0 {
+				counts[tr[t-1]][s]++
+			}
+		}
+	}
+	if total == 0 {
+		return nil, errors.New("trace: empty trajectories")
+	}
+	p := make([][]float64, numCells)
+	for i := range counts {
+		rowSum := 0.0
+		for _, v := range counts[i] {
+			rowSum += v
+		}
+		row := make([]float64, numCells)
+		if rowSum == 0 {
+			row[i] = 1 // never-left state: self-loop
+		} else {
+			for j, v := range counts[i] {
+				row[j] = v / rowSum
+			}
+		}
+		p[i] = row
+	}
+	pi := make([]float64, numCells)
+	for i, v := range visits {
+		pi[i] = v / total
+	}
+	return markov.NewWithStationary(p, pi)
+}

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"chaffmec/internal/geo"
+	"chaffmec/internal/markov"
+)
+
+func regOpts(slots int) RegularizeOptions {
+	return RegularizeOptions{StartMinute: 0, Slots: slots, IntervalMin: 1, MaxGapMin: 5}
+}
+
+func TestRegularizeExactOnRegularTrace(t *testing.T) {
+	var recs []Record
+	for m := 0; m < 10; m++ {
+		recs = append(recs, Record{Node: "a", Minute: float64(m), Pos: geo.Point{X: float64(m) * 100, Y: 0}})
+	}
+	pts, ok, err := Regularize(recs, regOpts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("regular trace marked inactive")
+	}
+	for m, p := range pts {
+		if p.X != float64(m)*100 || p.Y != 0 {
+			t.Fatalf("slot %d: %v", m, p)
+		}
+	}
+}
+
+func TestRegularizeInterpolates(t *testing.T) {
+	recs := []Record{
+		{Node: "a", Minute: 0, Pos: geo.Point{X: 0, Y: 0}},
+		{Node: "a", Minute: 4, Pos: geo.Point{X: 400, Y: 0}},
+	}
+	pts, ok, err := Regularize(recs, regOpts(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("trace marked inactive")
+	}
+	for m := 0; m < 5; m++ {
+		if math.Abs(pts[m].X-float64(m)*100) > 1e-9 {
+			t.Fatalf("slot %d interpolated to %v, want %v", m, pts[m].X, float64(m)*100)
+		}
+	}
+}
+
+func TestRegularizeDetectsInactivity(t *testing.T) {
+	tests := []struct {
+		name string
+		recs []Record
+	}{
+		{"empty", nil},
+		{"gap in middle", []Record{
+			{Node: "a", Minute: 0, Pos: geo.Point{}},
+			{Node: "a", Minute: 2, Pos: geo.Point{}},
+			{Node: "a", Minute: 9, Pos: geo.Point{}}, // 7-minute silence
+		}},
+		{"silent at start", []Record{
+			{Node: "a", Minute: 7, Pos: geo.Point{}},
+			{Node: "a", Minute: 9, Pos: geo.Point{}},
+		}},
+		{"silent at end", []Record{
+			{Node: "a", Minute: 0, Pos: geo.Point{}},
+			{Node: "a", Minute: 3, Pos: geo.Point{}},
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ok, err := Regularize(tc.recs, regOpts(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				t.Fatal("inactive trace accepted")
+			}
+		})
+	}
+}
+
+func TestRegularizeValidation(t *testing.T) {
+	recs := []Record{{Node: "a", Minute: 0, Pos: geo.Point{}}}
+	for _, bad := range []RegularizeOptions{
+		{Slots: 0, IntervalMin: 1, MaxGapMin: 5},
+		{Slots: 5, IntervalMin: 0, MaxGapMin: 5},
+		{Slots: 5, IntervalMin: 1, MaxGapMin: 0},
+	} {
+		if _, _, err := Regularize(recs, bad); err == nil {
+			t.Fatalf("options %+v accepted", bad)
+		}
+	}
+}
+
+func TestSetGroupsAndSorts(t *testing.T) {
+	recs := []Record{
+		{Node: "b", Minute: 5, Pos: geo.Point{}},
+		{Node: "a", Minute: 3, Pos: geo.Point{}},
+		{Node: "b", Minute: 1, Pos: geo.Point{}},
+	}
+	s := NewSet(recs)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	nodes := s.Nodes()
+	if nodes[0] != "a" || nodes[1] != "b" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+	b := s.Records("b")
+	if len(b) != 2 || b[0].Minute != 1 || b[1].Minute != 5 {
+		t.Fatalf("Records(b) = %v", b)
+	}
+}
+
+func TestRegularizeSetFilters(t *testing.T) {
+	var recs []Record
+	for m := 0; m < 10; m++ {
+		recs = append(recs, Record{Node: "active", Minute: float64(m), Pos: geo.Point{X: float64(m)}})
+	}
+	recs = append(recs,
+		Record{Node: "inactive", Minute: 0, Pos: geo.Point{}},
+		Record{Node: "inactive", Minute: 9, Pos: geo.Point{}},
+	)
+	nodes, tracks, err := NewSet(recs).RegularizeSet(regOpts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0] != "active" || len(tracks) != 1 {
+		t.Fatalf("kept %v", nodes)
+	}
+}
+
+func TestEstimateChain(t *testing.T) {
+	trajs := []markov.Trajectory{
+		{0, 1, 0, 1},
+		{1, 0, 1, 0},
+	}
+	c, err := EstimateChain(trajs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Prob(0, 1); got != 1 {
+		t.Fatalf("P(1|0) = %v, want 1", got)
+	}
+	if got := c.Prob(1, 0); got != 1 {
+		t.Fatalf("P(0|1) = %v, want 1", got)
+	}
+	// Unvisited state 2 self-loops.
+	if got := c.Prob(2, 2); got != 1 {
+		t.Fatalf("P(2|2) = %v, want 1", got)
+	}
+	pi := c.MustSteadyState()
+	if pi[0] != 0.5 || pi[1] != 0.5 || pi[2] != 0 {
+		t.Fatalf("empirical π = %v", pi)
+	}
+}
+
+func TestEstimateChainValidation(t *testing.T) {
+	if _, err := EstimateChain(nil, 3); err == nil {
+		t.Fatal("no trajectories accepted")
+	}
+	if _, err := EstimateChain([]markov.Trajectory{{0}}, 1); err == nil {
+		t.Fatal("numCells=1 accepted")
+	}
+	if _, err := EstimateChain([]markov.Trajectory{{5}}, 3); err == nil {
+		t.Fatal("out-of-range state accepted")
+	}
+}
+
+func TestQuantizeTracks(t *testing.T) {
+	q, err := geo.NewQuantizer([]geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks := [][]geo.Point{{{X: 10, Y: 0}, {X: 90, Y: 0}}}
+	trajs := QuantizeTracks(tracks, q)
+	if len(trajs) != 1 || trajs[0][0] != 0 || trajs[0][1] != 1 {
+		t.Fatalf("trajs = %v", trajs)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Node: "cab1", Minute: 0.5, Pos: geo.Point{X: 1.25, Y: -3}},
+		{Node: "cab2", Minute: 10, Pos: geo.Point{X: 0, Y: 42}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip length %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b,c,d\n",
+		"node,minute,x,y\ncab,notanumber,0,0\n",
+		"node,minute,x,y\ncab,1,zz,0\n",
+		"node,minute,x,y\ncab,1,0,zz\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package tracegen generates synthetic taxi mobility traces, substituting
+// for the CRAWDAD epfl/mobility dataset the paper uses in Section VII-B
+// (see DESIGN.md §5). The generator reproduces the dataset properties the
+// evaluation actually depends on: a fleet of nodes moving between
+// hotspot-biased waypoints over an SF-sized region, reporting positions at
+// irregular ≈1-minute intervals, with occasional multi-minute silences
+// that the trace pipeline must filter out, and heterogeneous per-node
+// predictability (some nodes idle at hotspots, some roam), which is what
+// makes a subset of users highly trackable in Fig. 9(a).
+package tracegen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"chaffmec/internal/geo"
+	"chaffmec/internal/trace"
+)
+
+// Config parameterises the fleet.
+type Config struct {
+	// Nodes is the fleet size (the paper extracts 174 nodes).
+	Nodes int
+	// DurationMin is the observation window in minutes (the paper uses
+	// 100 one-minute slots).
+	DurationMin float64
+	// Bounds is the service region in meters; the default approximates
+	// the SF bay-area box of the dataset (~45 km × 40 km).
+	Bounds geo.Rect
+	// Hotspots is the number of demand attractors (downtown, airport, …).
+	Hotspots int
+	// HotspotBias is the probability a new trip targets a hotspot
+	// neighbourhood rather than a uniform point.
+	HotspotBias float64
+	// HotspotSpread is the Gaussian σ (meters) of destinations around a
+	// hotspot.
+	HotspotSpread float64
+	// MeanSpeed is the cruise speed in meters/minute (500 ≈ 30 km/h).
+	MeanSpeed float64
+	// SpeedJitter is the per-trip multiplicative speed noise (0..1).
+	SpeedJitter float64
+	// PauseMeanMin is the mean idle time between trips, minutes.
+	PauseMeanMin float64
+	// IdlerFraction of nodes mostly linger near one hotspot — these are
+	// the highly predictable users the eavesdropper tracks best.
+	IdlerFraction float64
+	// ReportMeanMin is the mean spacing of position reports (≈1 minute),
+	// jittered ±50%.
+	ReportMeanMin float64
+	// DropoutProb is the chance, per trip, that the node goes silent for
+	// longer than the pipeline's 5-minute activity threshold.
+	DropoutProb float64
+	// DropoutMin is the silence duration in minutes when a dropout occurs.
+	DropoutMin float64
+}
+
+// DefaultConfig mirrors the paper's extraction: 174 nodes over 100 minutes.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:         174,
+		DurationMin:   100,
+		Bounds:        geo.Rect{MinX: 0, MinY: 0, MaxX: 45000, MaxY: 40000},
+		Hotspots:      8,
+		HotspotBias:   0.7,
+		HotspotSpread: 900,
+		MeanSpeed:     500,
+		SpeedJitter:   0.35,
+		PauseMeanMin:  3,
+		IdlerFraction: 0.15,
+		ReportMeanMin: 1,
+		DropoutProb:   0.05,
+		DropoutMin:    7,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("tracegen: Nodes %d must be >= 1", c.Nodes)
+	case c.DurationMin <= 0:
+		return errors.New("tracegen: DurationMin must be positive")
+	case !c.Bounds.Valid():
+		return errors.New("tracegen: invalid bounds")
+	case c.Hotspots < 1:
+		return errors.New("tracegen: need at least one hotspot")
+	case c.HotspotBias < 0 || c.HotspotBias > 1:
+		return errors.New("tracegen: HotspotBias outside [0,1]")
+	case c.MeanSpeed <= 0:
+		return errors.New("tracegen: MeanSpeed must be positive")
+	case c.SpeedJitter < 0 || c.SpeedJitter >= 1:
+		return errors.New("tracegen: SpeedJitter outside [0,1)")
+	case c.ReportMeanMin <= 0:
+		return errors.New("tracegen: ReportMeanMin must be positive")
+	case c.DropoutProb < 0 || c.DropoutProb > 1:
+		return errors.New("tracegen: DropoutProb outside [0,1]")
+	case c.IdlerFraction < 0 || c.IdlerFraction > 1:
+		return errors.New("tracegen: IdlerFraction outside [0,1]")
+	}
+	return nil
+}
+
+// Generate produces the raw report stream for the whole fleet, plus the
+// hotspot locations (useful for building a matching tower field).
+func Generate(rng *rand.Rand, cfg Config) ([]trace.Record, []geo.Point, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	hotspots := make([]geo.Point, cfg.Hotspots)
+	for i := range hotspots {
+		hotspots[i] = cfg.Bounds.RandomPoint(rng)
+	}
+	var records []trace.Record
+	for n := 0; n < cfg.Nodes; n++ {
+		id := "cab" + strconv.Itoa(n)
+		idler := rng.Float64() < cfg.IdlerFraction
+		home := hotspots[rng.Intn(len(hotspots))]
+		recs := simulateNode(rng, cfg, id, hotspots, home, idler)
+		records = append(records, recs...)
+	}
+	return records, hotspots, nil
+}
+
+// simulateNode runs one node's trip process over the window and emits its
+// irregular position reports.
+func simulateNode(rng *rand.Rand, cfg Config, id string, hotspots []geo.Point, home geo.Point, idler bool) []trace.Record {
+	pos := cfg.Bounds.Clamp(geo.Point{
+		X: home.X + rng.NormFloat64()*cfg.HotspotSpread,
+		Y: home.Y + rng.NormFloat64()*cfg.HotspotSpread,
+	})
+	var recs []trace.Record
+	now := 0.0
+	nextReport := rng.Float64() * cfg.ReportMeanMin
+	silentUntil := -1.0
+
+	report := func(at float64, p geo.Point) {
+		if at <= silentUntil {
+			return
+		}
+		recs = append(recs, trace.Record{Node: id, Minute: at, Pos: p})
+	}
+
+	for now < cfg.DurationMin {
+		// Choose the next destination.
+		var dest geo.Point
+		if idler {
+			// Idlers shuttle within their home hotspot's neighbourhood —
+			// wide enough to cross a few Voronoi cells (≈1.5 cell pitches),
+			// so they are highly predictable without their trajectory
+			// collapsing onto the single globally-most-likely cell (where
+			// the ML chaff would co-locate with them, Eq. 12's caveat).
+			dest = geo.Point{
+				X: home.X + rng.NormFloat64()*cfg.HotspotSpread*1.6,
+				Y: home.Y + rng.NormFloat64()*cfg.HotspotSpread*1.6,
+			}
+		} else if rng.Float64() < cfg.HotspotBias {
+			h := hotspots[rng.Intn(len(hotspots))]
+			dest = geo.Point{
+				X: h.X + rng.NormFloat64()*cfg.HotspotSpread,
+				Y: h.Y + rng.NormFloat64()*cfg.HotspotSpread,
+			}
+		} else {
+			dest = cfg.Bounds.RandomPoint(rng)
+		}
+		dest = cfg.Bounds.Clamp(dest)
+
+		if rng.Float64() < cfg.DropoutProb {
+			silentUntil = now + cfg.DropoutMin
+		}
+
+		speed := cfg.MeanSpeed * (1 + cfg.SpeedJitter*(2*rng.Float64()-1))
+		dist := geo.Dist(pos, dest)
+		arrive := now + dist/speed
+		// Emit reports along the leg.
+		for nextReport < arrive && nextReport < cfg.DurationMin {
+			frac := 0.0
+			if arrive > now {
+				frac = (nextReport - now) / (arrive - now)
+			}
+			report(nextReport, geo.Lerp(pos, dest, frac))
+			nextReport += cfg.ReportMeanMin * (0.5 + rng.Float64())
+		}
+		now = arrive
+		pos = dest
+		// Pause at the destination.
+		pause := cfg.PauseMeanMin * rng.ExpFloat64()
+		if idler {
+			pause *= 3 // idlers dwell
+		}
+		pauseEnd := now + pause
+		for nextReport < pauseEnd && nextReport < cfg.DurationMin {
+			report(nextReport, pos)
+			nextReport += cfg.ReportMeanMin * (0.5 + rng.Float64())
+		}
+		now = pauseEnd
+	}
+	return recs
+}

@@ -1,0 +1,150 @@
+package tracegen
+
+import (
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/trace"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 40 // keep the test fast
+	recs, hotspots, err := Generate(rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hotspots) != cfg.Hotspots {
+		t.Fatalf("hotspots = %d", len(hotspots))
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records generated")
+	}
+	set := trace.NewSet(recs)
+	if set.Len() == 0 || set.Len() > cfg.Nodes {
+		t.Fatalf("nodes in set = %d", set.Len())
+	}
+	for _, r := range recs {
+		if r.Minute < 0 || r.Minute > cfg.DurationMin {
+			t.Fatalf("record at minute %v outside window", r.Minute)
+		}
+		if !cfg.Bounds.Contains(r.Pos) {
+			t.Fatalf("record outside bounds: %v", r.Pos)
+		}
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 10
+	a, _, err := Generate(rand.New(rand.NewSource(5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(rand.New(rand.NewSource(5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenerateProducesActiveAndInactiveNodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 120
+	cfg.DropoutProb = 0.10
+	recs, _, err := Generate(rand.New(rand.NewSource(11)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := trace.NewSet(recs)
+	opts := trace.RegularizeOptions{StartMinute: 0, Slots: int(cfg.DurationMin), IntervalMin: 1, MaxGapMin: 5}
+	nodes, _, err := set.RegularizeSet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) == 0 {
+		t.Fatal("every node filtered out")
+	}
+	if len(nodes) == set.Len() {
+		t.Fatal("dropout produced no inactive nodes — filtering path unexercised")
+	}
+}
+
+func TestGenerateHeterogeneousPredictability(t *testing.T) {
+	// Idlers dwell near one hotspot; roamers cover the region. The spread
+	// of per-node position variance should be wide.
+	cfg := DefaultConfig()
+	cfg.Nodes = 60
+	cfg.IdlerFraction = 0.3
+	recs, _, err := Generate(rand.New(rand.NewSource(21)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := trace.NewSet(recs)
+	var spreads []float64
+	for _, n := range set.Nodes() {
+		rs := set.Records(n)
+		if len(rs) < 10 {
+			continue
+		}
+		// Bounding-box diagonal as a cheap roaming measure.
+		minX, maxX := rs[0].Pos.X, rs[0].Pos.X
+		minY, maxY := rs[0].Pos.Y, rs[0].Pos.Y
+		for _, r := range rs {
+			if r.Pos.X < minX {
+				minX = r.Pos.X
+			}
+			if r.Pos.X > maxX {
+				maxX = r.Pos.X
+			}
+			if r.Pos.Y < minY {
+				minY = r.Pos.Y
+			}
+			if r.Pos.Y > maxY {
+				maxY = r.Pos.Y
+			}
+		}
+		spreads = append(spreads, (maxX-minX)+(maxY-minY))
+	}
+	if len(spreads) < 20 {
+		t.Fatalf("too few usable nodes: %d", len(spreads))
+	}
+	lo, hi := spreads[0], spreads[0]
+	for _, s := range spreads {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi < 5*lo+1 {
+		t.Fatalf("no predictability heterogeneity: spreads in [%v, %v]", lo, hi)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := DefaultConfig()
+	bad.Nodes = 0
+	if _, _, err := Generate(rng, bad); err == nil {
+		t.Fatal("Nodes=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.MeanSpeed = 0
+	if _, _, err := Generate(rng, bad); err == nil {
+		t.Fatal("MeanSpeed=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.HotspotBias = 2
+	if _, _, err := Generate(rng, bad); err == nil {
+		t.Fatal("HotspotBias=2 accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package trellis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chaffmec/internal/markov"
+)
+
+func randomChain(rng *rand.Rand, n int) *markov.Chain {
+	p := make([][]float64, n)
+	for i := range p {
+		row := make([]float64, n)
+		sum := 0.0
+		for j := range row {
+			row[j] = rng.Float64() + 1e-9
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		p[i] = row
+	}
+	return markov.MustNew(p)
+}
+
+func TestMLTrajectoryDominantState(t *testing.T) {
+	// State 1 strongly attracts and holds; the ML trajectory should park
+	// there.
+	c := markov.MustNew([][]float64{
+		{0.1, 0.8, 0.1},
+		{0.05, 0.9, 0.05},
+		{0.1, 0.8, 0.1},
+	})
+	tr, ll, err := MLTrajectory(c, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot, x := range tr {
+		if x != 1 {
+			t.Fatalf("slot %d = %d, want 1 (dominant state); trajectory %v", slot, x, tr)
+		}
+	}
+	want, err := c.LogLikelihood(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ll-want) > 1e-9 {
+		t.Fatalf("reported LL %v != recomputed %v", ll, want)
+	}
+}
+
+func TestMLTrajectoryBeatsSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomChain(r, 2+r.Intn(8))
+		T := 1 + r.Intn(30)
+		ml, mlLL, err := MLTrajectory(c, T, nil)
+		if err != nil || len(ml) != T {
+			return false
+		}
+		for k := 0; k < 10; k++ {
+			tr, err := c.Sample(rng, T)
+			if err != nil {
+				return false
+			}
+			ll, err := c.LogLikelihood(tr)
+			if err != nil {
+				return false
+			}
+			if ll > mlLL+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLTrajectoryAgreesWithDijkstra(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		c := randomChain(r, 2+r.Intn(8))
+		T := 1 + r.Intn(25)
+		_, llDP, err := MLTrajectory(c, T, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, llDij, err := MLTrajectoryDijkstra(c, T, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(llDP-llDij) > 1e-9 {
+			t.Fatalf("seed %d: DP LL %v != Dijkstra LL %v", seed, llDP, llDij)
+		}
+	}
+}
+
+func TestMLTrajectoryExclusions(t *testing.T) {
+	c := markov.MustNew([][]float64{
+		{0.1, 0.8, 0.1},
+		{0.05, 0.9, 0.05},
+		{0.1, 0.8, 0.1},
+	})
+	excl := NewExclusionSet()
+	excl.Add(1, 3) // dominant state forbidden at slot 3
+	tr, _, err := MLTrajectory(c, 6, excl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr[3] == 1 {
+		t.Fatalf("slot 3 uses excluded cell: %v", tr)
+	}
+	trD, _, err := MLTrajectoryDijkstra(c, 6, excl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trD[3] == 1 {
+		t.Fatalf("dijkstra slot 3 uses excluded cell: %v", trD)
+	}
+}
+
+func TestMLTrajectoryInfeasible(t *testing.T) {
+	c := randomChain(rand.New(rand.NewSource(1)), 3)
+	excl := NewExclusionSet()
+	for x := 0; x < 3; x++ {
+		excl.Add(x, 2)
+	}
+	if _, _, err := MLTrajectory(c, 5, excl); err == nil {
+		t.Fatal("fully excluded slot accepted")
+	}
+	if _, _, err := MLTrajectoryDijkstra(c, 5, excl); err == nil {
+		t.Fatal("fully excluded slot accepted (dijkstra)")
+	}
+}
+
+func TestMLTrajectoryArgValidation(t *testing.T) {
+	c := randomChain(rand.New(rand.NewSource(1)), 3)
+	if _, _, err := MLTrajectory(c, 0, nil); err == nil {
+		t.Fatal("T=0 accepted")
+	}
+	if _, _, err := MLTrajectoryDijkstra(c, -1, nil); err == nil {
+		t.Fatal("T<0 accepted (dijkstra)")
+	}
+}
+
+func TestExclusionSet(t *testing.T) {
+	var nilSet *ExclusionSet
+	if nilSet.Excluded(0, 0) {
+		t.Fatal("nil set excludes")
+	}
+	if nilSet.Len() != 0 {
+		t.Fatal("nil set non-empty")
+	}
+	e := NewExclusionSet()
+	e.Add(3, 7)
+	e.Add(3, 7) // duplicate
+	e.Add(2, 7)
+	if !e.Excluded(3, 7) || !e.Excluded(2, 7) || e.Excluded(3, 6) {
+		t.Fatal("membership wrong")
+	}
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+}
+
+func TestMLTrajectoryDeterministicTieBreak(t *testing.T) {
+	// Fully symmetric chain: every trajectory has identical likelihood;
+	// the lowest-index path must be returned, deterministically.
+	n := 4
+	p := make([][]float64, n)
+	for i := range p {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1 / float64(n)
+		}
+		p[i] = row
+	}
+	c := markov.MustNew(p)
+	tr1, _, err := MLTrajectory(c, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, _, _ := MLTrajectory(c, 8, nil)
+	if !tr1.Equal(tr2) {
+		t.Fatal("ML trajectory not deterministic")
+	}
+	for slot, x := range tr1 {
+		if x != 0 {
+			t.Fatalf("slot %d = %d, want 0 (lowest-index tie break)", slot, x)
+		}
+	}
+}
