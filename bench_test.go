@@ -11,6 +11,7 @@ import (
 	"chaffmec/internal/analysis"
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/detect"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/figures"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mec"
@@ -293,6 +294,39 @@ func BenchmarkExtCostPrivacy(b *testing.B) {
 	cfg.Runs = 100
 	for i := 0; i < b.N; i++ {
 		if _, err := figures.ExtCostPrivacy(cfg, []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPaperProtocolMO measures the paper's headline Monte-Carlo
+// workload end to end — 1000 runs, T=100, L=10 cells, MO strategy, basic
+// eavesdropper — on the shared engine. Run with -benchmem: per-worker
+// detector reuse and log-likelihood buffer recycling keep the per-run
+// allocation count low, which is the engine's contract for the ROADMAP
+// scaling goals.
+func BenchmarkPaperProtocolMO(b *testing.B) {
+	chain := benchChain(b, mobility.ModelSpatiallySkewed)
+	sc := sim.Scenario{Chain: chain, Strategy: chaff.NewMO(chain), NumChaffs: 1, Horizon: 100}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sc, sim.Options{Runs: 1000, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineOverhead isolates the engine's dispatch/reorder cost with
+// a no-op run body.
+func BenchmarkEngineOverhead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := engine.Run(engine.Options{Runs: 1000, Seed: 1}, engine.Config[struct{}, int]{
+			Run:        func(_ struct{}, run int, _ *rand.Rand) (int, error) { return run, nil },
+			Accumulate: func(int, int) error { return nil },
+		})
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,7 +10,15 @@
 //   - chaff control strategies (IM, ML, CML, OO, MO and the robust
 //     randomized RML/ROO/RMO, plus a rollout-MDP extension),
 //   - eavesdropper detectors (basic ML and strategy-aware advanced),
-//   - a parallel Monte-Carlo simulation harness,
+//   - one shared parallel Monte-Carlo engine (internal/engine) behind
+//     every harness: deterministic per-run seed streams, per-worker
+//     reusable scratch, run-order streaming aggregation and early
+//     cancellation — the single-user harness (internal/sim), the
+//     multi-user harness (internal/multiuser) and MEC episode batches
+//     (internal/mec) all execute on it,
+//   - a config-driven scenario registry (internal/scenario, surfaced
+//     here as RunScenarioFile and by cmd/experiments -scenario) that
+//     turns new workloads into JSON entries instead of new packages,
 //   - the theory bounds of Theorems V.4/V.5 and Corollary V.6,
 //   - the trace pipeline (synthetic taxi traces, Voronoi quantisation,
 //     empirical chain fitting), and
@@ -41,6 +49,7 @@ import (
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mec"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/scenario"
 	"chaffmec/internal/sim"
 )
 
@@ -94,24 +103,11 @@ func StrategyNames() []string { return chaff.Names() }
 // (the robust variants are recognized through their originals: RML→ML,
 // ROO→OO, RMO→MO); IM has none.
 func Gamma(name string, chain *Chain) (GammaFunc, error) {
-	switch name {
-	case "ML", "RML":
-		return chaff.NewML(chain).Gamma, nil
-	case "CML":
-		return chaff.NewCML(chain).Gamma, nil
-	case "OO", "ROO":
-		return chaff.NewOO(chain).Gamma, nil
-	case "MO", "RMO":
-		return chaff.NewMO(chain).Gamma, nil
-	case "ApproxDP":
-		dp, err := chaff.NewApproxDP(chain)
-		if err != nil {
-			return nil, err
-		}
-		return dp.Gamma, nil
-	default:
-		return nil, fmt.Errorf("chaffmec: strategy %q has no deterministic Γ", name)
+	gamma, err := chaff.GammaByName(name, chain)
+	if err != nil {
+		return nil, err
 	}
+	return GammaFunc(gamma), nil
 }
 
 // Evaluation describes one Monte-Carlo experiment: a user following Chain,
@@ -227,6 +223,26 @@ func NewOnlineController(name string, chain *Chain) (OnlineController, error) {
 	}
 	return oc, nil
 }
+
+// Scenario-registry re-exports: declarative, JSON-loadable workloads
+// running on the shared Monte-Carlo engine.
+type (
+	// ScenarioSpec declares one scenario instance (kind, mobility model,
+	// strategy/population, eavesdropper, Monte-Carlo options).
+	ScenarioSpec = scenario.Spec
+	// ScenarioResult is a scenario's aggregated outcome.
+	ScenarioResult = scenario.Result
+)
+
+// ScenarioKinds lists the registered scenario kinds (single, multiuser,
+// mixed).
+func ScenarioKinds() []string { return scenario.Kinds() }
+
+// RunScenario executes one scenario spec.
+func RunScenario(sp ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(sp) }
+
+// RunScenarioFile loads a JSON scenario config and runs every entry.
+func RunScenarioFile(path string) ([]*ScenarioResult, error) { return scenario.RunFile(path) }
 
 // Trace-driven pipeline re-exports.
 type (

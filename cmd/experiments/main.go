@@ -1,13 +1,17 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section (see DESIGN.md §3 for the experiment index). Each
 // figure's data is written as CSV under -out, and an ASCII rendering plus
-// the headline numbers are printed to stdout.
+// the headline numbers are printed to stdout. Beyond the paper's figures,
+// -scenario runs declarative workloads from a JSON config through the
+// scenario registry (kinds: single, multiuser, mixed) — new experiment
+// shapes without new code.
 //
 // Usage:
 //
 //	experiments -fig all -out out
 //	experiments -fig 5,7 -runs 200        # quicker, reduced-run variant
 //	experiments -fig 9a,9b,10             # trace-driven experiments only
+//	experiments -scenario scenarios.json  # config-driven scenario batch
 package main
 
 import (
@@ -19,24 +23,34 @@ import (
 
 	"chaffmec/internal/figures"
 	"chaffmec/internal/plotter"
+	"chaffmec/internal/scenario"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "comma-separated figure ids: 4,kl,5,6,7,8,9a,9b,10,eq11,thm or all")
-		outDir  = flag.String("out", "out", "output directory for CSV artifacts")
-		runs    = flag.Int("runs", 1000, "Monte-Carlo runs for synthetic experiments")
-		seed    = flag.Int64("seed", 1, "random seed")
-		horizon = flag.Int("T", 100, "trajectory length")
-		cells   = flag.Int("L", 10, "cells for synthetic models")
-		nodes   = flag.Int("nodes", 174, "fleet size for trace-driven experiments")
-		topK    = flag.Int("topk", 5, "top users for Figs. 9(b)/10")
+		fig      = flag.String("fig", "all", "comma-separated figure ids: 4,kl,5,6,7,8,9a,9b,10,eq11,thm or all")
+		outDir   = flag.String("out", "out", "output directory for CSV artifacts")
+		runs     = flag.Int("runs", 1000, "Monte-Carlo runs for synthetic experiments")
+		seed     = flag.Int64("seed", 1, "random seed")
+		horizon  = flag.Int("T", 100, "trajectory length")
+		cells    = flag.Int("L", 10, "cells for synthetic models")
+		nodes    = flag.Int("nodes", 174, "fleet size for trace-driven experiments")
+		topK     = flag.Int("topk", 5, "top users for Figs. 9(b)/10")
+		scenFile = flag.String("scenario", "", "JSON scenario config to run instead of the paper figures (kinds: "+strings.Join(scenario.Kinds(), ", ")+")")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+
+	if *scenFile != "" {
+		if err := runScenarios(*scenFile, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	cfg := figures.Config{Runs: *runs, Horizon: *horizon, Cells: *cells, Seed: *seed}
 	r := &runner{cfg: cfg, outDir: *outDir, nodes: *nodes, topK: *topK, seed: *seed}
@@ -73,6 +87,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: no known figure in %q\n", *fig)
 		os.Exit(1)
 	}
+}
+
+// runScenarios executes a JSON scenario config: per-scenario headline
+// numbers and an ASCII chart on stdout, one CSV per scenario under outDir.
+func runScenarios(path, outDir string) error {
+	results, err := scenario.RunFile(path)
+	if err != nil {
+		return err
+	}
+	r := &runner{outDir: outDir}
+	// Scenario names are free-form (and default to the kind), so two
+	// entries can slug to the same CSV name; suffix duplicates instead of
+	// silently overwriting the earlier scenario's artifact.
+	used := map[string]int{}
+	csvName := func(name string) string {
+		s := slug(name)
+		used[s]++
+		if n := used[s]; n > 1 {
+			return fmt.Sprintf("scenario_%s_%d.csv", s, n)
+		}
+		return fmt.Sprintf("scenario_%s.csv", s)
+	}
+	for _, res := range results {
+		fmt.Printf("\n===== scenario %s (%s) =====\n", res.Name, res.Kind)
+		fmt.Printf("%-30s runs %d overall %.4f final %.4f\n",
+			res.Name, res.Runs, res.Overall, res.PerSlot[len(res.PerSlot)-1])
+		series := []plotter.Series{
+			plotter.NewSeries("tracking", res.PerSlot),
+			plotter.NewSeries("stderr", res.PerSlotStdErr),
+		}
+		chart, err := plotter.ASCIIChart("scenario "+res.Name, series[:1], 72, 12)
+		if err != nil {
+			return err
+		}
+		fmt.Print(chart)
+		if err := r.writeCSV(csvName(res.Name), series); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type runner struct {
@@ -418,5 +472,9 @@ func maxOf(xs []float64) float64 {
 func slug(s string) string {
 	s = strings.ReplaceAll(s, "&", "_and_")
 	s = strings.ReplaceAll(s, " ", "_")
+	// Scenario names are free-form config strings; keep the artifact name
+	// inside -out even when the name contains path separators.
+	s = strings.ReplaceAll(s, "/", "_")
+	s = strings.ReplaceAll(s, "\\", "_")
 	return s
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -72,5 +73,73 @@ func TestRunnerTraceFigures(t *testing.T) {
 	// The lab is cached across steps.
 	if r.lab == nil {
 		t.Fatal("trace lab not cached")
+	}
+}
+
+func TestRunScenariosFromJSONConfig(t *testing.T) {
+	// The acceptance path of the scenario layer: two workload kinds that
+	// exist nowhere in the figure code — a multi-user population facing
+	// the strategy-aware eavesdropper, and a mixed-strategy chaff
+	// population — run purely from a JSON config entry.
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "scenarios.json")
+	cfg := `{
+		"defaults": {"runs": 25, "horizon": 15, "seed": 6},
+		"scenarios": [
+			{"name": "multiuser-advanced", "kind": "multiuser",
+			 "model": "spatially-skewed", "other_users": 3,
+			 "strategy": "MO", "advanced": true},
+			{"name": "mixed-population", "kind": "mixed",
+			 "strategies": ["IM", "MO", "RMO"], "num_chaffs": 2},
+			{"name": "big-grid", "kind": "single", "model": "grid",
+			 "grid_w": 10, "grid_h": 10, "strategy": "IM"}
+		]
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "out")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenarios(cfgPath, outDir); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scenario_multiuser-advanced.csv", "scenario_mixed-population.csv", "scenario_big-grid.csv"} {
+		if _, err := os.Stat(filepath.Join(outDir, want)); err != nil {
+			t.Fatalf("missing CSV %s: %v", want, err)
+		}
+	}
+	if err := runScenarios(filepath.Join(dir, "missing.json"), outDir); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestRunScenariosDeduplicatesCSVNames(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "dup.json")
+	// Two bare entries of the same kind default to the same name; both
+	// artifacts must survive.
+	cfg := `{
+		"defaults": {"runs": 5, "horizon": 5, "seed": 1},
+		"scenarios": [
+			{"kind": "single", "strategy": "MO"},
+			{"kind": "single", "strategy": "IM"}
+		]
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "out")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenarios(cfgPath, outDir); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scenario_single.csv", "scenario_single_2.csv"} {
+		if _, err := os.Stat(filepath.Join(outDir, want)); err != nil {
+			t.Fatalf("missing CSV %s: %v", want, err)
+		}
 	}
 }

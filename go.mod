@@ -1,0 +1,3 @@
+module chaffmec
+
+go 1.24

@@ -43,3 +43,29 @@ func Names() []string {
 	sort.Strings(n)
 	return n
 }
+
+// GammaByName returns the deterministic trajectory map Γ of a strategy
+// family, as assumed by the advanced eavesdropper of Section VI-A: ML,
+// CML, OO, MO and ApproxDP have one (the robust variants are recognized
+// through their deterministic originals: RML→ML, ROO→OO, RMO→MO); IM has
+// none. The returned func satisfies detect.GammaFunc.
+func GammaByName(name string, chain *markov.Chain) (func(markov.Trajectory) (markov.Trajectory, error), error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "ML", "RML":
+		return NewML(chain).Gamma, nil
+	case "CML":
+		return NewCML(chain).Gamma, nil
+	case "OO", "ROO":
+		return NewOO(chain).Gamma, nil
+	case "MO", "RMO":
+		return NewMO(chain).Gamma, nil
+	case "APPROXDP":
+		dp, err := NewApproxDP(chain)
+		if err != nil {
+			return nil, err
+		}
+		return dp.Gamma, nil
+	default:
+		return nil, fmt.Errorf("chaff: strategy %q has no deterministic Γ", name)
+	}
+}

@@ -36,7 +36,11 @@ func NewAdvancedDetector(chain *markov.Chain, gamma GammaFunc) (*AdvancedDetecto
 // matches Γ(x_v) for some other observed trajectory v, i.e. when u is
 // recognizably a chaff for v.
 func (d *AdvancedDetector) Survivors(trs []markov.Trajectory) ([]bool, error) {
-	include := make([]bool, len(trs))
+	return d.survivorsInto(make([]bool, len(trs)), trs)
+}
+
+// survivorsInto computes the filter into include (len(trs) entries).
+func (d *AdvancedDetector) survivorsInto(include []bool, trs []markov.Trajectory) ([]bool, error) {
 	for u := range include {
 		include[u] = true
 	}
@@ -62,19 +66,17 @@ func (d *AdvancedDetector) Survivors(trs []markov.Trajectory) ([]bool, error) {
 // eavesdropper analyses a recorded observation window — and the per-slot
 // curve comes from prefix ML detection among the survivors.
 func (d *AdvancedDetector) PrefixDetections(trs []markov.Trajectory) ([][]int, error) {
-	include, err := d.Survivors(trs)
+	return d.PrefixDetectionsWith(NewWorkspace(), trs)
+}
+
+// PrefixDetectionsWith is PrefixDetections with caller-owned buffers; the
+// returned tie sets alias ws and stay valid until its next use.
+func (d *AdvancedDetector) PrefixDetectionsWith(ws *Workspace, trs []markov.Trajectory) ([][]int, error) {
+	include, err := d.survivorsInto(ws.bools(len(trs)), trs)
 	if err != nil {
 		return nil, err
 	}
-	ll, err := d.ml.prefixLogLik(trs)
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]int, len(ll))
-	for t, row := range ll {
-		out[t] = argmaxSet(row, include)
-	}
-	return out, nil
+	return d.ml.prefixDetectionsInto(ws, trs, include)
 }
 
 // Detect returns the tie set for the full trajectories after filtering.

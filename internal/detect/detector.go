@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"chaffmec/internal/markov"
 )
@@ -31,6 +32,10 @@ const llTieTol = 1e-9
 // strategy.
 type MLDetector struct {
 	chain *markov.Chain
+
+	piOnce sync.Once
+	pi     []float64
+	piErr  error
 }
 
 // NewMLDetector returns an ML detector using the given mobility model.
@@ -39,14 +44,70 @@ func NewMLDetector(chain *markov.Chain) *MLDetector { return &MLDetector{chain: 
 // Chain returns the detector's mobility model.
 func (d *MLDetector) Chain() *markov.Chain { return d.chain }
 
-// prefixLogLik fills ll[t][u] with the log-likelihood of trajectory u's
-// prefix of length t+1.
-func (d *MLDetector) prefixLogLik(trs []markov.Trajectory) ([][]float64, error) {
+// steady memoizes the chain's stationary distribution on the detector so
+// the Monte-Carlo hot path does not re-copy it every run. The detector is
+// safe for concurrent use.
+func (d *MLDetector) steady() ([]float64, error) {
+	d.piOnce.Do(func() { d.pi, d.piErr = d.chain.SteadyState() })
+	return d.pi, d.piErr
+}
+
+// PrefixDetector is the per-slot tie-set interface both eavesdroppers
+// (MLDetector and AdvancedDetector) satisfy; Monte-Carlo harnesses hold
+// one shared instance and call it with per-worker Workspaces.
+type PrefixDetector interface {
+	// PrefixDetectionsWith returns each slot's tie set, using ws for all
+	// scratch; the sets alias ws and stay valid until its next use.
+	PrefixDetectionsWith(ws *Workspace, trs []markov.Trajectory) ([][]int, error)
+}
+
+// Workspace holds the buffers of repeated prefix detections — the running
+// log-likelihood row, the per-slot tie sets and the advanced detector's
+// survivor mask — so Monte-Carlo harnesses can reuse them across runs
+// (one Workspace per worker; not safe for concurrent use). Tie sets
+// returned from a ...With call alias the workspace and stay valid only
+// until its next use.
+type Workspace struct {
+	run     []float64
+	sets    [][]int
+	setBuf  []int
+	include []bool
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+func (ws *Workspace) floats(n int) []float64 {
+	if cap(ws.run) < n {
+		ws.run = make([]float64, n)
+	}
+	return ws.run[:n]
+}
+
+func (ws *Workspace) slots(T int) [][]int {
+	if cap(ws.sets) < T {
+		ws.sets = make([][]int, T)
+	}
+	return ws.sets[:T]
+}
+
+func (ws *Workspace) bools(n int) []bool {
+	if cap(ws.include) < n {
+		ws.include = make([]bool, n)
+	}
+	return ws.include[:n]
+}
+
+// prefixDetectionsInto is the shared detection core: one pass over the
+// slots, maintaining the running prefix log-likelihood of every trajectory
+// and emitting the tie set per slot, restricted to include (nil = all).
+// All buffers come from ws.
+func (d *MLDetector) prefixDetectionsInto(ws *Workspace, trs []markov.Trajectory, include []bool) ([][]int, error) {
 	if len(trs) == 0 {
 		return nil, errors.New("detect: no trajectories")
 	}
 	T := len(trs[0])
-	pi, err := d.chain.SteadyState()
+	pi, err := d.steady()
 	if err != nil {
 		return nil, err
 	}
@@ -58,8 +119,7 @@ func (d *MLDetector) prefixLogLik(trs []markov.Trajectory) ([][]float64, error) 
 			return nil, err
 		}
 	}
-	ll := make([][]float64, T)
-	run := make([]float64, len(trs))
+	run := ws.floats(len(trs))
 	for u, tr := range trs {
 		if pi[tr[0]] > 0 {
 			run[u] = math.Log(pi[tr[0]])
@@ -67,32 +127,32 @@ func (d *MLDetector) prefixLogLik(trs []markov.Trajectory) ([][]float64, error) 
 			run[u] = math.Inf(-1)
 		}
 	}
+	out := ws.slots(T)
+	ws.setBuf = ws.setBuf[:0]
 	for t := 0; t < T; t++ {
 		if t > 0 {
 			for u, tr := range trs {
 				run[u] += d.chain.LogProb(tr[t-1], tr[t])
 			}
 		}
-		row := make([]float64, len(trs))
-		copy(row, run)
-		ll[t] = row
+		start := len(ws.setBuf)
+		ws.setBuf = appendArgmaxSet(ws.setBuf, run, include)
+		out[t] = ws.setBuf[start:len(ws.setBuf):len(ws.setBuf)]
 	}
-	return ll, nil
+	return out, nil
 }
 
 // PrefixDetections returns, for every slot t, the indices of the
 // trajectories achieving the maximum prefix log-likelihood (the detector's
 // tie set). The eavesdropper's pick at slot t is uniform over that set.
 func (d *MLDetector) PrefixDetections(trs []markov.Trajectory) ([][]int, error) {
-	ll, err := d.prefixLogLik(trs)
-	if err != nil {
-		return nil, err
-	}
-	out := make([][]int, len(ll))
-	for t, row := range ll {
-		out[t] = argmaxSet(row, nil)
-	}
-	return out, nil
+	return d.PrefixDetectionsWith(NewWorkspace(), trs)
+}
+
+// PrefixDetectionsWith is PrefixDetections with caller-owned buffers; the
+// returned tie sets alias ws and stay valid until its next use.
+func (d *MLDetector) PrefixDetectionsWith(ws *Workspace, trs []markov.Trajectory) ([][]int, error) {
+	return d.prefixDetectionsInto(ws, trs, nil)
 }
 
 // Detect returns the tie set for the full trajectories (the last slot of
@@ -105,11 +165,11 @@ func (d *MLDetector) Detect(trs []markov.Trajectory) ([]int, error) {
 	return dets[len(dets)-1], nil
 }
 
-// argmaxSet returns the indices within tol of the maximum of row,
-// restricted to indices where include is true (include == nil means all).
-// All-(-Inf) rows (or empty include sets) return every included index:
-// the detector has no information and guesses uniformly.
-func argmaxSet(row []float64, include []bool) []int {
+// appendArgmaxSet appends to dst the indices within tol of the maximum of
+// row, restricted to indices where include is true (include == nil means
+// all). All-(-Inf) rows (or empty include sets) yield every included
+// index: the detector has no information and guesses uniformly.
+func appendArgmaxSet(dst []int, row []float64, include []bool) []int {
 	best := math.Inf(-1)
 	n := 0
 	for u, v := range row {
@@ -123,28 +183,26 @@ func argmaxSet(row []float64, include []bool) []int {
 	}
 	if n == 0 {
 		// Everything filtered out: uniform guess over all trajectories.
-		out := make([]int, len(row))
 		for u := range row {
-			out[u] = u
+			dst = append(dst, u)
 		}
-		return out
+		return dst
 	}
-	var out []int
 	if math.IsInf(best, -1) {
 		for u := range row {
 			if include == nil || include[u] {
-				out = append(out, u)
+				dst = append(dst, u)
 			}
 		}
-		return out
+		return dst
 	}
 	for u, v := range row {
 		if include != nil && !include[u] {
 			continue
 		}
 		if best-v <= llTieTol {
-			out = append(out, u)
+			dst = append(dst, u)
 		}
 	}
-	return out
+	return dst
 }

@@ -267,11 +267,11 @@ func TestAdvancedDetectorNilGamma(t *testing.T) {
 }
 
 func TestArgmaxSetNegInfRows(t *testing.T) {
-	set := argmaxSet([]float64{math.Inf(-1), math.Inf(-1)}, nil)
+	set := appendArgmaxSet(nil, []float64{math.Inf(-1), math.Inf(-1)}, nil)
 	if len(set) != 2 {
 		t.Fatalf("all-(-Inf) tie set %v, want both indices", set)
 	}
-	set = argmaxSet([]float64{1, 2, 2 - 1e-12}, nil)
+	set = appendArgmaxSet(set[:0], []float64{1, 2, 2 - 1e-12}, nil)
 	if len(set) != 2 {
 		t.Fatalf("near-tie set %v, want 2 entries", set)
 	}

@@ -1,0 +1,263 @@
+// Package engine is the shared parallel Monte-Carlo executor behind the
+// paper's evaluation (Section VII): every experiment in this repository —
+// single-user synthetic scenarios (internal/sim), multi-user cover
+// scenarios (internal/multiuser), MEC substrate episode batches
+// (internal/mec) and the figure drivers built on them — repeats a seeded
+// run many times and aggregates per-slot metrics. The engine owns the
+// three concerns those harnesses used to duplicate:
+//
+//   - Stream derivation: run r of an experiment with base seed s draws all
+//     of its randomness from rand.New(rand.NewSource(MixSeed(s, r))).
+//     MixSeed applies a full golden-ratio/splitmix64 avalanche, so adjacent
+//     run indices yield decorrelated streams and a run's result depends
+//     only on (s, r) — never on scheduling or worker count.
+//
+//   - Worker pools with per-worker scratch: NewWorker is called once per
+//     worker, letting callers hoist detector construction, steady-state
+//     lookups and log-likelihood buffers out of the per-run hot path; the
+//     Run callback then reuses that state across all runs the worker
+//     executes.
+//
+//   - Deterministic streaming aggregation: results are re-ordered and
+//     handed to Accumulate in strict run order (0, 1, 2, …) on a single
+//     goroutine, so floating-point reductions are bitwise reproducible for
+//     any worker count. SeriesStats/ScalarStats provide streaming
+//     (Welford) mean and standard-error accumulation for per-slot series
+//     and scalar metrics.
+//
+// Errors cancel the experiment early: the first error (from worker setup,
+// a run, or accumulation) stops dispatch, unblocks all workers and is
+// returned to the caller.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Options tunes a Monte-Carlo experiment.
+type Options struct {
+	// Runs is the number of Monte-Carlo repetitions (default 1000, the
+	// paper's setting).
+	Runs int
+	// Seed derives the per-run RNG streams via MixSeed; a fixed seed makes
+	// the whole experiment reproducible regardless of scheduling.
+	Seed int64
+	// Workers caps the parallel workers (default GOMAXPROCS).
+	Workers int
+}
+
+// Normalized resolves the defaults: Runs 1000, Workers GOMAXPROCS (both
+// additionally clamped so Workers ≤ Runs).
+func (o Options) Normalized() Options {
+	if o.Runs <= 0 {
+		o.Runs = 1000
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers > o.Runs {
+		o.Workers = o.Runs
+	}
+	return o
+}
+
+// MixSeed derives the RNG seed of one run from the experiment's base seed:
+// a splitmix64-style golden-ratio multiply followed by the full finishing
+// avalanche, so that low-entropy (seed, run) pairs — seeds 0,1,2 and run
+// indices 0…999 — still produce well-separated streams.
+func MixSeed(seed int64, run int) int64 {
+	x := uint64(seed) ^ (uint64(run)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// NewRunRNG returns the private RNG stream of one run: the canonical
+// rand source seeded with MixSeed(seed, run). Run uses it for every
+// dispatched run; tests use it to replay a single run by hand.
+func NewRunRNG(seed int64, run int) *rand.Rand {
+	return rand.New(rand.NewSource(MixSeed(seed, run)))
+}
+
+// Config wires one experiment into Run. W is the per-worker scratch state,
+// R the per-run result type.
+type Config[W, R any] struct {
+	// NewWorker builds worker-local scratch (detectors, reusable buffers).
+	// It runs once per worker on the caller's goroutine before any run
+	// executes, so setup failures abort the experiment deterministically.
+	// Nil means no scratch (W's zero value is passed to every Run call).
+	NewWorker func(worker int) (W, error)
+	// Run executes one Monte-Carlo run. rng is the run's private stream,
+	// derived deterministically from (Options.Seed, run). The returned R
+	// is retained by the engine until Accumulate consumes it, so it must
+	// not alias worker scratch that the next Run call overwrites.
+	Run func(w W, run int, rng *rand.Rand) (R, error)
+	// Accumulate folds one run's result into the experiment aggregate. It
+	// is called on a single goroutine in strict run order (0, 1, 2, …),
+	// making reductions independent of scheduling and worker count.
+	Accumulate func(run int, r R) error
+}
+
+// chunkSize picks the dispatch granularity: runs travel through the
+// channels in contiguous chunks so the per-run synchronization cost is
+// amortized (critical on low-core machines, where every channel handoff
+// is a context switch), while keeping at least a few chunks per worker
+// for load balancing.
+func chunkSize(runs, workers int) int {
+	c := runs / (workers * 4)
+	if c < 1 {
+		c = 1
+	}
+	if c > 256 {
+		c = 256
+	}
+	return c
+}
+
+// reorderWindow bounds how far dispatch may advance past the oldest
+// unaccumulated chunk, capping the engine's buffered-result memory at
+// roughly window·chunk·sizeof(R) regardless of scheduling skew.
+func reorderWindow(workers int) int {
+	w := 4 * workers
+	if w < 16 {
+		w = 16
+	}
+	return w
+}
+
+// Run executes opts.Runs Monte-Carlo runs of cfg across a worker pool.
+// Results are accumulated in run order; the first error cancels the
+// remaining work and is returned.
+func Run[W, R any](opts Options, cfg Config[W, R]) error {
+	o := opts.Normalized()
+	if cfg.Run == nil {
+		return fmt.Errorf("engine: Config.Run is nil")
+	}
+	if cfg.Accumulate == nil {
+		return fmt.Errorf("engine: Config.Accumulate is nil")
+	}
+
+	// Worker scratch is built up front, before any run executes: a setup
+	// failure is then reported deterministically, instead of racing the
+	// completion of the runs on the other workers.
+	states := make([]W, o.Workers)
+	if cfg.NewWorker != nil {
+		for w := range states {
+			var err error
+			if states[w], err = cfg.NewWorker(w); err != nil {
+				return fmt.Errorf("engine: worker %d setup: %w", w, err)
+			}
+		}
+	}
+
+	chunk := chunkSize(o.Runs, o.Workers)
+	// A chunk is the half-open run range [start, start+len(res)).
+	type outcome struct {
+		start int
+		res   []R
+		err   error
+		// errRun is the failing run when err != nil.
+		errRun int
+	}
+	jobs := make(chan [2]int)
+	results := make(chan outcome, o.Workers)
+	// tokens implements the dispatch window: the dispatcher takes a token
+	// per chunk, the aggregator returns it once the chunk is accumulated.
+	tokens := make(chan struct{}, reorderWindow(o.Workers))
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	stop := func() { cancelOnce.Do(func() { close(cancel) }) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			state := states[worker]
+			for {
+				select {
+				case <-cancel:
+					return
+				case job, ok := <-jobs:
+					if !ok {
+						return
+					}
+					out := outcome{start: job[0], res: make([]R, 0, job[1]-job[0])}
+					for run := job[0]; run < job[1]; run++ {
+						res, err := cfg.Run(state, run, NewRunRNG(o.Seed, run))
+						if err != nil {
+							out.err, out.errRun = err, run
+							break
+						}
+						out.res = append(out.res, res)
+					}
+					select {
+					case results <- out:
+					case <-cancel:
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	go func() {
+		defer close(jobs)
+		for start := 0; start < o.Runs; start += chunk {
+			end := start + chunk
+			if end > o.Runs {
+				end = o.Runs
+			}
+			select {
+			case tokens <- struct{}{}:
+			case <-cancel:
+				return
+			}
+			select {
+			case jobs <- [2]int{start, end}:
+			case <-cancel:
+				return
+			}
+		}
+	}()
+
+	pending := make(map[int][]R, o.Workers)
+	next := 0
+	var firstErr error
+	for next < o.Runs && firstErr == nil {
+		out := <-results
+		if out.err != nil {
+			firstErr = fmt.Errorf("engine: run %d: %w", out.errRun, out.err)
+			break
+		}
+		pending[out.start] = out.res
+		for {
+			res, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			start := next
+			for i, r := range res {
+				if err := cfg.Accumulate(start+i, r); err != nil {
+					firstErr = fmt.Errorf("engine: accumulating run %d: %w", start+i, err)
+					break
+				}
+				next++
+			}
+			if firstErr != nil {
+				break
+			}
+			<-tokens
+		}
+	}
+	stop()
+	wg.Wait()
+	return firstErr
+}

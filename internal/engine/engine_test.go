@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// collect runs a toy experiment and returns each run's first RNG draw in
+// accumulation order.
+func collect(t *testing.T, runs, workers int, seed int64) []float64 {
+	t.Helper()
+	var out []float64
+	err := Run(Options{Runs: runs, Seed: seed, Workers: workers}, Config[int, float64]{
+		NewWorker: func(worker int) (int, error) { return worker, nil },
+		Run: func(_ int, run int, rng *rand.Rand) (float64, error) {
+			return rng.Float64(), nil
+		},
+		Accumulate: func(run int, v float64) error {
+			out = append(out, v)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	ref := collect(t, 137, 1, 42)
+	if len(ref) != 137 {
+		t.Fatalf("accumulated %d runs, want 137", len(ref))
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0), 32} {
+		got := collect(t, 137, workers, 42)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d: accumulation differs from single-worker order", workers)
+		}
+	}
+}
+
+func TestAccumulateInRunOrder(t *testing.T) {
+	next := 0
+	err := Run(Options{Runs: 200, Seed: 1, Workers: 8}, Config[struct{}, int]{
+		Run: func(_ struct{}, run int, _ *rand.Rand) (int, error) { return run, nil },
+		Accumulate: func(run int, v int) error {
+			if run != next || v != run {
+				return fmt.Errorf("accumulate got run %d (value %d), want %d", run, v, next)
+			}
+			next++
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 200 {
+		t.Fatalf("accumulated %d runs, want 200", next)
+	}
+}
+
+func TestRunErrorCancelsEarly(t *testing.T) {
+	boom := errors.New("boom")
+	executed := 0
+	err := Run(Options{Runs: 100000, Seed: 1, Workers: 4}, Config[struct{}, int]{
+		Run: func(_ struct{}, run int, _ *rand.Rand) (int, error) {
+			if run == 17 {
+				return 0, boom
+			}
+			return run, nil
+		},
+		Accumulate: func(run int, v int) error {
+			executed++
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// The cancel path must stop dispatch long before the nominal 100000
+	// runs; the exact count depends on scheduling, but it is bounded by
+	// the dispatch window plus what was in flight.
+	if executed > 1000 {
+		t.Fatalf("%d runs accumulated after an early error", executed)
+	}
+}
+
+func TestWorkerSetupErrorPropagates(t *testing.T) {
+	boom := errors.New("no scratch")
+	ran := false
+	err := Run(Options{Runs: 10, Seed: 1, Workers: 3}, Config[int, int]{
+		// Only the last worker fails — setup runs up front, so the error
+		// is reported deterministically, before any run executes.
+		NewWorker: func(worker int) (int, error) {
+			if worker == 2 {
+				return 0, boom
+			}
+			return worker, nil
+		},
+		Run: func(_ int, run int, _ *rand.Rand) (int, error) {
+			ran = true
+			return run, nil
+		},
+		Accumulate: func(int, int) error { return nil },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped setup error", err)
+	}
+	if ran {
+		t.Fatal("runs executed despite a worker setup failure")
+	}
+}
+
+func TestAccumulateErrorPropagates(t *testing.T) {
+	boom := errors.New("agg")
+	err := Run(Options{Runs: 50, Seed: 1, Workers: 4}, Config[struct{}, int]{
+		Run: func(_ struct{}, run int, _ *rand.Rand) (int, error) { return run, nil },
+		Accumulate: func(run int, v int) error {
+			if run == 10 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped accumulate error", err)
+	}
+}
+
+func TestMixSeedDistinctAndAvalanched(t *testing.T) {
+	seen := make(map[int64]bool)
+	for run := 0; run < 2000; run++ {
+		s := MixSeed(12345, run)
+		if seen[s] {
+			t.Fatalf("seed collision at run %d", run)
+		}
+		seen[s] = true
+	}
+	// Avalanche: adjacent run indices must flip close to half the 64 bits
+	// on average (the weakness of the old xor+multiply-only mixing was
+	// exactly here: low bits of adjacent runs stayed correlated).
+	total := 0
+	const pairs = 1000
+	for run := 0; run < pairs; run++ {
+		a := uint64(MixSeed(7, run))
+		b := uint64(MixSeed(7, run+1))
+		total += bits.OnesCount64(a ^ b)
+	}
+	avg := float64(total) / pairs
+	if avg < 28 || avg > 36 {
+		t.Fatalf("adjacent-run seeds differ in %.1f bits on average, want ≈ 32", avg)
+	}
+}
+
+func TestSeriesStatsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const T, n = 7, 400
+	s := NewSeriesStats(T)
+	data := make([][]float64, n)
+	for i := range data {
+		row := make([]float64, T)
+		for k := range row {
+			row[k] = rng.NormFloat64()
+		}
+		data[i] = row
+		if err := s.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mean, stderr := s.Mean(), s.StdErr()
+	for k := 0; k < T; k++ {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			sum += data[i][k]
+			sumSq += data[i][k] * data[i][k]
+		}
+		m := sum / n
+		variance := (sumSq - n*m*m) / (n - 1)
+		se := math.Sqrt(variance / n)
+		if math.Abs(mean[k]-m) > 1e-12 {
+			t.Fatalf("mean[%d] = %v, want %v", k, mean[k], m)
+		}
+		if math.Abs(stderr[k]-se) > 1e-12 {
+			t.Fatalf("stderr[%d] = %v, want %v", k, stderr[k], se)
+		}
+	}
+	if s.N() != n {
+		t.Fatalf("N = %d, want %d", s.N(), n)
+	}
+	if err := s.Add(make([]float64, T+1)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestScalarStats(t *testing.T) {
+	var s ScalarStats
+	if s.Mean() != 0 || s.StdErr() != 0 {
+		t.Fatal("zero-value stats not zero")
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N() != 4 || math.Abs(s.Mean()-2.5) > 1e-15 {
+		t.Fatalf("mean = %v (n=%d), want 2.5 (4)", s.Mean(), s.N())
+	}
+	// Sample variance of {1,2,3,4} is 5/3; stderr = sqrt(5/3/4).
+	want := math.Sqrt(5.0 / 3.0 / 4.0)
+	if math.Abs(s.StdErr()-want) > 1e-15 {
+		t.Fatalf("stderr = %v, want %v", s.StdErr(), want)
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	o := Options{}.Normalized()
+	if o.Runs != 1000 || o.Workers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{Runs: 3, Workers: 64}.Normalized()
+	if o.Workers != 3 {
+		t.Fatalf("workers not clamped to runs: %+v", o)
+	}
+}
+
+func TestNilCallbacksRejected(t *testing.T) {
+	if err := Run(Options{Runs: 1}, Config[int, int]{}); err == nil {
+		t.Fatal("nil Run accepted")
+	}
+	if err := Run(Options{Runs: 1}, Config[int, int]{
+		Run: func(int, int, *rand.Rand) (int, error) { return 0, nil },
+	}); err == nil {
+		t.Fatal("nil Accumulate accepted")
+	}
+}

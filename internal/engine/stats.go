@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeriesStats accumulates streaming per-slot mean and variance (Welford's
+// algorithm) over fixed-length metric series, one Add per Monte-Carlo run.
+// Feeding it from Config.Accumulate keeps results bitwise independent of
+// worker count, because runs arrive in a fixed order.
+type SeriesStats struct {
+	n    int
+	mean []float64
+	m2   []float64
+}
+
+// NewSeriesStats prepares an accumulator for series of length T.
+func NewSeriesStats(T int) *SeriesStats {
+	return &SeriesStats{mean: make([]float64, T), m2: make([]float64, T)}
+}
+
+// Add folds one run's per-slot series into the accumulator.
+func (s *SeriesStats) Add(x []float64) error {
+	if len(x) != len(s.mean) {
+		return fmt.Errorf("engine: series length %d, want %d", len(x), len(s.mean))
+	}
+	s.n++
+	inv := 1 / float64(s.n)
+	for t, v := range x {
+		d := v - s.mean[t]
+		s.mean[t] += d * inv
+		s.m2[t] += d * (v - s.mean[t])
+	}
+	return nil
+}
+
+// N returns the number of series accumulated.
+func (s *SeriesStats) N() int { return s.n }
+
+// Mean returns the per-slot sample mean (a copy).
+func (s *SeriesStats) Mean() []float64 {
+	out := make([]float64, len(s.mean))
+	copy(out, s.mean)
+	return out
+}
+
+// StdErr returns the per-slot standard error of the mean (zero when fewer
+// than two series were accumulated).
+func (s *SeriesStats) StdErr() []float64 {
+	out := make([]float64, len(s.m2))
+	if s.n < 2 {
+		return out
+	}
+	n := float64(s.n)
+	for t, m2 := range s.m2 {
+		if m2 < 0 {
+			m2 = 0
+		}
+		out[t] = math.Sqrt(m2 / (n - 1) / n)
+	}
+	return out
+}
+
+// ScalarStats is the scalar counterpart of SeriesStats.
+type ScalarStats struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one run's scalar metric into the accumulator.
+func (s *ScalarStats) Add(v float64) {
+	s.n++
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// N returns the number of samples accumulated.
+func (s *ScalarStats) N() int { return s.n }
+
+// Mean returns the sample mean (zero before any Add).
+func (s *ScalarStats) Mean() float64 { return s.mean }
+
+// StdErr returns the standard error of the mean (zero when n < 2).
+func (s *ScalarStats) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m2 := s.m2
+	if m2 < 0 {
+		m2 = 0
+	}
+	n := float64(s.n)
+	return math.Sqrt(m2 / (n - 1) / n)
+}

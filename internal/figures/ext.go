@@ -2,9 +2,9 @@ package figures
 
 import (
 	"fmt"
-	"math/rand"
 
 	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mec"
 	"chaffmec/internal/mobility"
@@ -160,43 +160,33 @@ func ExtCostPrivacy(cfg Config, budgets []int) ([]ExtCostRow, error) {
 	var rows []ExtCostRow
 	for _, strategyName := range []string{"IM", "RMO"} {
 		for _, n := range budgets {
-			strat, err := chaff.NewByName(strategyName, chain)
-			if err != nil {
-				return nil, err
-			}
-			ctrl, ok := strat.(chaff.OnlineController)
-			if !ok {
-				return nil, fmt.Errorf("figures: %s is not an online controller", strategyName)
-			}
-			s, err := mec.NewSimulator(mec.Config{
-				Chain:      chain,
-				Controller: ctrl,
-				NumChaffs:  n,
-				Horizon:    cfg.Horizon,
-				Grid:       grid,
-			})
-			if err != nil {
-				return nil, err
-			}
-			var acc, mig, chf, tot float64
-			for e := 0; e < episodes; e++ {
-				rep, err := s.Run(rand.New(rand.NewSource(cfg.Seed + int64(e))))
+			newController := func() (chaff.OnlineController, error) {
+				strat, err := chaff.NewByName(strategyName, chain)
 				if err != nil {
 					return nil, err
 				}
-				acc += rep.Overall
-				mig += rep.Costs.Migration
-				chf += rep.Costs.Chaff
-				tot += rep.Costs.Total()
+				ctrl, ok := strat.(chaff.OnlineController)
+				if !ok {
+					return nil, fmt.Errorf("figures: %s is not an online controller", strategyName)
+				}
+				return ctrl, nil
 			}
-			f := float64(episodes)
+			batch, err := mec.RunBatch(mec.Config{
+				Chain:     chain,
+				NumChaffs: n,
+				Horizon:   cfg.Horizon,
+				Grid:      grid,
+			}, newController, engine.Options{Runs: episodes, Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
 			rows = append(rows, ExtCostRow{
 				Strategy:      strategyName,
 				NumChaffs:     n,
-				Accuracy:      acc / f,
-				MigrationCost: mig / f,
-				ChaffCost:     chf / f,
-				TotalCost:     tot / f,
+				Accuracy:      batch.Overall,
+				MigrationCost: batch.Costs.Migration,
+				ChaffCost:     batch.Costs.Chaff,
+				TotalCost:     batch.Costs.Total(),
 			})
 		}
 	}

@@ -1,0 +1,109 @@
+package mec
+
+import (
+	"errors"
+	"math/rand"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
+)
+
+// BatchResult aggregates a batch of Monte-Carlo episodes of the MEC
+// substrate simulator.
+type BatchResult struct {
+	// Episodes is the number of episodes aggregated.
+	Episodes int
+	// Tracking is the mean per-slot tracking accuracy across episodes,
+	// TrackingStdErr its standard error.
+	Tracking       []float64
+	TrackingStdErr []float64
+	// Overall is the mean per-episode overall tracking accuracy,
+	// OverallStdErr its standard error.
+	Overall       float64
+	OverallStdErr float64
+	// Costs is the mean per-episode cost breakdown.
+	Costs CostBreakdown
+	// Migrations, FailedMigrations and QoSViolations are per-episode
+	// means of the corresponding episode counters.
+	Migrations, FailedMigrations, QoSViolations float64
+}
+
+// RunBatch executes a batch of episodes on the shared Monte-Carlo engine:
+// episode e draws all of its randomness from the engine.MixSeed(seed, e)
+// stream, workers run episodes in parallel, and aggregation is
+// deterministic in episode order. Because online controllers are stateful,
+// each worker builds its own via newController; cfg.Controller must be
+// left nil (a set controller would be silently ignored, so it is
+// rejected).
+func RunBatch(cfg Config, newController func() (chaff.OnlineController, error), opts engine.Options) (*BatchResult, error) {
+	if newController == nil {
+		return nil, errors.New("mec: RunBatch needs a controller factory")
+	}
+	if cfg.Controller != nil {
+		return nil, errors.New("mec: RunBatch builds controllers via newController; leave cfg.Controller nil")
+	}
+	o := opts.Normalized()
+
+	// Validate the configuration once, up front, with a throwaway
+	// controller — worker construction then cannot fail on config errors.
+	probe := cfg
+	ctrl, err := newController()
+	if err != nil {
+		return nil, err
+	}
+	probe.Controller = ctrl
+	if _, err := NewSimulator(probe); err != nil {
+		return nil, err
+	}
+
+	track := engine.NewSeriesStats(cfg.Horizon)
+	var overall, migCost, chaffCost, commCost engine.ScalarStats
+	var migrations, failed, qos engine.ScalarStats
+
+	err = engine.Run(o, engine.Config[*Simulator, *Report]{
+		NewWorker: func(int) (*Simulator, error) {
+			wcfg := cfg
+			ctrl, err := newController()
+			if err != nil {
+				return nil, err
+			}
+			wcfg.Controller = ctrl
+			return NewSimulator(wcfg)
+		},
+		Run: func(s *Simulator, episode int, rng *rand.Rand) (*Report, error) {
+			return s.Run(rng)
+		},
+		Accumulate: func(episode int, rep *Report) error {
+			if err := track.Add(rep.Tracking); err != nil {
+				return err
+			}
+			overall.Add(rep.Overall)
+			migCost.Add(rep.Costs.Migration)
+			chaffCost.Add(rep.Costs.Chaff)
+			commCost.Add(rep.Costs.Comm)
+			migrations.Add(float64(rep.Migrations))
+			failed.Add(float64(rep.FailedMigrations))
+			qos.Add(float64(rep.QoSViolations))
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &BatchResult{
+		Episodes:       o.Runs,
+		Tracking:       track.Mean(),
+		TrackingStdErr: track.StdErr(),
+		Overall:        overall.Mean(),
+		OverallStdErr:  overall.StdErr(),
+		Costs: CostBreakdown{
+			Migration: migCost.Mean(),
+			Chaff:     chaffCost.Mean(),
+			Comm:      commCost.Mean(),
+		},
+		Migrations:       migrations.Mean(),
+		FailedMigrations: failed.Mean(),
+		QoSViolations:    qos.Mean(),
+	}, nil
+}

@@ -1,0 +1,85 @@
+package mec
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
+	"chaffmec/internal/mobility"
+)
+
+func batchFixture(t *testing.T) (Config, func() (chaff.OnlineController, error)) {
+	t.Helper()
+	grid, err := mobility.NewGrid(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := grid.Walk(0.7, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Chain: chain, NumChaffs: 2, Horizon: 30, Grid: grid}
+	return cfg, func() (chaff.OnlineController, error) { return chaff.NewMO(chain), nil }
+}
+
+func TestRunBatchAggregates(t *testing.T) {
+	cfg, newController := batchFixture(t)
+	res, err := RunBatch(cfg, newController, engine.Options{Runs: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Episodes != 40 || len(res.Tracking) != cfg.Horizon {
+		t.Fatalf("shape: episodes %d, tracking length %d", res.Episodes, len(res.Tracking))
+	}
+	if res.Overall < 0 || res.Overall > 1 {
+		t.Fatalf("overall tracking %v out of range", res.Overall)
+	}
+	// Every slot bills the chaffs, so the mean chaff cost is fixed (up to
+	// floating-point accumulation).
+	wantChaff := DefaultCostModel().ChaffSlotCost * float64(cfg.NumChaffs) * float64(cfg.Horizon)
+	if diff := res.Costs.Chaff - wantChaff; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("chaff cost %v, want %v", res.Costs.Chaff, wantChaff)
+	}
+	if res.Migrations <= 0 {
+		t.Fatal("no migrations recorded on a mobile walk")
+	}
+	if res.Costs.Total() <= res.Costs.Chaff {
+		t.Fatal("total cost missing migration/comm components")
+	}
+}
+
+func TestRunBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg, newController := batchFixture(t)
+	ref, err := RunBatch(cfg, newController, engine.Options{Runs: 30, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, err := RunBatch(cfg, newController, engine.Options{Runs: 30, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d: batch result differs from single-worker run", workers)
+		}
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	cfg, newController := batchFixture(t)
+	if _, err := RunBatch(cfg, nil, engine.Options{Runs: 1}); err == nil {
+		t.Fatal("nil controller factory accepted")
+	}
+	bad := cfg
+	bad.Horizon = 0
+	if _, err := RunBatch(bad, newController, engine.Options{Runs: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	preset := cfg
+	preset.Controller = chaff.NewMO(cfg.Chain)
+	if _, err := RunBatch(preset, newController, engine.Options{Runs: 1}); err == nil {
+		t.Fatal("pre-set cfg.Controller accepted (would be silently ignored)")
+	}
+}

@@ -4,17 +4,21 @@
 // mobility model he knows (Eq. 1 applied to all observed trajectories),
 // and the single-user results act as performance lower bounds because
 // coexisting users (and their chaffs) provide additional cover.
+//
+// Execution is delegated to internal/engine, which also supplies the
+// per-run seed derivation (engine.MixSeed): every run's RNG stream gets a
+// full avalanche finish, replacing the earlier xor+multiply-only mixing
+// whose adjacent runs produced correlated streams.
 package multiuser
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/detect"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/markov"
 )
 
@@ -31,6 +35,11 @@ type Config struct {
 	NumChaffs int
 	// Horizon is the trajectory length T.
 	Horizon int
+	// Gamma, when non-nil, upgrades the eavesdropper to the strategy-aware
+	// advanced detector of Section VI-A: trajectories recognizable as
+	// Γ-chaffs of another observed trajectory are filtered before ML
+	// detection. Leave nil for the basic Eq. 1 detector.
+	Gamma detect.GammaFunc
 }
 
 func (c *Config) validate() error {
@@ -57,110 +66,100 @@ func (c *Config) validate() error {
 // Result aggregates the Monte-Carlo runs.
 type Result struct {
 	// PerSlot is the mean per-slot tracking accuracy for the target;
-	// Overall its time average.
-	PerSlot []float64
-	Overall float64
+	// PerSlotStdErr its standard error and Overall its time average.
+	PerSlot       []float64
+	PerSlotStdErr []float64
+	Overall       float64
 	// Runs echoes the repetition count.
 	Runs int
 }
 
-// Options tunes the runner (mirrors sim.Options).
+// Options tunes the runner (mirrors engine.Options).
 type Options struct {
 	Runs    int
 	Seed    int64
 	Workers int
 }
 
+// muWorker is the per-worker scratch: the detection workspace and the
+// observed-trajectory slice rebuilt in place every run.
+type muWorker struct {
+	ws  *detect.Workspace
+	trs []markov.Trajectory
+}
+
 // Run executes the scenario: each run samples the target, the coexisting
-// users and the chaffs, and evaluates the per-slot prefix ML detector that
+// users and the chaffs, and evaluates the per-slot prefix detector that
 // knows the target's chain.
 func Run(cfg Config, opts Options) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	runs := opts.Runs
-	if runs <= 0 {
-		runs = 1000
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	T := cfg.Horizon
-
-	jobs := make(chan int)
-	type partial struct {
-		sum []float64
-		err error
-	}
-	parts := make(chan *partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			p := &partial{sum: make([]float64, T)}
-			for run := range jobs {
-				series, err := runOnce(cfg, opts.Seed, run)
-				if err != nil {
-					p.err = err
-					break
-				}
-				for t, v := range series {
-					p.sum[t] += v
-				}
-			}
-			parts <- p
-		}()
-	}
-	for run := 0; run < runs; run++ {
-		jobs <- run
-	}
-	close(jobs)
-	wg.Wait()
-	close(parts)
-
-	res := &Result{PerSlot: make([]float64, T), Runs: runs}
-	for p := range parts {
-		if p.err != nil {
-			return nil, p.err
+	// Detector construction is hoisted out of the per-run loop; both
+	// detectors are immutable and shared by all workers.
+	var det detect.PrefixDetector
+	if cfg.Gamma != nil {
+		adv, err := detect.NewAdvancedDetector(cfg.TargetChain, cfg.Gamma)
+		if err != nil {
+			return nil, err
 		}
-		for t, v := range p.sum {
-			res.PerSlot[t] += v
-		}
+		det = adv
+	} else {
+		det = detect.NewMLDetector(cfg.TargetChain)
 	}
-	for t := range res.PerSlot {
-		res.PerSlot[t] /= float64(runs)
+	o := engine.Options{Runs: opts.Runs, Seed: opts.Seed, Workers: opts.Workers}.Normalized()
+	track := engine.NewSeriesStats(cfg.Horizon)
+
+	err := engine.Run(o, engine.Config[*muWorker, []float64]{
+		NewWorker: func(int) (*muWorker, error) {
+			return &muWorker{
+				ws:  detect.NewWorkspace(),
+				trs: make([]markov.Trajectory, 0, 1+len(cfg.OtherChains)+cfg.NumChaffs),
+			}, nil
+		},
+		Run: func(w *muWorker, run int, rng *rand.Rand) ([]float64, error) {
+			return runOnce(&cfg, det, w, rng)
+		},
+		Accumulate: func(run int, series []float64) error {
+			return track.Add(series)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		PerSlot:       track.Mean(),
+		PerSlotStdErr: track.StdErr(),
+		Runs:          o.Runs,
 	}
 	res.Overall = detect.TimeAverage(res.PerSlot)
 	return res, nil
 }
 
-func runOnce(cfg Config, seed int64, run int) ([]float64, error) {
-	mixed := uint64(seed) ^ (uint64(run)+1)*0x9e3779b97f4a7c15
-	rng := rand.New(rand.NewSource(int64(mixed)))
+func runOnce(cfg *Config, det detect.PrefixDetector, w *muWorker, rng *rand.Rand) ([]float64, error) {
 	target, err := cfg.TargetChain.Sample(rng, cfg.Horizon)
 	if err != nil {
 		return nil, err
 	}
-	trs := []markov.Trajectory{target}
+	w.trs = append(w.trs[:0], target)
 	for _, oc := range cfg.OtherChains {
 		tr, err := oc.Sample(rng, cfg.Horizon)
 		if err != nil {
 			return nil, err
 		}
-		trs = append(trs, tr)
+		w.trs = append(w.trs, tr)
 	}
 	if cfg.Strategy != nil {
 		chaffs, err := cfg.Strategy.GenerateChaffs(rng, target, cfg.NumChaffs)
 		if err != nil {
 			return nil, err
 		}
-		trs = append(trs, chaffs...)
+		w.trs = append(w.trs, chaffs...)
 	}
-	dets, err := detect.NewMLDetector(cfg.TargetChain).PrefixDetections(trs)
+	dets, err := det.PrefixDetectionsWith(w.ws, w.trs)
 	if err != nil {
 		return nil, err
 	}
-	return detect.TrackingAccuracySeries(dets, trs, 0)
+	return detect.TrackingAccuracySeries(dets, w.trs, 0)
 }

@@ -1,0 +1,437 @@
+// Package scenario is the config-driven workload layer above the
+// Monte-Carlo engine: a registry of named scenario kinds, each a function
+// from a declarative Spec to an aggregated Result, plus a JSON loader so
+// new experiments — larger populations, different eavesdroppers, mixed
+// chaff strategies, big 2-D grids — are a config entry rather than a new
+// package. cmd/experiments exposes it via the -scenario flag.
+//
+// Built-in kinds:
+//
+//   - "single": one user, one chaff strategy, basic or strategy-aware
+//     (advanced) eavesdropper — the internal/sim scenario.
+//   - "multiuser": a target among coexisting users, optional chaffs,
+//     basic or advanced eavesdropper — the internal/multiuser scenario.
+//   - "mixed": a mixed-strategy chaff population: every strategy listed
+//     in Strategies contributes NumChaffs chaffs for the same user, and
+//     the basic eavesdropper observes the union. The population composes
+//     into one chaff.Strategy and runs through internal/sim.
+//
+// Mobility models are named by the paper's labels ("non-skewed",
+// "spatially-skewed", "temporally-skewed", "both-skewed") or "grid" for a
+// 2-D lazy-walk over a GridW×GridH cell layout at any scale.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mobility"
+	"chaffmec/internal/multiuser"
+	"chaffmec/internal/sim"
+)
+
+// Spec declares one scenario instance. Zero-valued fields take the
+// defaults documented per field; kinds ignore fields that do not apply.
+type Spec struct {
+	// Name labels the scenario in outputs (default: its kind).
+	Name string `json:"name,omitempty"`
+	// Kind selects the registered runner (see Kinds).
+	Kind string `json:"kind"`
+
+	// Model names the user's mobility model: one of the paper's synthetic
+	// models ("non-skewed", "spatially-skewed", "temporally-skewed",
+	// "both-skewed") or "grid" (default "non-skewed").
+	Model string `json:"model,omitempty"`
+	// Cells sizes the synthetic models (default 10, the paper's L).
+	Cells int `json:"cells,omitempty"`
+	// ModelSeed seeds the random-matrix models; 0 derives it from Seed
+	// the same way internal/figures does.
+	ModelSeed int64 `json:"model_seed,omitempty"`
+	// GridW, GridH size the "grid" model (default 5×5); PMove is its
+	// per-slot move probability (default 0.7).
+	GridW int     `json:"grid_w,omitempty"`
+	GridH int     `json:"grid_h,omitempty"`
+	PMove float64 `json:"p_move,omitempty"`
+
+	// Strategy is the chaff strategy name (see chaff.Names); empty means
+	// unprotected where the kind allows it ("multiuser").
+	Strategy string `json:"strategy,omitempty"`
+	// Strategies lists the population of the "mixed" kind.
+	Strategies []string `json:"strategies,omitempty"`
+	// NumChaffs is the chaff budget per strategy (default 1).
+	NumChaffs int `json:"num_chaffs,omitempty"`
+	// Advanced upgrades the eavesdropper to the strategy-aware detector
+	// of Section VI-A (requires a strategy with a deterministic Γ).
+	Advanced bool `json:"advanced,omitempty"`
+
+	// OtherUsers adds coexisting users ("multiuser" kind), following
+	// OtherModel (default: the target's model).
+	OtherUsers int    `json:"other_users,omitempty"`
+	OtherModel string `json:"other_model,omitempty"`
+
+	// Horizon is T (default 100); Runs the Monte-Carlo repetitions
+	// (default 1000); Seed the experiment seed; Workers the parallelism
+	// cap (default GOMAXPROCS).
+	Horizon int   `json:"horizon,omitempty"`
+	Runs    int   `json:"runs,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+	Workers int   `json:"workers,omitempty"`
+}
+
+func (sp Spec) withDefaults() Spec {
+	if sp.Name == "" {
+		sp.Name = sp.Kind
+	}
+	if sp.Model == "" {
+		sp.Model = "non-skewed"
+	}
+	if sp.Cells <= 0 {
+		sp.Cells = 10
+	}
+	if sp.GridW <= 0 {
+		sp.GridW = 5
+	}
+	if sp.GridH <= 0 {
+		sp.GridH = 5
+	}
+	if sp.PMove <= 0 {
+		sp.PMove = 0.7
+	}
+	if sp.NumChaffs <= 0 {
+		sp.NumChaffs = 1
+	}
+	if sp.Horizon <= 0 {
+		sp.Horizon = 100
+	}
+	if sp.OtherModel == "" {
+		sp.OtherModel = sp.Model
+	}
+	return sp
+}
+
+// Result is a scenario's aggregated outcome.
+type Result struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// PerSlot is the eavesdropper's mean per-slot tracking accuracy,
+	// PerSlotStdErr its standard error, Overall its time average.
+	PerSlot       []float64 `json:"per_slot"`
+	PerSlotStdErr []float64 `json:"per_slot_stderr"`
+	Overall       float64   `json:"overall"`
+	// Runs echoes the aggregated repetition count.
+	Runs int `json:"runs"`
+}
+
+// Runner executes one scenario kind.
+type Runner func(sp Spec) (*Result, error)
+
+var registry = map[string]Runner{}
+
+// Register adds a scenario kind; duplicate kinds panic (registration is
+// an init-time programming error).
+func Register(kind string, r Runner) {
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("scenario: duplicate kind %q", kind))
+	}
+	registry[kind] = r
+}
+
+// Kinds lists the registered scenario kinds in sorted order.
+func Kinds() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one spec through its registered kind.
+func Run(sp Spec) (*Result, error) {
+	if sp.Kind == "" {
+		return nil, errors.New("scenario: spec needs a kind")
+	}
+	r, ok := registry[sp.Kind]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown kind %q (known: %s)", sp.Kind, strings.Join(Kinds(), ", "))
+	}
+	return r(sp.withDefaults())
+}
+
+// File is the JSON config format: file-level defaults applied to every
+// scenario that does not spell the corresponding field out itself (an
+// explicit value — even zero — always wins over a default).
+type File struct {
+	Defaults struct {
+		Runs    int   `json:"runs,omitempty"`
+		Horizon int   `json:"horizon,omitempty"`
+		Seed    int64 `json:"seed,omitempty"`
+		Workers int   `json:"workers,omitempty"`
+	} `json:"defaults,omitempty"`
+	Scenarios []json.RawMessage `json:"scenarios"`
+}
+
+// Load parses a JSON scenario config. Unknown fields are rejected so
+// config typos fail loudly instead of silently running the default.
+func Load(r io.Reader) ([]Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: parsing config: %w", err)
+	}
+	if len(f.Scenarios) == 0 {
+		return nil, errors.New("scenario: config has no scenarios")
+	}
+	specs := make([]Spec, len(f.Scenarios))
+	for i, raw := range f.Scenarios {
+		sp := &specs[i]
+		sd := json.NewDecoder(bytes.NewReader(raw))
+		sd.DisallowUnknownFields()
+		if err := sd.Decode(sp); err != nil {
+			return nil, fmt.Errorf("scenario: parsing entry %d: %w", i, err)
+		}
+		// Defaults apply by key presence, not zero value: an explicit
+		// "seed": 0 is a valid experiment seed and must survive.
+		var present map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &present); err != nil {
+			return nil, fmt.Errorf("scenario: parsing entry %d: %w", i, err)
+		}
+		if _, ok := present["runs"]; !ok {
+			sp.Runs = f.Defaults.Runs
+		}
+		if _, ok := present["horizon"]; !ok {
+			sp.Horizon = f.Defaults.Horizon
+		}
+		if _, ok := present["seed"]; !ok {
+			sp.Seed = f.Defaults.Seed
+		}
+		if _, ok := present["workers"]; !ok {
+			sp.Workers = f.Defaults.Workers
+		}
+	}
+	return specs, nil
+}
+
+// LoadFile is Load over a path.
+func LoadFile(path string) ([]Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// RunFile loads a JSON config and runs every scenario in order.
+func RunFile(path string) ([]*Result, error) {
+	specs, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(specs))
+	for i, sp := range specs {
+		res, err := Run(sp)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %q (entry %d): %w", sp.Name, i, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// buildChain resolves Spec's mobility-model fields.
+func buildChain(model string, sp Spec) (*markov.Chain, error) {
+	switch strings.ToLower(strings.TrimSpace(model)) {
+	case "grid":
+		grid, err := mobility.NewGrid(sp.GridW, sp.GridH)
+		if err != nil {
+			return nil, err
+		}
+		return grid.Walk(sp.PMove, mobility.DefaultEps)
+	case "non-skewed":
+		return buildSynthetic(mobility.ModelNonSkewed, sp)
+	case "spatially-skewed":
+		return buildSynthetic(mobility.ModelSpatiallySkewed, sp)
+	case "temporally-skewed":
+		return buildSynthetic(mobility.ModelTemporallySkewed, sp)
+	case "both-skewed", "spatially&temporally-skewed":
+		return buildSynthetic(mobility.ModelBothSkewed, sp)
+	default:
+		return nil, fmt.Errorf("scenario: unknown model %q", model)
+	}
+}
+
+func buildSynthetic(id mobility.ModelID, sp Spec) (*markov.Chain, error) {
+	seed := sp.ModelSeed
+	if seed == 0 {
+		// Mirror internal/figures: derive the model seed from the
+		// experiment seed so one config's figures share their models.
+		seed = sp.Seed*1000 + int64(id)
+	}
+	return mobility.Build(id, rand.New(rand.NewSource(seed)), sp.Cells)
+}
+
+func init() {
+	Register("single", runSingle)
+	Register("multiuser", runMultiuser)
+	Register("mixed", runMixed)
+}
+
+// runSingle is the internal/sim scenario.
+func runSingle(sp Spec) (*Result, error) {
+	if sp.Strategy == "" {
+		return nil, errors.New(`scenario: kind "single" needs a strategy`)
+	}
+	chain, err := buildChain(sp.Model, sp)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := chaff.NewByName(sp.Strategy, chain)
+	if err != nil {
+		return nil, err
+	}
+	sc := sim.Scenario{
+		Chain:     chain,
+		Strategy:  strat,
+		NumChaffs: sp.NumChaffs,
+		Horizon:   sp.Horizon,
+	}
+	if sp.Advanced {
+		gamma, err := chaff.GammaByName(sp.Strategy, chain)
+		if err != nil {
+			return nil, err
+		}
+		sc.Detector = sim.AdvancedDetector
+		sc.Gamma = gamma
+	}
+	res, err := sim.Run(sc, sim.Options{Runs: sp.Runs, Seed: sp.Seed, Workers: sp.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name: sp.Name, Kind: sp.Kind,
+		PerSlot: res.PerSlot, PerSlotStdErr: res.PerSlotStdErr,
+		Overall: res.Overall, Runs: res.Runs,
+	}, nil
+}
+
+// runMultiuser is the internal/multiuser scenario, optionally with the
+// strategy-aware advanced eavesdropper.
+func runMultiuser(sp Spec) (*Result, error) {
+	chain, err := buildChain(sp.Model, sp)
+	if err != nil {
+		return nil, err
+	}
+	cfg := multiuser.Config{TargetChain: chain, Horizon: sp.Horizon}
+	if sp.OtherUsers > 0 {
+		other := chain
+		if sp.OtherModel != sp.Model {
+			if other, err = buildChain(sp.OtherModel, sp); err != nil {
+				return nil, err
+			}
+			if other.NumStates() != chain.NumStates() {
+				return nil, fmt.Errorf("scenario: other model %q has %d cells, target has %d",
+					sp.OtherModel, other.NumStates(), chain.NumStates())
+			}
+		}
+		for i := 0; i < sp.OtherUsers; i++ {
+			cfg.OtherChains = append(cfg.OtherChains, other)
+		}
+	}
+	if sp.Strategy != "" {
+		if cfg.Strategy, err = chaff.NewByName(sp.Strategy, chain); err != nil {
+			return nil, err
+		}
+		cfg.NumChaffs = sp.NumChaffs
+	}
+	if sp.Advanced {
+		if sp.Strategy == "" {
+			return nil, errors.New("scenario: advanced eavesdropper needs a strategy to recognize")
+		}
+		gamma, err := chaff.GammaByName(sp.Strategy, chain)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Gamma = gamma
+	}
+	res, err := multiuser.Run(cfg, multiuser.Options{Runs: sp.Runs, Seed: sp.Seed, Workers: sp.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name: sp.Name, Kind: sp.Kind,
+		PerSlot: res.PerSlot, PerSlotStdErr: res.PerSlotStdErr,
+		Overall: res.Overall, Runs: res.Runs,
+	}, nil
+}
+
+// unionStrategy composes several chaff strategies into one population:
+// each member generates `per` chaffs for the same user trajectory, in
+// listed order (so RNG draws match running the members back to back).
+type unionStrategy struct {
+	strategies []chaff.Strategy
+	per        int
+}
+
+func (u *unionStrategy) Name() string { return "mixed" }
+
+func (u *unionStrategy) GenerateChaffs(rng *rand.Rand, user markov.Trajectory, numChaffs int) ([]markov.Trajectory, error) {
+	if want := u.per * len(u.strategies); numChaffs != want {
+		return nil, fmt.Errorf("scenario: mixed population generates %d chaffs, asked for %d", want, numChaffs)
+	}
+	out := make([]markov.Trajectory, 0, numChaffs)
+	for _, s := range u.strategies {
+		chaffs, err := s.GenerateChaffs(rng, user, u.per)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %s chaffs: %w", s.Name(), err)
+		}
+		out = append(out, chaffs...)
+	}
+	return out, nil
+}
+
+// runMixed evaluates a mixed-strategy chaff population: every strategy in
+// Strategies contributes NumChaffs chaffs for the same user, and the
+// basic ML eavesdropper observes the union. The population composes into
+// a single chaff.Strategy, so execution is plain sim.Run on the engine.
+func runMixed(sp Spec) (*Result, error) {
+	if len(sp.Strategies) == 0 {
+		return nil, errors.New(`scenario: kind "mixed" needs strategies`)
+	}
+	chain, err := buildChain(sp.Model, sp)
+	if err != nil {
+		return nil, err
+	}
+	union := &unionStrategy{per: sp.NumChaffs}
+	for _, name := range sp.Strategies {
+		s, err := chaff.NewByName(name, chain)
+		if err != nil {
+			return nil, err
+		}
+		union.strategies = append(union.strategies, s)
+	}
+	res, err := sim.Run(sim.Scenario{
+		Chain:     chain,
+		Strategy:  union,
+		NumChaffs: sp.NumChaffs * len(union.strategies),
+		Horizon:   sp.Horizon,
+	}, sim.Options{Runs: sp.Runs, Seed: sp.Seed, Workers: sp.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name: sp.Name, Kind: sp.Kind,
+		PerSlot: res.PerSlot, PerSlotStdErr: res.PerSlotStdErr,
+		Overall: res.Overall, Runs: res.Runs,
+	}, nil
+}

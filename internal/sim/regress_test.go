@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/mobility"
+)
+
+// The values below were produced by the pre-engine harness (hand-rolled
+// worker pool, per-run detector construction) on the same scenarios, so
+// this test proves the engine refactor changed the execution architecture
+// without changing a single result. sim's per-run seed derivation was
+// already engine.MixSeed's algorithm; only the aggregation order moved
+// (worker-partial sums → run-order streaming), hence the tiny tolerance
+// for floating-point reassociation.
+const pinTol = 1e-12
+
+func assertSeries(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > pinTol {
+			t.Fatalf("%s[%d] = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunMatchesPreRefactorValues(t *testing.T) {
+	c := modelChain(t, mobility.ModelSpatiallySkewed)
+	mo := chaff.NewMO(c)
+	cases := []struct {
+		name                      string
+		sc                        Scenario
+		perSlot, stderr, detected []float64
+		overall                   float64
+	}{
+		{
+			name:    "MO-basic",
+			sc:      Scenario{Chain: c, Strategy: mo, NumChaffs: 2, Horizon: 8},
+			perSlot: []float64{0.15625, 0.0625, 0.25, 0.125, 0, 0, 0, 0},
+			stderr: []float64{0.06521328221627366, 0.04347552147751577, 0.0777713771047819,
+				0.05939887041393643, 0, 0, 0, 0},
+			detected: []float64{0.05208333333333333, 0.020833333333333332, 0.010416666666666666,
+				0, 0, 0, 0, 0},
+			overall: 0.07421875,
+		},
+		{
+			name:    "IM-basic",
+			sc:      Scenario{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: 3, Horizon: 8},
+			perSlot: []float64{0.15625, 0.375, 0.34375, 0.3125, 0.4375, 0.34375, 0.21875, 0.3125},
+			stderr: []float64{0.06521328221627366, 0.08695104295503155, 0.08530513305661303,
+				0.08324928557283298, 0.08909830562090465, 0.08530513305661303,
+				0.07424858801742054, 0.08324928557283298},
+			detected: []float64{0.08854166666666666, 0.1875, 0.1875, 0.21875, 0.25, 0.3125,
+				0.15625, 0.21875},
+			overall: 0.3125,
+		},
+		{
+			name: "MO-advanced",
+			sc: Scenario{Chain: c, Strategy: mo, NumChaffs: 1, Horizon: 8,
+				Detector: AdvancedDetector, Gamma: mo.Gamma},
+			perSlot:  []float64{1, 1, 1, 1, 1, 1, 1, 1},
+			stderr:   []float64{0, 0, 0, 0, 0, 0, 0, 0},
+			detected: []float64{1, 1, 1, 1, 1, 1, 1, 1},
+			overall:  1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Run(tc.sc, Options{Runs: 32, Seed: 12345, Workers: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSeries(t, "PerSlot", res.PerSlot, tc.perSlot)
+			assertSeries(t, "PerSlotStdErr", res.PerSlotStdErr, tc.stderr)
+			assertSeries(t, "Detection", res.Detection, tc.detected)
+			if math.Abs(res.Overall-tc.overall) > pinTol {
+				t.Fatalf("Overall = %v, want %v", res.Overall, tc.overall)
+			}
+			if res.Runs != 32 {
+				t.Fatalf("Runs = %d, want 32", res.Runs)
+			}
+		})
+	}
+}

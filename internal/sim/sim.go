@@ -3,6 +3,11 @@
 // independently seeded runs in parallel and aggregates per-slot tracking
 // (and detection) accuracy, matching the paper's protocol of averaging
 // 1000 runs at T=100.
+//
+// Execution is delegated to internal/engine: detectors are constructed
+// once per scenario, each worker keeps a reusable detect.Workspace and
+// trajectory slice, and per-run results are folded into streaming
+// statistics in deterministic run order.
 package sim
 
 import (
@@ -10,11 +15,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/detect"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/markov"
 )
 
@@ -79,11 +83,12 @@ type Result struct {
 	Overall float64
 	// Runs is the number of Monte-Carlo runs aggregated.
 	Runs int
-	// CtSamples holds the collected c_t values when Scenario.CollectCt.
+	// CtSamples holds the collected c_t values when Scenario.CollectCt,
+	// in run order.
 	CtSamples []float64
 }
 
-// Options tunes the runner.
+// Options tunes the runner (the engine.Options of this scenario).
 type Options struct {
 	// Runs is the number of Monte-Carlo repetitions (default 1000, the
 	// paper's setting).
@@ -95,15 +100,34 @@ type Options struct {
 	Workers int
 }
 
-func (o *Options) withDefaults() Options {
-	out := *o
-	if out.Runs <= 0 {
-		out.Runs = 1000
+// newDetector builds the scenario's eavesdropper once, hoisting detector
+// construction (and the steady-state solve behind it) out of the per-run
+// loop.
+func (sc *Scenario) newDetector() (detect.PrefixDetector, error) {
+	switch sc.Detector {
+	case BasicDetector:
+		return detect.NewMLDetector(sc.Chain), nil
+	case AdvancedDetector:
+		return detect.NewAdvancedDetector(sc.Chain, sc.Gamma)
+	default:
+		return nil, fmt.Errorf("sim: unknown detector kind %d", sc.Detector)
 	}
-	if out.Workers <= 0 {
-		out.Workers = runtime.GOMAXPROCS(0)
-	}
-	return out
+}
+
+// simWorker is the per-worker scratch: the reusable detection workspace
+// and the trajectory slice rebuilt (not reallocated) every run.
+type simWorker struct {
+	ws  *detect.Workspace
+	trs []markov.Trajectory
+}
+
+// runResult is one run's contribution to the aggregate. The series are
+// freshly allocated per run (they outlive the worker's next run while
+// waiting for in-order accumulation); all large scratch stays in
+// simWorker.
+type runResult struct {
+	track, det []float64
+	ct         []float64
 }
 
 // Run executes the scenario.
@@ -111,149 +135,89 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
-	o := opts.withDefaults()
+	det, err := sc.newDetector()
+	if err != nil {
+		return nil, err
+	}
+	o := engine.Options{Runs: opts.Runs, Seed: opts.Seed, Workers: opts.Workers}.Normalized()
 	T := sc.Horizon
 
-	type partial struct {
-		sum, sumSq, det []float64
-		ct              []float64
-		err             error
-	}
-	jobs := make(chan int)
-	parts := make(chan *partial, o.Workers)
-	var wg sync.WaitGroup
-	for w := 0; w < o.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			p := &partial{
-				sum:   make([]float64, T),
-				sumSq: make([]float64, T),
-				det:   make([]float64, T),
-			}
-			for run := range jobs {
-				track, det, ct, err := sc.runOnce(o.Seed, run)
-				if err != nil {
-					p.err = err
-					break
-				}
-				for t := 0; t < T; t++ {
-					p.sum[t] += track[t]
-					p.sumSq[t] += track[t] * track[t]
-					p.det[t] += det[t]
-				}
-				p.ct = append(p.ct, ct...)
-			}
-			parts <- p
-		}()
-	}
-	for run := 0; run < o.Runs; run++ {
-		jobs <- run
-	}
-	close(jobs)
-	wg.Wait()
-	close(parts)
-
-	sum := make([]float64, T)
-	sumSq := make([]float64, T)
-	detSum := make([]float64, T)
+	track := engine.NewSeriesStats(T)
+	detection := engine.NewSeriesStats(T)
 	var cts []float64
-	for p := range parts {
-		if p.err != nil {
-			return nil, p.err
-		}
-		for t := 0; t < T; t++ {
-			sum[t] += p.sum[t]
-			sumSq[t] += p.sumSq[t]
-			detSum[t] += p.det[t]
-		}
-		cts = append(cts, p.ct...)
+
+	err = engine.Run(o, engine.Config[*simWorker, runResult]{
+		NewWorker: func(int) (*simWorker, error) {
+			return &simWorker{
+				ws:  detect.NewWorkspace(),
+				trs: make([]markov.Trajectory, 0, 1+sc.NumChaffs),
+			}, nil
+		},
+		Run: func(w *simWorker, run int, rng *rand.Rand) (runResult, error) {
+			return sc.runOnce(w, det, rng)
+		},
+		Accumulate: func(run int, r runResult) error {
+			if err := track.Add(r.track); err != nil {
+				return err
+			}
+			if err := detection.Add(r.det); err != nil {
+				return err
+			}
+			cts = append(cts, r.ct...)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{
-		PerSlot:       make([]float64, T),
-		PerSlotStdErr: make([]float64, T),
-		Detection:     make([]float64, T),
+		PerSlot:       track.Mean(),
+		PerSlotStdErr: track.StdErr(),
+		Detection:     detection.Mean(),
 		Runs:          o.Runs,
 		CtSamples:     cts,
-	}
-	n := float64(o.Runs)
-	for t := 0; t < T; t++ {
-		mean := sum[t] / n
-		res.PerSlot[t] = mean
-		res.Detection[t] = detSum[t] / n
-		if o.Runs > 1 {
-			variance := (sumSq[t] - n*mean*mean) / (n - 1)
-			if variance < 0 {
-				variance = 0
-			}
-			res.PerSlotStdErr[t] = math.Sqrt(variance / n)
-		}
 	}
 	res.Overall = detect.TimeAverage(res.PerSlot)
 	return res, nil
 }
 
-// runOnce executes a single Monte-Carlo run with its own deterministic RNG
-// stream. Stream layout: run r uses seed ⊕ golden-ratio mixing so streams
-// are decorrelated but reproducible.
-func (sc *Scenario) runOnce(seed int64, run int) (track, det, ct []float64, err error) {
-	rng := rand.New(rand.NewSource(mixSeed(seed, int64(run))))
+// runOnce executes a single Monte-Carlo run on the worker's scratch state.
+// The rng is the run's private stream (engine.MixSeed derivation), so the
+// result depends only on (seed, run index).
+func (sc *Scenario) runOnce(w *simWorker, det detect.PrefixDetector, rng *rand.Rand) (runResult, error) {
 	user, err := sc.Chain.Sample(rng, sc.Horizon)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("sim: sampling user: %w", err)
+		return runResult{}, fmt.Errorf("sim: sampling user: %w", err)
 	}
 	chaffs, err := sc.Strategy.GenerateChaffs(rng, user, sc.NumChaffs)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("sim: generating chaffs: %w", err)
+		return runResult{}, fmt.Errorf("sim: generating chaffs: %w", err)
 	}
-	trs := make([]markov.Trajectory, 0, 1+len(chaffs))
-	trs = append(trs, user)
-	trs = append(trs, chaffs...)
+	w.trs = append(w.trs[:0], user)
+	w.trs = append(w.trs, chaffs...)
 
-	var dets [][]int
-	switch sc.Detector {
-	case BasicDetector:
-		dets, err = detect.NewMLDetector(sc.Chain).PrefixDetections(trs)
-	case AdvancedDetector:
-		var adv *detect.AdvancedDetector
-		adv, err = detect.NewAdvancedDetector(sc.Chain, sc.Gamma)
-		if err == nil {
-			dets, err = adv.PrefixDetections(trs)
-		}
-	default:
-		err = fmt.Errorf("sim: unknown detector kind %d", sc.Detector)
-	}
+	dets, err := det.PrefixDetectionsWith(w.ws, w.trs)
 	if err != nil {
-		return nil, nil, nil, err
+		return runResult{}, err
 	}
-	track, err = detect.TrackingAccuracySeries(dets, trs, 0)
+	var out runResult
+	out.track, err = detect.TrackingAccuracySeries(dets, w.trs, 0)
 	if err != nil {
-		return nil, nil, nil, err
+		return runResult{}, err
 	}
-	det, err = detect.DetectionAccuracySeries(dets, len(trs), 0)
+	out.det, err = detect.DetectionAccuracySeries(dets, len(w.trs), 0)
 	if err != nil {
-		return nil, nil, nil, err
+		return runResult{}, err
 	}
 	if sc.CollectCt {
 		ch := chaffs[0]
 		for t := 1; t < sc.Horizon; t++ {
 			v := sc.Chain.LogProb(user[t-1], user[t]) - sc.Chain.LogProb(ch[t-1], ch[t])
 			if !math.IsInf(v, 0) && !math.IsNaN(v) {
-				ct = append(ct, v)
+				out.ct = append(out.ct, v)
 			}
 		}
 	}
-	return track, det, ct, nil
-}
-
-// mixSeed decorrelates per-run RNG streams from a base seed.
-func mixSeed(seed, run int64) int64 {
-	x := uint64(seed) ^ (uint64(run)+1)*0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int64(x)
+	return out, nil
 }

@@ -3,6 +3,8 @@ package sim
 import (
 	"math"
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 
 	"chaffmec/internal/analysis"
@@ -188,13 +190,22 @@ func TestCollectCt(t *testing.T) {
 	}
 }
 
-func TestMixSeedDistinct(t *testing.T) {
-	seen := make(map[int64]bool)
-	for run := int64(0); run < 1000; run++ {
-		s := mixSeed(12345, run)
-		if seen[s] {
-			t.Fatalf("seed collision at run %d", run)
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The engine must make results bitwise independent of parallelism:
+	// Workers 1, 4 and GOMAXPROCS all produce the identical Result.
+	c := modelChain(t, mobility.ModelBothSkewed)
+	sc := Scenario{Chain: c, Strategy: chaff.NewMO(c), NumChaffs: 2, Horizon: 15, CollectCt: true}
+	ref, err := Run(sc, Options{Runs: 40, Seed: 21, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, err := Run(sc, Options{Runs: 40, Seed: 21, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
 		}
-		seen[s] = true
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("workers=%d: result differs from the single-worker run", workers)
+		}
 	}
 }
