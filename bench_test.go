@@ -16,6 +16,7 @@ import (
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mec"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
 	"chaffmec/internal/sim"
 	"chaffmec/internal/trellis"
 )
@@ -28,7 +29,7 @@ func benchCfg() figures.Config {
 
 func benchChain(b *testing.B, id mobility.ModelID) *markov.Chain {
 	b.Helper()
-	c, err := mobility.Build(id, rand.New(rand.NewSource(99)), 10)
+	c, err := mobility.Build(id, rng.New(99), 10)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func BenchmarkAblationMigrationFailure(b *testing.B) {
 			}
 			acc := 0.0
 			for i := 0; i < b.N; i++ {
-				rep, err := s.Run(rand.New(rand.NewSource(int64(i))))
+				rep, err := s.Run(rng.New(int64(i)))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -334,9 +335,87 @@ func BenchmarkEngineOverhead(b *testing.B) {
 
 // --- Micro benchmarks of the core algorithms ---
 
+// BenchmarkTrajectorySampling pins the alias-table sampling win in the
+// perf trajectory: Walker alias tables (markov.Chain.Sample) against the
+// linear cumulative scan (markov.Chain.SampleLinear) on the 20×20-grid
+// scenario the ROADMAP names — 400 dense rows, where the scan is O(cells)
+// per slot and the alias draw is O(1) — and on the paper-protocol
+// 10-cell synthetic model, where rows are short and the win is smaller.
+// Each iteration samples one T=100 trajectory; table construction is
+// hoisted out of the timed loop (it is lazy and cached on the chain, as
+// in production use).
+func BenchmarkTrajectorySampling(b *testing.B) {
+	grid, err := mobility.NewGrid(20, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gridChain, err := grid.Walk(0.7, 1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	paperChain := benchChain(b, mobility.ModelSpatiallySkewed)
+	for _, bc := range []struct {
+		name  string
+		chain *markov.Chain
+	}{
+		{"grid20x20", gridChain},
+		{"paper10cell", paperChain},
+	} {
+		samplers := []struct {
+			name   string
+			sample func(r *rand.Rand, T int) (markov.Trajectory, error)
+		}{
+			{"alias", bc.chain.Sample},
+			{"linear", bc.chain.SampleLinear},
+		}
+		for _, s := range samplers {
+			b.Run(bc.name+"/"+s.name, func(b *testing.B) {
+				// Warm the lazy tables (and the steady-state solve)
+				// outside the timed region.
+				r := rng.New(1)
+				if _, err := s.sample(r, 2); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				const T = 100
+				for i := 0; i < b.N; i++ {
+					if _, err := s.sample(r, T); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/T, "ns/slot")
+			})
+		}
+	}
+}
+
+// BenchmarkReseedVsNewSource isolates the other substrate win: deriving a
+// run's private stream by reseeding a per-worker rng.Source (an 8-byte
+// write) versus allocating a fresh math/rand source per run (~5 KB), the
+// dominant per-run allocation before internal/rng existed.
+func BenchmarkReseedVsNewSource(b *testing.B) {
+	b.Run("rng.Reseed", func(b *testing.B) {
+		src := rng.NewSource(0)
+		r := rand.New(src)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src.Reseed(1, i)
+			_ = r.Float64()
+		}
+	})
+	b.Run("rand.NewSource", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src := rand.NewSource(int64(i))
+			_ = rand.New(src).Float64()
+		}
+	})
+}
+
 func BenchmarkOOPlan(b *testing.B) {
 	chain := benchChain(b, mobility.ModelNonSkewed)
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	user, err := chain.Sample(rng, 100)
 	if err != nil {
 		b.Fatal(err)
@@ -352,7 +431,7 @@ func BenchmarkOOPlan(b *testing.B) {
 
 func BenchmarkMOGamma(b *testing.B) {
 	chain := benchChain(b, mobility.ModelNonSkewed)
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	user, err := chain.Sample(rng, 100)
 	if err != nil {
 		b.Fatal(err)
@@ -368,7 +447,7 @@ func BenchmarkMOGamma(b *testing.B) {
 
 func BenchmarkPrefixDetection(b *testing.B) {
 	chain := benchChain(b, mobility.ModelNonSkewed)
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	trs := make([]markov.Trajectory, 10)
 	for i := range trs {
 		tr, err := chain.Sample(rng, 100)

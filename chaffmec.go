@@ -49,6 +49,7 @@ import (
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mec"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
 	"chaffmec/internal/scenario"
 	"chaffmec/internal/sim"
 )
@@ -83,10 +84,16 @@ const (
 // NewChain validates a row-stochastic transition matrix.
 func NewChain(p [][]float64) (*Chain, error) { return markov.New(p) }
 
+// NewRNG returns a seeded random stream on the library's canonical
+// generator (the allocation-free splitmix64 source of internal/rng) —
+// the reproducible way to drive Sample, GenerateChaffs or a MEC
+// simulator run from outside the module.
+func NewRNG(seed int64) *rand.Rand { return rng.New(seed) }
+
 // BuildModel constructs one of the paper's synthetic mobility models over
 // cells states, seeded for reproducibility.
 func BuildModel(id ModelID, cells int, seed int64) (*Chain, error) {
-	return mobility.Build(id, rand.New(rand.NewSource(seed)), cells)
+	return mobility.Build(id, rng.New(seed), cells)
 }
 
 // NewStrategy constructs a chaff strategy by its paper name: IM, ML, CML,

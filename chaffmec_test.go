@@ -2,8 +2,9 @@ package chaffmec
 
 import (
 	"math"
-	"math/rand"
 	"testing"
+
+	"chaffmec/internal/rng"
 )
 
 func TestBuildModelAndEvaluate(t *testing.T) {
@@ -81,7 +82,7 @@ func TestGammaMapping(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Gamma(%s): %v", name, err)
 		}
-		user, _ := model.Sample(rand.New(rand.NewSource(1)), 10)
+		user, _ := model.Sample(rng.New(1), 10)
 		tr, err := g(user)
 		if err != nil {
 			t.Fatal(err)
@@ -144,7 +145,7 @@ func TestMECFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run(rand.New(rand.NewSource(1)))
+	rep, err := s.Run(rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,9 +9,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
+	"chaffmec/internal/rng"
 	"chaffmec/internal/trace"
 	"chaffmec/internal/tracegen"
 )
@@ -35,7 +35,7 @@ func run(nodes int, minutes float64, seed int64, out string) error {
 	cfg := tracegen.DefaultConfig()
 	cfg.Nodes = nodes
 	cfg.DurationMin = minutes
-	records, hotspots, err := tracegen.Generate(rand.New(rand.NewSource(seed)), cfg)
+	records, hotspots, err := tracegen.Generate(rng.New(seed), cfg)
 	if err != nil {
 		return err
 	}

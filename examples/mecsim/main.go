@@ -10,7 +10,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	"chaffmec"
 )
@@ -49,7 +48,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := sim.Run(rand.New(rand.NewSource(7)))
+		rep, err := sim.Run(chaffmec.NewRNG(7))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -79,7 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := sim.Run(rand.New(rand.NewSource(7)))
+	rep, err := sim.Run(chaffmec.NewRNG(7))
 	if err != nil {
 		log.Fatal(err)
 	}

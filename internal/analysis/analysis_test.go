@@ -2,11 +2,11 @@ package analysis
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
 )
 
 func TestComputeConstantsHandChain(t *testing.T) {
@@ -80,7 +80,7 @@ func TestIMAccuracyFormula(t *testing.T) {
 }
 
 func TestIMAccuracyMonotoneInN(t *testing.T) {
-	c, err := mobility.Build(mobility.ModelSpatiallySkewed, rand.New(rand.NewSource(1)), 10)
+	c, err := mobility.Build(mobility.ModelSpatiallySkewed, rng.New(1), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestIMAccuracyMonotoneInN(t *testing.T) {
 }
 
 func TestInducedCMLChain(t *testing.T) {
-	c, err := mobility.Build(mobility.ModelNonSkewed, rand.New(rand.NewSource(7)), 6)
+	c, err := mobility.Build(mobility.ModelNonSkewed, rng.New(7), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestInducedCMLChain(t *testing.T) {
 func TestInducedCMLDriftMatchesSimulation(t *testing.T) {
 	// The analytic E[c_t] from the induced chain must match the empirical
 	// mean of c_t from simulating CML (they are the same quantity).
-	c, err := mobility.Build(mobility.ModelNonSkewed, rand.New(rand.NewSource(3)), 8)
+	c, err := mobility.Build(mobility.ModelNonSkewed, rng.New(3), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestInducedCMLDriftMatchesSimulation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Empirical: long CML episode.
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(4)
 	user, err := c.Sample(rng, 60000)
 	if err != nil {
 		t.Fatal(err)
@@ -205,7 +205,7 @@ func TestTheoremV4(t *testing.T) {
 	// The model (a) random matrix has p_min ≈ 1e-3, which blows up
 	// c_min: the condition holds but the bound is vacuous at T=100
 	// (exactly the regime where the paper relies on simulation instead).
-	ra, err := mobility.Build(mobility.ModelNonSkewed, rand.New(rand.NewSource(11)), 10)
+	ra, err := mobility.Build(mobility.ModelNonSkewed, rng.New(11), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,11 +219,11 @@ func TestTheoremV4(t *testing.T) {
 }
 
 func TestEstimateMODrift(t *testing.T) {
-	c, err := mobility.Build(mobility.ModelNonSkewed, rand.New(rand.NewSource(5)), 10)
+	c, err := mobility.Build(mobility.ModelNonSkewed, rng.New(5), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mu, delta, err := EstimateMODrift(c, rand.New(rand.NewSource(6)), 40, 100)
+	mu, delta, err := EstimateMODrift(c, rng.New(6), 40, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,14 +233,14 @@ func TestEstimateMODrift(t *testing.T) {
 	if delta <= 0 {
 		t.Fatalf("δ′ = %v, want > 0", delta)
 	}
-	if _, _, err := EstimateMODrift(c, rand.New(rand.NewSource(1)), 0, 100); err == nil {
+	if _, _, err := EstimateMODrift(c, rng.New(1), 0, 100); err == nil {
 		t.Fatal("episodes=0 accepted")
 	}
 }
 
 func TestTheoremV5(t *testing.T) {
 	c := boundedChain()
-	res, err := TheoremV5(c, rand.New(rand.NewSource(22)), 4000, 0.01, 10000, 30)
+	res, err := TheoremV5(c, rng.New(22), 4000, 0.01, 10000, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestTheoremV5(t *testing.T) {
 	if res.T0 > 4000 || res.T0 <= res.WPrime {
 		t.Fatalf("T0 = %d out of range", res.T0)
 	}
-	if _, err := TheoremV5(c, rand.New(rand.NewSource(1)), 2, 0.05, 100, 5); err == nil {
+	if _, err := TheoremV5(c, rng.New(1), 2, 0.05, 100, 5); err == nil {
 		t.Fatal("T=2 accepted")
 	}
 }

@@ -1,11 +1,11 @@
 package chaff
 
 import (
-	"math/rand"
 	"testing"
 
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
 )
 
 func newDP(t *testing.T, c *markov.Chain) *ApproxDP {
@@ -38,7 +38,7 @@ func TestApproxDPRejectsLargeChains(t *testing.T) {
 func TestApproxDPProducesValidDeterministicChaff(t *testing.T) {
 	c := modelChain(t, mobility.ModelSpatiallySkewed)
 	dp := newDP(t, c)
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(4)
 	user, _ := c.Sample(rng, 40)
 	a, err := dp.Gamma(user)
 	if err != nil {
@@ -82,7 +82,7 @@ func TestApproxDPBeatsMyopicOnAverage(t *testing.T) {
 		c := modelChain(t, id)
 		dp := newDP(t, c)
 		mo := NewMO(c)
-		rng := rand.New(rand.NewSource(8))
+		rng := rng.New(8)
 		const runs = 150
 		var dpCost, moCost float64
 		for r := 0; r < runs; r++ {
@@ -112,7 +112,7 @@ func TestApproxDPBeatsMyopicOnAverage(t *testing.T) {
 func TestApproxDPOnlineMatchesBatch(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed)
 	dp := newDP(t, c)
-	rng := rand.New(rand.NewSource(5))
+	rng := rng.New(5)
 	user, _ := c.Sample(rng, 25)
 	batch, err := dp.Gamma(user)
 	if err != nil {
@@ -159,7 +159,7 @@ func TestApproxDPPlanCache(t *testing.T) {
 func TestApproxDPGenerateChaffs(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed)
 	dp := newDP(t, c)
-	rng := rand.New(rand.NewSource(2))
+	rng := rng.New(2)
 	user, _ := c.Sample(rng, 15)
 	chaffs, err := dp.GenerateChaffs(rng, user, 2)
 	if err != nil {

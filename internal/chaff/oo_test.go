@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"chaffmec/internal/markov"
+	"chaffmec/internal/rng"
 	"chaffmec/internal/trellis"
 )
 
@@ -68,7 +69,7 @@ func bruteForceMinIntersections(t *testing.T, c *markov.Chain, user markov.Traje
 
 func TestOOMatchesBruteForce(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng.New(seed)
 		L := 3 + rng.Intn(2) // 3-4 cells
 		T := 3 + rng.Intn(3) // 3-5 slots
 		c := randomChain(rng, L)
@@ -115,7 +116,7 @@ func TestOOMatchesBruteForce(t *testing.T) {
 func TestOOEqualityFallbackOnMLUser(t *testing.T) {
 	// When the user walks the ML trajectory itself, no trajectory has a
 	// strictly higher likelihood: OO must fall back to equality.
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(4)
 	c := randomChain(rng, 5)
 	user, _, err := trellis.MLTrajectory(c, 12, nil)
 	if err != nil {
@@ -162,7 +163,7 @@ func TestOOBudgetGrowth(t *testing.T) {
 }
 
 func TestOOHorizonOne(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := rng.New(6)
 	c := randomChain(rng, 4)
 	pi := c.MustSteadyState()
 	user := markov.Trajectory{markov.ArgmaxDist(pi)}
@@ -180,7 +181,7 @@ func TestOOHorizonOne(t *testing.T) {
 }
 
 func TestOOValidation(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	c := randomChain(rng, 3)
 	if _, err := NewOO(c).Plan(nil); err == nil {
 		t.Fatal("empty user accepted")
@@ -194,7 +195,7 @@ func TestOOValidation(t *testing.T) {
 }
 
 func TestOOGenerateChaffsReplicates(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rng.New(2)
 	c := randomChain(rng, 4)
 	user, _ := c.Sample(rng, 10)
 	chaffs, err := NewOO(c).GenerateChaffs(rng, user, 3)

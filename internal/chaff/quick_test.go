@@ -2,11 +2,11 @@ package chaff
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"chaffmec/internal/markov"
+	"chaffmec/internal/rng"
 )
 
 // TestOOConstraintProperty: for random chains and user trajectories, the
@@ -14,7 +14,7 @@ import (
 // user's, within tolerance) and its reported intersection count is exact.
 func TestOOConstraintProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng.New(seed)
 		c := randomChain(rng, 2+rng.Intn(8))
 		T := 1 + rng.Intn(40)
 		user, err := c.Sample(rng, T)
@@ -45,7 +45,7 @@ func TestOOConstraintProperty(t *testing.T) {
 // and every move has positive probability.
 func TestCMLDisjointProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng.New(seed)
 		c := randomChain(rng, 2+rng.Intn(8))
 		T := 1 + rng.Intn(50)
 		user, err := c.Sample(rng, T)
@@ -75,7 +75,7 @@ func TestCMLDisjointProperty(t *testing.T) {
 // directly computed log-likelihood gap of the produced trajectories.
 func TestMOGammaConsistencyProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng.New(seed)
 		c := randomChain(rng, 2+rng.Intn(6))
 		T := 2 + rng.Intn(30)
 		user, err := c.Sample(rng, T)
@@ -111,7 +111,7 @@ func TestMOGammaConsistencyProperty(t *testing.T) {
 // positive-probability moves.
 func TestRobustChaffsRespectChainSupport(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng.New(seed)
 		c := randomChain(rng, 3+rng.Intn(6))
 		T := 2 + rng.Intn(25)
 		user, err := c.Sample(rng, T)
@@ -141,7 +141,7 @@ func TestRobustChaffsRespectChainSupport(t *testing.T) {
 // TestDistinctStrategiesShareValidation: every registered strategy
 // rejects an empty user trajectory and zero chaffs.
 func TestDistinctStrategiesShareValidation(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	c := randomChain(rng, 5)
 	for _, name := range Names() {
 		s, err := NewByName(name, c)

@@ -1,16 +1,16 @@
 package chaff
 
 import (
-	"math/rand"
 	"testing"
 
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
 	"chaffmec/internal/trellis"
 )
 
 func TestDrawExclusionsOnePairPerTrajectory(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	fixed := []markov.Trajectory{
 		{0, 1, 2, 3},
 		{3, 2, 1, 0},
@@ -49,11 +49,11 @@ func TestDrawExclusionsOnePairPerTrajectory(t *testing.T) {
 }
 
 func TestRMLProducesDistinctHighLikelihoodChaffs(t *testing.T) {
-	c, err := mobility.Build(mobility.ModelSpatiallySkewed, rand.New(rand.NewSource(42)), 10)
+	c, err := mobility.Build(mobility.ModelSpatiallySkewed, rng.New(42), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(77))
+	rng := rng.New(77)
 	user, _ := c.Sample(rng, 50)
 	chaffs, err := NewRML(c).GenerateChaffs(rng, user, 9)
 	if err != nil {
@@ -91,11 +91,11 @@ func TestRMLProducesDistinctHighLikelihoodChaffs(t *testing.T) {
 }
 
 func TestROOChaffsStayLikelihoodCompetitive(t *testing.T) {
-	c, err := mobility.Build(mobility.ModelNonSkewed, rand.New(rand.NewSource(5)), 10)
+	c, err := mobility.Build(mobility.ModelNonSkewed, rng.New(5), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(3))
+	rng := rng.New(3)
 	user, _ := c.Sample(rng, 40)
 	userLL, _ := c.LogLikelihood(user)
 	chaffs, err := NewROO(c).GenerateChaffs(rng, user, 4)
@@ -114,16 +114,16 @@ func TestROOChaffsStayLikelihoodCompetitive(t *testing.T) {
 }
 
 func TestRMOAvoidanceAndReproducibility(t *testing.T) {
-	c, err := mobility.Build(mobility.ModelTemporallySkewed, rand.New(rand.NewSource(11)), 10)
+	c, err := mobility.Build(mobility.ModelTemporallySkewed, rng.New(11), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	user, _ := c.Sample(rand.New(rand.NewSource(12)), 30)
-	a, err := NewRMO(c).GenerateChaffs(rand.New(rand.NewSource(9)), user, 5)
+	user, _ := c.Sample(rng.New(12), 30)
+	a, err := NewRMO(c).GenerateChaffs(rng.New(9), user, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewRMO(c).GenerateChaffs(rand.New(rand.NewSource(9)), user, 5)
+	b, err := NewRMO(c).GenerateChaffs(rng.New(9), user, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestRMOAvoidanceAndReproducibility(t *testing.T) {
 		}
 	}
 	// Different seeds should (almost surely) give different chaff sets.
-	d, err := NewRMO(c).GenerateChaffs(rand.New(rand.NewSource(10)), user, 5)
+	d, err := NewRMO(c).GenerateChaffs(rng.New(10), user, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestRMOAvoidanceAndReproducibility(t *testing.T) {
 }
 
 func TestRMOOnlineController(t *testing.T) {
-	c, err := mobility.Build(mobility.ModelNonSkewed, rand.New(rand.NewSource(2)), 10)
+	c, err := mobility.Build(mobility.ModelNonSkewed, rng.New(2), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestRMOOnlineController(t *testing.T) {
 	if err := rmo.Reset(nil, 2); err == nil {
 		t.Fatal("nil rng accepted")
 	}
-	if err := rmo.Reset(rand.New(rand.NewSource(4)), 3); err != nil {
+	if err := rmo.Reset(rng.New(4), 3); err != nil {
 		t.Fatal(err)
 	}
 	// Run past one horizon chunk to exercise the schedule extension.
@@ -184,11 +184,11 @@ func TestRMOOnlineController(t *testing.T) {
 }
 
 func TestRobustStrategiesValidation(t *testing.T) {
-	c, err := mobility.Build(mobility.ModelNonSkewed, rand.New(rand.NewSource(2)), 10)
+	c, err := mobility.Build(mobility.ModelNonSkewed, rng.New(2), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	for _, s := range []Strategy{NewRML(c), NewROO(c), NewRMO(c)} {
 		if _, err := s.GenerateChaffs(rng, nil, 1); err == nil {
 			t.Fatalf("%s: empty user accepted", s.Name())

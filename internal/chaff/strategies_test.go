@@ -1,16 +1,16 @@
 package chaff
 
 import (
-	"math/rand"
 	"testing"
 
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
 )
 
 func modelChain(t *testing.T, id mobility.ModelID) *markov.Chain {
 	t.Helper()
-	c, err := mobility.Build(id, rand.New(rand.NewSource(99)), 10)
+	c, err := mobility.Build(id, rng.New(99), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func modelChain(t *testing.T, id mobility.ModelID) *markov.Chain {
 
 func TestIMGenerateChaffs(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed)
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	user, _ := c.Sample(rng, 50)
 	chaffs, err := NewIM(c).GenerateChaffs(rng, user, 5)
 	if err != nil {
@@ -51,7 +51,7 @@ func TestIMOnlineController(t *testing.T) {
 	if _, err := im.Step(0); err == nil {
 		t.Fatal("Step before Reset accepted")
 	}
-	if err := im.Reset(rand.New(rand.NewSource(2)), 3); err != nil {
+	if err := im.Reset(rng.New(2), 3); err != nil {
 		t.Fatal(err)
 	}
 	for slot := 0; slot < 20; slot++ {
@@ -75,7 +75,7 @@ func TestIMOnlineController(t *testing.T) {
 
 func TestMLChaffDominatesSamples(t *testing.T) {
 	c := modelChain(t, mobility.ModelSpatiallySkewed)
-	rng := rand.New(rand.NewSource(3))
+	rng := rng.New(3)
 	user, _ := c.Sample(rng, 40)
 	ml := NewML(c)
 	chaffs, err := ml.GenerateChaffs(rng, user, 1)
@@ -104,7 +104,7 @@ func TestMLChaffDominatesSamples(t *testing.T) {
 func TestCMLNeverCoLocates(t *testing.T) {
 	for _, id := range mobility.AllModels {
 		c := modelChain(t, id)
-		rng := rand.New(rand.NewSource(5))
+		rng := rng.New(5)
 		for trial := 0; trial < 10; trial++ {
 			user, _ := c.Sample(rng, 60)
 			tr, err := NewCML(c).Gamma(user)
@@ -145,7 +145,7 @@ func TestCMLGreedyChoice(t *testing.T) {
 
 func TestCMLOnlineMatchesBatch(t *testing.T) {
 	c := modelChain(t, mobility.ModelTemporallySkewed)
-	rng := rand.New(rand.NewSource(8))
+	rng := rng.New(8)
 	user, _ := c.Sample(rng, 30)
 	cml := NewCML(c)
 	batch, err := cml.Gamma(user)
@@ -211,7 +211,7 @@ func TestMOAlgorithmHandExample(t *testing.T) {
 
 func TestMOOnlineMatchesBatch(t *testing.T) {
 	c := modelChain(t, mobility.ModelBothSkewed)
-	rng := rand.New(rand.NewSource(13))
+	rng := rng.New(13)
 	user, _ := c.Sample(rng, 40)
 	mo := NewMO(c)
 	batch, err := mo.Gamma(user)
@@ -240,7 +240,7 @@ func TestMOKeepsLikelihoodCompetitive(t *testing.T) {
 	// LL) should rarely be positive; verify the final γ is ≤ 0 for most
 	// runs on the non-skewed model.
 	c := modelChain(t, mobility.ModelNonSkewed)
-	rng := rand.New(rand.NewSource(21))
+	rng := rng.New(21)
 	mo := NewMO(c)
 	positive := 0
 	const runs = 50
@@ -302,11 +302,11 @@ func TestRegistry(t *testing.T) {
 
 func TestRolloutProducesValidTrajectory(t *testing.T) {
 	c := modelChain(t, mobility.ModelSpatiallySkewed)
-	rng := rand.New(rand.NewSource(31))
-	user, _ := c.Sample(rng, 25)
+	r := rng.New(31)
+	user, _ := c.Sample(r, 25)
 	ro := NewRollout(c)
 	ro.Horizon, ro.Samples = 4, 4
-	chaffs, err := ro.GenerateChaffs(rand.New(rand.NewSource(7)), user, 2)
+	chaffs, err := ro.GenerateChaffs(rng.New(7), user, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestRolloutProducesValidTrajectory(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Determinism given the same seed.
-	again, err := ro.GenerateChaffs(rand.New(rand.NewSource(7)), user, 2)
+	again, err := ro.GenerateChaffs(rng.New(7), user, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +336,7 @@ func TestRolloutOnline(t *testing.T) {
 	if _, err := ro.Step(0); err == nil {
 		t.Fatal("Step before Reset accepted")
 	}
-	if err := ro.Reset(rand.New(rand.NewSource(1)), 1); err != nil {
+	if err := ro.Reset(rng.New(1), 1); err != nil {
 		t.Fatal(err)
 	}
 	for slot := 0; slot < 10; slot++ {

@@ -2,17 +2,17 @@ package detect
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
 )
 
 func modelChain(t *testing.T, id mobility.ModelID) *markov.Chain {
 	t.Helper()
-	c, err := mobility.Build(id, rand.New(rand.NewSource(99)), 10)
+	c, err := mobility.Build(id, rng.New(99), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestPrefixDetectionsHandExample(t *testing.T) {
 
 func TestDetectTies(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed)
-	tr, _ := c.Sample(rand.New(rand.NewSource(1)), 20)
+	tr, _ := c.Sample(rng.New(1), 20)
 	dets, err := NewMLDetector(c).PrefixDetections([]markov.Trajectory{tr, tr.Clone()})
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ func TestDetectTies(t *testing.T) {
 
 func TestDetectFullTrajectory(t *testing.T) {
 	c := modelChain(t, mobility.ModelSpatiallySkewed)
-	rng := rand.New(rand.NewSource(5))
+	rng := rng.New(5)
 	user, _ := c.Sample(rng, 30)
 	chaffs, err := chaff.NewML(c).GenerateChaffs(rng, user, 1)
 	if err != nil {
@@ -155,7 +155,7 @@ func TestAdvancedDetectorDefeatsML(t *testing.T) {
 	// Section VI-A.2: knowing the ML strategy, the advanced eavesdropper
 	// discards the ML trajectory and always tracks the user.
 	c := modelChain(t, mobility.ModelBothSkewed)
-	rng := rand.New(rand.NewSource(2))
+	rng := rng.New(2)
 	ml := chaff.NewML(c)
 	adv, err := NewAdvancedDetector(c, ml.Gamma)
 	if err != nil {
@@ -184,7 +184,7 @@ func TestAdvancedDetectorDefeatsML(t *testing.T) {
 
 func TestAdvancedDetectorDefeatsMO(t *testing.T) {
 	c := modelChain(t, mobility.ModelSpatiallySkewed)
-	rng := rand.New(rand.NewSource(3))
+	rng := rng.New(3)
 	mo := chaff.NewMO(c)
 	adv, err := NewAdvancedDetector(c, mo.Gamma)
 	if err != nil {
@@ -217,7 +217,7 @@ func TestAdvancedDetectorDefeatsMO(t *testing.T) {
 
 func TestAdvancedDetectorSurvivors(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed)
-	rng := rand.New(rand.NewSource(4))
+	rng := rng.New(4)
 	mo := chaff.NewMO(c)
 	user, _ := c.Sample(rng, 25)
 	chaffs, _ := mo.GenerateChaffs(rng, user, 1)
@@ -238,7 +238,7 @@ func TestAdvancedDetectorAllFilteredFallsBack(t *testing.T) {
 	// Γ that maps every trajectory to every other one: everything gets
 	// filtered, so the detector guesses uniformly over all N.
 	c := modelChain(t, mobility.ModelNonSkewed)
-	rng := rand.New(rand.NewSource(6))
+	rng := rng.New(6)
 	a, _ := c.Sample(rng, 10)
 	b := a.Clone()
 	gamma := func(user markov.Trajectory) (markov.Trajectory, error) {

@@ -7,16 +7,24 @@
 // three concerns those harnesses used to duplicate:
 //
 //   - Stream derivation: run r of an experiment with base seed s draws all
-//     of its randomness from rand.New(rand.NewSource(MixSeed(s, r))).
-//     MixSeed applies a full golden-ratio/splitmix64 avalanche, so adjacent
-//     run indices yield decorrelated streams and a run's result depends
-//     only on (s, r) — never on scheduling or worker count.
+//     of its randomness from the internal/rng splitmix64 stream
+//     rng.Derive(s, r) (MixSeed and NewRunRNG are thin aliases kept for
+//     discoverability). The derivation applies a full golden-ratio
+//     avalanche, so adjacent run indices yield decorrelated streams and a
+//     run's result depends only on (s, r) — never on scheduling or worker
+//     count. Stream stability follows internal/rng's contract: fixed for a
+//     given rng package version, re-pinned in one commit when the
+//     generator changes.
 //
 //   - Worker pools with per-worker scratch: NewWorker is called once per
 //     worker, letting callers hoist detector construction, steady-state
 //     lookups and log-likelihood buffers out of the per-run hot path; the
 //     Run callback then reuses that state across all runs the worker
-//     executes.
+//     executes. The run RNG itself is per-worker scratch too: each worker
+//     owns one reseedable rng.Source and repositions it with
+//     Reseed(seed, run) before every run, so deriving a run's stream is
+//     allocation-free (the old design allocated a ~5 KB math/rand source
+//     per run).
 //
 //   - Deterministic streaming aggregation: results are re-ordered and
 //     handed to Accumulate in strict run order (0, 1, 2, …) on a single
@@ -35,6 +43,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"chaffmec/internal/rng"
 )
 
 // Options tunes a Monte-Carlo experiment.
@@ -64,25 +74,19 @@ func (o Options) Normalized() Options {
 	return o
 }
 
-// MixSeed derives the RNG seed of one run from the experiment's base seed:
-// a splitmix64-style golden-ratio multiply followed by the full finishing
-// avalanche, so that low-entropy (seed, run) pairs — seeds 0,1,2 and run
-// indices 0…999 — still produce well-separated streams.
+// MixSeed derives the RNG seed of one run from the experiment's base
+// seed. It is an alias for rng.Derive(seed, run), the repository's one
+// seed-derivation API; new code should call rng.Derive directly.
 func MixSeed(seed int64, run int) int64 {
-	x := uint64(seed) ^ (uint64(run)+1)*0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return int64(x)
+	return rng.Derive(seed, int64(run))
 }
 
-// NewRunRNG returns the private RNG stream of one run: the canonical
-// rand source seeded with MixSeed(seed, run). Run uses it for every
-// dispatched run; tests use it to replay a single run by hand.
+// NewRunRNG returns the private RNG stream of one run — the stream a
+// worker Source yields after Reseed(seed, run). It is an alias for
+// rng.NewRun; Run's workers draw the same stream allocation-free, and
+// tests use this to replay a single run by hand.
 func NewRunRNG(seed int64, run int) *rand.Rand {
-	return rand.New(rand.NewSource(MixSeed(seed, run)))
+	return rng.NewRun(seed, run)
 }
 
 // Config wires one experiment into Run. W is the per-worker scratch state,
@@ -97,6 +101,13 @@ type Config[W, R any] struct {
 	// derived deterministically from (Options.Seed, run). The returned R
 	// is retained by the engine until Accumulate consumes it, so it must
 	// not alias worker scratch that the next Run call overwrites.
+	//
+	// Run must not call rng.Read: the engine repositions a shared
+	// per-worker source between runs, but rand.Rand's Read method
+	// buffers up to 7 bytes internally across calls, which would leak
+	// state between consecutive runs of one worker and break the
+	// (seed, run)-only determinism contract. Every other rand.Rand
+	// method is stateless over the source and safe.
 	Run func(w W, run int, rng *rand.Rand) (R, error)
 	// Accumulate folds one run's result into the experiment aggregate. It
 	// is called on a single goroutine in strict run order (0, 1, 2, …),
@@ -180,6 +191,11 @@ func Run[W, R any](opts Options, cfg Config[W, R]) error {
 		go func(worker int) {
 			defer wg.Done()
 			state := states[worker]
+			// One reseedable source per worker: repositioning it with
+			// Reseed is an 8-byte write, so deriving a run's private
+			// stream costs no allocation regardless of the run count.
+			src := rng.NewSource(0)
+			workerRNG := rand.New(src)
 			for {
 				select {
 				case <-cancel:
@@ -190,7 +206,8 @@ func Run[W, R any](opts Options, cfg Config[W, R]) error {
 					}
 					out := outcome{start: job[0], res: make([]R, 0, job[1]-job[0])}
 					for run := job[0]; run < job[1]; run++ {
-						res, err := cfg.Run(state, run, NewRunRNG(o.Seed, run))
+						src.Reseed(o.Seed, run)
+						res, err := cfg.Run(state, run, workerRNG)
 						if err != nil {
 							out.err, out.errRun = err, run
 							break

@@ -9,6 +9,8 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+
+	"chaffmec/internal/rng"
 )
 
 // collect runs a toy experiment and returns each run's first RNG draw in
@@ -159,7 +161,7 @@ func TestMixSeedDistinctAndAvalanched(t *testing.T) {
 }
 
 func TestSeriesStatsMatchesNaive(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := rng.New(8)
 	const T, n = 7, 400
 	s := NewSeriesStats(T)
 	data := make([][]float64, n)
@@ -213,6 +215,118 @@ func TestScalarStats(t *testing.T) {
 	want := math.Sqrt(5.0 / 3.0 / 4.0)
 	if math.Abs(s.StdErr()-want) > 1e-15 {
 		t.Fatalf("stderr = %v, want %v", s.StdErr(), want)
+	}
+}
+
+// TestSeriesStatsMergeMatchesSequential shards one data set three ways,
+// merges the partial accumulators, and demands the result agree with a
+// single sequential accumulation — the contract that makes cross-process
+// sharding well-defined.
+func TestSeriesStatsMergeMatchesSequential(t *testing.T) {
+	rng := rng.New(17)
+	const T, n = 5, 300
+	data := make([][]float64, n)
+	for i := range data {
+		row := make([]float64, T)
+		for k := range row {
+			row[k] = rng.NormFloat64()*3 + 1
+		}
+		data[i] = row
+	}
+
+	seq := NewSeriesStats(T)
+	for _, row := range data {
+		if err := seq.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Uneven shards, including an empty one.
+	bounds := []int{0, 7, 7, 180, n}
+	merged := NewSeriesStats(T)
+	for s := 0; s+1 < len(bounds); s++ {
+		shard := NewSeriesStats(T)
+		for _, row := range data[bounds[s]:bounds[s+1]] {
+			if err := shard.Add(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := merged.Merge(shard); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if merged.N() != seq.N() {
+		t.Fatalf("merged N = %d, want %d", merged.N(), seq.N())
+	}
+	sm, mm := seq.Mean(), merged.Mean()
+	se, me := seq.StdErr(), merged.StdErr()
+	for k := 0; k < T; k++ {
+		if math.Abs(sm[k]-mm[k]) > 1e-12 {
+			t.Fatalf("mean[%d]: merged %v, sequential %v", k, mm[k], sm[k])
+		}
+		if math.Abs(se[k]-me[k]) > 1e-12 {
+			t.Fatalf("stderr[%d]: merged %v, sequential %v", k, me[k], se[k])
+		}
+	}
+
+	if err := merged.Merge(NewSeriesStats(T + 1)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSeriesStatsMergeIntoEmpty(t *testing.T) {
+	src := NewSeriesStats(3)
+	for _, row := range [][]float64{{1, 2, 3}, {2, 3, 4}, {0, 1, 2}} {
+		if err := src.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := NewSeriesStats(3)
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.N() != 3 || !reflect.DeepEqual(dst.Mean(), src.Mean()) || !reflect.DeepEqual(dst.StdErr(), src.StdErr()) {
+		t.Fatalf("merge into empty: got n=%d mean=%v stderr=%v", dst.N(), dst.Mean(), dst.StdErr())
+	}
+	// Merging src must not have mutated it.
+	if src.N() != 3 {
+		t.Fatalf("source mutated: n=%d", src.N())
+	}
+}
+
+func TestScalarStatsMergeMatchesSequential(t *testing.T) {
+	rng := rng.New(23)
+	vals := make([]float64, 257)
+	for i := range vals {
+		vals[i] = rng.ExpFloat64()
+	}
+	var seq ScalarStats
+	for _, v := range vals {
+		seq.Add(v)
+	}
+	var a, b, c, merged ScalarStats
+	for _, v := range vals[:40] {
+		a.Add(v)
+	}
+	for _, v := range vals[40:41] {
+		b.Add(v)
+	}
+	for _, v := range vals[41:] {
+		c.Add(v)
+	}
+	merged.Merge(a)
+	merged.Merge(ScalarStats{}) // empty shard is a no-op
+	merged.Merge(b)
+	merged.Merge(c)
+	if merged.N() != seq.N() {
+		t.Fatalf("merged N = %d, want %d", merged.N(), seq.N())
+	}
+	if math.Abs(merged.Mean()-seq.Mean()) > 1e-12 {
+		t.Fatalf("merged mean %v, sequential %v", merged.Mean(), seq.Mean())
+	}
+	if math.Abs(merged.StdErr()-seq.StdErr()) > 1e-12 {
+		t.Fatalf("merged stderr %v, sequential %v", merged.StdErr(), seq.StdErr())
 	}
 }
 

@@ -35,6 +35,36 @@ func (s *SeriesStats) Add(x []float64) error {
 	return nil
 }
 
+// Merge folds another accumulator into s using Chan et al.'s parallel
+// Welford combine, as if every series Add'ed to o had been Add'ed to s
+// after s's own series. This is the cross-shard reduction for
+// experiments split across workers, processes or hosts: each shard
+// accumulates its own run range, then the partials merge pairwise. o is
+// not modified.
+func (s *SeriesStats) Merge(o *SeriesStats) error {
+	if len(o.mean) != len(s.mean) {
+		return fmt.Errorf("engine: merging series stats of length %d into %d", len(o.mean), len(s.mean))
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if s.n == 0 {
+		s.n = o.n
+		copy(s.mean, o.mean)
+		copy(s.m2, o.m2)
+		return nil
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	inv := 1 / (n1 + n2)
+	for t := range s.mean {
+		d := o.mean[t] - s.mean[t]
+		s.mean[t] += d * n2 * inv
+		s.m2[t] += o.m2[t] + d*d*n1*n2*inv
+	}
+	s.n += o.n
+	return nil
+}
+
 // N returns the number of series accumulated.
 func (s *SeriesStats) N() int { return s.n }
 
@@ -75,6 +105,25 @@ func (s *ScalarStats) Add(v float64) {
 	d := v - s.mean
 	s.mean += d / float64(s.n)
 	s.m2 += d * (v - s.mean)
+}
+
+// Merge folds another accumulator into s (Chan et al. parallel
+// combine), as if o's samples had been Add'ed to s after s's own. o is
+// not modified.
+func (s *ScalarStats) Merge(o ScalarStats) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	inv := 1 / (n1 + n2)
+	d := o.mean - s.mean
+	s.mean += d * n2 * inv
+	s.m2 += o.m2 + d*d*n1*n2*inv
+	s.n += o.n
 }
 
 // N returns the number of samples accumulated.

@@ -9,7 +9,6 @@ package figures
 
 import (
 	"fmt"
-	"math/rand"
 
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
@@ -48,13 +47,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// buildModel constructs one of the four mobility models with a seed
-// derived from the experiment seed, so models (a)/(b) — which have random
-// transition matrices — are identical across figures of one experiment
-// run, as in the paper.
+// buildModel constructs one of the four mobility models on the
+// canonical model stream of the experiment seed (mobility.BuildDerived),
+// so models (a)/(b) — which have random transition matrices — are
+// identical across figures of one experiment run, as in the paper.
 func buildModel(id mobility.ModelID, cfg Config) (*markov.Chain, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(id)))
-	c, err := mobility.Build(id, rng, cfg.Cells)
+	c, err := mobility.BuildDerived(id, cfg.Seed, cfg.Cells)
 	if err != nil {
 		return nil, fmt.Errorf("figures: building model %v: %w", id, err)
 	}

@@ -12,6 +12,9 @@ import (
 // (strategy-aware) eavesdropper for the top-K users under two chaffs,
 // comparing the original strategies (IM, ML, OO, MO) — which are
 // ineffective — against the robust randomized ones (RMO, RML, ROO).
+// Like Fig9b, the (user × strategy) grid runs on the engine worker
+// pool: every cell draws from its own engine-derived stream and the
+// output is deterministic for any worker count.
 func Fig10(lab *TraceLab, topK int, seed int64) (*TraceBarResult, error) {
 	top, _, err := lab.TopUsers(topK)
 	if err != nil {
@@ -46,23 +49,29 @@ func Fig10(lab *TraceLab, topK int, seed int64) (*TraceBarResult, error) {
 		{"ROO4", func() chaff.Strategy { s := chaff.NewROO(lab.Chain); s.Pairs = 4; return s }, ooGamma},
 	}
 	const numChaffs = 2
-	res := &TraceBarResult{}
+	res := &TraceBarResult{Acc: make([][]float64, len(top))}
 	for _, s := range strategies {
 		res.Strategies = append(res.Strategies, s.label)
 	}
+	var cells []gridCell
 	for rank, u := range top {
 		res.Users = append(res.Users, lab.Nodes[u])
 		res.UserIdx = append(res.UserIdx, u)
-		row := make([]float64, 0, len(strategies))
-		for si, s := range strategies {
-			rng := rand.New(rand.NewSource(seed + int64(rank)*307 + int64(si)))
-			acc, err := lab.userAccuracyWithChaffs(u, s.build(), numChaffs, rng, s.gamma)
-			if err != nil {
-				return nil, fmt.Errorf("figures: fig10 user %s strategy %s: %w", lab.Nodes[u], s.label, err)
-			}
-			row = append(row, acc)
+		res.Acc[rank] = make([]float64, len(strategies))
+		for si := range strategies {
+			cells = append(cells, gridCell{rank, si})
 		}
-		res.Acc = append(res.Acc, row)
+	}
+	err = runGrid(res, cells, seed, func(c gridCell, rng *rand.Rand) (float64, error) {
+		s := strategies[c.si]
+		acc, err := lab.userAccuracyWithChaffs(top[c.rank], s.build(), numChaffs, rng, s.gamma)
+		if err != nil {
+			return 0, fmt.Errorf("figures: fig10 user %s strategy %s: %w", lab.Nodes[top[c.rank]], s.label, err)
+		}
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/detect"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/markov"
 )
 
@@ -53,10 +54,40 @@ type TraceBarResult struct {
 	Acc [][]float64
 }
 
+// gridCell is one (user rank, strategy column) evaluation of a
+// trace-driven bar figure, dispatched as one engine run.
+type gridCell struct{ rank, si int }
+
+// runGrid evaluates a (top-K user × strategy) accuracy grid on the
+// shared Monte-Carlo engine: each cell is one engine run whose private
+// RNG stream is derived from (seed, cell index), cells execute on the
+// worker pool, and results are written back by cell index — the output
+// is deterministic for any worker count and identical to a sequential
+// evaluation. eval computes one cell on the cell's stream.
+func runGrid(res *TraceBarResult, cells []gridCell, seed int64,
+	eval func(c gridCell, rng *rand.Rand) (float64, error)) error {
+	if len(cells) == 0 {
+		return nil // engine.Options would normalize Runs 0 to 1000
+	}
+	return engine.Run(engine.Options{Runs: len(cells), Seed: seed},
+		engine.Config[struct{}, float64]{
+			Run: func(_ struct{}, i int, rng *rand.Rand) (float64, error) {
+				return eval(cells[i], rng)
+			},
+			Accumulate: func(i int, acc float64) error {
+				res.Acc[cells[i].rank][cells[i].si] = acc
+				return nil
+			},
+		})
+}
+
 // Fig9b reproduces Fig. 9(b): the top-K users' tracking accuracy before
 // and after adding a single chaff controlled by IM, MO, ML, or OO. The
 // eavesdropper is the basic ML detector over all trajectories plus the
-// chaff.
+// chaff. The (user × strategy) grid is evaluated in parallel on the
+// engine worker pool; each chaffed cell draws from its own
+// engine-derived stream, and the output is deterministic for any worker
+// count.
 func Fig9b(lab *TraceLab, topK int, seed int64) (*TraceBarResult, error) {
 	top, accs, err := lab.TopUsers(topK)
 	if err != nil {
@@ -72,27 +103,33 @@ func Fig9b(lab *TraceLab, topK int, seed int64) (*TraceBarResult, error) {
 		{"ML", func() chaff.Strategy { return chaff.NewML(lab.Chain) }},
 		{"OO", func() chaff.Strategy { return chaff.NewOO(lab.Chain) }},
 	}
-	res := &TraceBarResult{}
+	res := &TraceBarResult{Acc: make([][]float64, len(top))}
 	for _, s := range strategies {
 		res.Strategies = append(res.Strategies, s.label)
 	}
+	var cells []gridCell
 	for rank, u := range top {
 		res.Users = append(res.Users, lab.Nodes[u])
 		res.UserIdx = append(res.UserIdx, u)
-		row := make([]float64, 0, len(strategies))
-		for _, s := range strategies {
+		res.Acc[rank] = make([]float64, len(strategies))
+		for si, s := range strategies {
 			if s.build == nil {
-				row = append(row, accs[u])
+				res.Acc[rank][si] = accs[u] // no-chaff column: already computed
 				continue
 			}
-			rng := rand.New(rand.NewSource(seed + int64(rank)*101))
-			acc, err := lab.userAccuracyWithChaffs(u, s.build(), 1, rng, nil)
-			if err != nil {
-				return nil, fmt.Errorf("figures: fig9b user %s strategy %s: %w", lab.Nodes[u], s.label, err)
-			}
-			row = append(row, acc)
+			cells = append(cells, gridCell{rank, si})
 		}
-		res.Acc = append(res.Acc, row)
+	}
+	err = runGrid(res, cells, seed, func(c gridCell, rng *rand.Rand) (float64, error) {
+		s := strategies[c.si]
+		acc, err := lab.userAccuracyWithChaffs(top[c.rank], s.build(), 1, rng, nil)
+		if err != nil {
+			return 0, fmt.Errorf("figures: fig9b user %s strategy %s: %w", lab.Nodes[top[c.rank]], s.label, err)
+		}
+		return acc, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

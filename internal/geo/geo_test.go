@@ -2,9 +2,10 @@ package geo
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"chaffmec/internal/rng"
 )
 
 func TestDistAndLerp(t *testing.T) {
@@ -38,7 +39,7 @@ func TestRect(t *testing.T) {
 	if (Rect{0, 0, 0, 5}).Valid() {
 		t.Fatal("degenerate rect valid")
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	for i := 0; i < 100; i++ {
 		if p := r.RandomPoint(rng); !r.Contains(p) {
 			t.Fatalf("RandomPoint %v outside", p)
@@ -55,7 +56,7 @@ func TestDedupTowers(t *testing.T) {
 }
 
 func TestGenerateTowers(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := rng.New(9)
 	cfg := TowerFieldConfig{
 		Bounds:           Rect{0, 0, 45000, 40000},
 		Clusters:         10,
@@ -88,7 +89,7 @@ func TestGenerateTowers(t *testing.T) {
 }
 
 func TestQuantizerNearestBruteForce(t *testing.T) {
-	rng := rand.New(rand.NewSource(31))
+	rng := rng.New(31)
 	bounds := Rect{0, 0, 10000, 8000}
 	towers := make([]Point, 300)
 	for i := range towers {

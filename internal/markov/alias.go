@@ -1,0 +1,161 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// AliasTable samples from a fixed discrete distribution in O(1) per draw
+// using Walker's alias method (Vose's linear-time construction). A table
+// over n outcomes costs one float64 and one int32 per outcome and one
+// uniform variate per draw — versus the O(n) cumulative scan of
+// SampleDist — which is what makes large-cell-count (20×20+ grid)
+// trajectory sweeps tractable.
+//
+// A built table is immutable and safe for concurrent use by any number
+// of goroutines (each with its own rng).
+type AliasTable struct {
+	n     int
+	prob  []float64 // acceptance threshold of each column, in [0,1]
+	alias []int32   // overflow outcome of each column
+	items []int32   // optional outcome relabeling; nil means identity
+}
+
+// NewAliasTable builds an alias table over weights, which must be
+// non-negative, finite and have a positive sum (they need not be
+// normalized). Zero-weight outcomes are never drawn.
+func NewAliasTable(weights []float64) (*AliasTable, error) {
+	return newAliasTable(weights, nil)
+}
+
+// newAliasTable optionally relabels column j to items[j] (used for
+// chain rows, whose weights are indexed by successor-list position but
+// whose outcomes are state ids). items is retained, not copied.
+func newAliasTable(weights []float64, items []int32) (*AliasTable, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, errors.New("markov: alias table over empty distribution")
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return nil, fmt.Errorf("markov: alias weight [%d] = %v is not a finite non-negative number", i, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, errors.New("markov: alias weights sum to zero")
+	}
+
+	a := &AliasTable{
+		n:     n,
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		items: items,
+	}
+	// Vose's construction: scale weights to mean 1, then repeatedly pair
+	// an under-full column with an over-full one. The under-full column
+	// keeps its own mass and borrows the remainder from the donor.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	scale := float64(n) / sum
+	for i, w := range weights {
+		scaled[i] = w * scale
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		// The donor loses exactly the mass the short column is missing.
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are full columns up to rounding: their threshold is 1,
+	// so the alias entry is never consulted (self-alias keeps it valid).
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// Len returns the number of outcomes (before relabeling).
+func (a *AliasTable) Len() int { return a.n }
+
+// Draw samples one outcome using a single uniform variate: the integer
+// part picks a column, the fractional part decides between the column's
+// own outcome and its alias.
+func (a *AliasTable) Draw(rng *rand.Rand) int {
+	u := rng.Float64() * float64(a.n)
+	i := int(u)
+	if i >= a.n { // guards the u == n edge after float rounding
+		i = a.n - 1
+	}
+	j := i
+	if u-float64(i) >= a.prob[i] {
+		j = int(a.alias[i])
+	}
+	if a.items != nil {
+		return int(a.items[j])
+	}
+	return j
+}
+
+// rowAliasTables lazily builds one alias table per transition-matrix row
+// (over the row's successor list) and caches them on the immutable
+// chain, shared by all samplers. Construction cannot fail: New already
+// validated every row as a probability distribution with at least one
+// positive entry.
+func (c *Chain) rowAliasTables() []*AliasTable {
+	c.aliasOnce.Do(func() {
+		tables := make([]*AliasTable, c.n)
+		for i, succ := range c.succ {
+			weights := make([]float64, len(succ))
+			items := make([]int32, len(succ))
+			for k, j := range succ {
+				weights[k] = c.p[i][j]
+				items[k] = int32(j)
+			}
+			t, err := newAliasTable(weights, items)
+			if err != nil {
+				panic(fmt.Sprintf("markov: alias table for validated row %d: %v", i, err))
+			}
+			tables[i] = t
+		}
+		c.rowAlias = tables
+	})
+	return c.rowAlias
+}
+
+// steadyAliasTable lazily builds the alias table of the stationary
+// distribution, used for the initial draw of Sample.
+func (c *Chain) steadyAliasTable() (*AliasTable, error) {
+	c.steadyAliasOnce.Do(func() {
+		pi, err := c.SteadyState()
+		if err != nil {
+			c.steadyAliasErr = err
+			return
+		}
+		c.steadyAlias, c.steadyAliasErr = NewAliasTable(pi)
+	})
+	return c.steadyAlias, c.steadyAliasErr
+}

@@ -1,0 +1,212 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"chaffmec/internal/rng"
+)
+
+func TestNewAliasTableRejectsBadWeights(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":    {},
+		"negative": {0.5, -0.1, 0.6},
+		"nan":      {math.NaN(), 1},
+		"inf":      {math.Inf(1), 1},
+		"zero-sum": {0, 0, 0},
+	}
+	for name, w := range cases {
+		if _, err := NewAliasTable(w); err == nil {
+			t.Errorf("%s weights accepted", name)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAliasTable([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if got := a.Draw(r); got != 0 {
+			t.Fatalf("single-outcome table drew %d", got)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a, err := NewAliasTable([]float64{0.5, 0, 0.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 50000; i++ {
+		if got := a.Draw(r); got == 1 || got == 3 {
+			t.Fatalf("zero-weight outcome %d drawn", got)
+		}
+	}
+}
+
+// chiSquared computes Pearson's statistic of counts against the expected
+// distribution dist (scaled to the total count), pooling outcomes with
+// expected count < 10 into one bucket so near-zero probabilities do not
+// destabilize the statistic. It returns the statistic and the degrees of
+// freedom.
+func chiSquared(counts []int, dist []float64, total int) (float64, int) {
+	stat := 0.0
+	df := -1 // one constraint: counts sum to total
+	poolObs, poolExp := 0.0, 0.0
+	for i, p := range dist {
+		exp := p * float64(total)
+		if exp < 10 {
+			poolObs += float64(counts[i])
+			poolExp += exp
+			continue
+		}
+		d := float64(counts[i]) - exp
+		stat += d * d / exp
+		df++
+	}
+	if poolExp > 0 {
+		d := poolObs - poolExp
+		stat += d * d / poolExp
+		df++
+	}
+	if df < 1 {
+		df = 1
+	}
+	return stat, df
+}
+
+// chiSquaredCritical approximates a far-tail (≫ 99.99%) critical value,
+// loose enough that a correct sampler fails with negligible probability
+// while a mis-built table (wrong alias target, leaked zero-probability
+// mass) exceeds it immediately at the sample sizes used here.
+func chiSquaredCritical(df int) float64 {
+	return float64(df) + 5*math.Sqrt(2*float64(df)) + 10
+}
+
+// assertMatchesDist draws via sample and chi-squared-tests the empirical
+// counts against dist.
+func assertMatchesDist(t *testing.T, name string, n int, dist []float64, sample func() int) {
+	t.Helper()
+	counts := make([]int, len(dist))
+	for i := 0; i < n; i++ {
+		v := sample()
+		if v < 0 || v >= len(dist) {
+			t.Fatalf("%s: drew %d outside [0,%d)", name, v, len(dist))
+		}
+		if dist[v] == 0 {
+			t.Fatalf("%s: drew zero-probability outcome %d", name, v)
+		}
+		counts[v]++
+	}
+	stat, df := chiSquared(counts, dist, n)
+	if crit := chiSquaredCritical(df); stat > crit {
+		t.Fatalf("%s: chi-squared %.1f over %d df exceeds %.1f — empirical distribution diverges", name, stat, df, crit)
+	}
+}
+
+// TestAliasMatchesLinearDistributions is the differential test the alias
+// migration is gated on: on sparse, dense, single-successor and
+// near-zero-probability rows, the alias path (Step) and the linear-scan
+// reference (StepLinear) must both reproduce the row distribution. This
+// catches table-construction edge cases — wrong residual mass in Vose
+// pairing, off-by-one column selection, zero-probability leakage — that
+// unit tests on the table alone would miss.
+func TestAliasMatchesLinearDistributions(t *testing.T) {
+	chains := map[string]*Chain{
+		"dense": MustNew([][]float64{
+			{0.25, 0.25, 0.25, 0.25},
+			{0.1, 0.2, 0.3, 0.4},
+			{0.7, 0.1, 0.1, 0.1},
+			{0.01, 0.01, 0.01, 0.97},
+		}),
+		"sparse": MustNew([][]float64{
+			{0, 1, 0, 0},
+			{0.5, 0, 0.5, 0},
+			{0, 0.999, 0, 0.001},
+			{1, 0, 0, 0},
+		}),
+		"near-zero": MustNew([][]float64{
+			{1e-12, 0.7 - 1e-12, 0.3},
+			{0.3, 0.7, 0},
+			{1e-9, 1e-9, 1 - 2e-9},
+		}),
+	}
+	const n = 120000
+	for name, c := range chains {
+		for from := 0; from < c.NumStates(); from++ {
+			row := c.Row(from)
+			ra := rng.NewStream(11, int64(from))
+			assertMatchesDist(t, name+"/alias", n, row, func() int { return c.Step(ra, from) })
+			rl := rng.NewStream(13, int64(from))
+			assertMatchesDist(t, name+"/linear", n, row, func() int { return c.StepLinear(rl, from) })
+		}
+	}
+}
+
+// TestSampleMatchesSampleLinear checks full-trajectory agreement: the
+// alias and linear samplers must produce the same initial-state
+// distribution (stationary) and the same per-row successor statistics.
+func TestSampleMatchesSampleLinear(t *testing.T) {
+	c := MustNew([][]float64{
+		{0.5, 0.3, 0.2},
+		{0.2, 0.5, 0.3},
+		{0.3, 0.2, 0.5},
+	})
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 30000
+	ra, rl := rng.New(5), rng.New(6)
+	var firstAlias, firstLinear []int
+	firstAlias = make([]int, c.NumStates())
+	firstLinear = make([]int, c.NumStates())
+	for i := 0; i < runs; i++ {
+		ta, err := c.Sample(ra, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := c.SampleLinear(rl, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		firstAlias[ta[0]]++
+		firstLinear[tl[0]]++
+	}
+	for name, counts := range map[string][]int{"alias": firstAlias, "linear": firstLinear} {
+		stat, df := chiSquared(counts, pi, runs)
+		if crit := chiSquaredCritical(df); stat > crit {
+			t.Fatalf("%s initial-state chi-squared %.1f over %d df exceeds %.1f", name, stat, df, crit)
+		}
+	}
+}
+
+func TestStepSingleSuccessorDeterministic(t *testing.T) {
+	c := MustNew([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	r := rng.New(3)
+	for i := 0; i < 200; i++ {
+		if got := c.Step(r, 0); got != 1 {
+			t.Fatalf("Step(0) = %d, want 1", got)
+		}
+		if got := c.Step(r, 1); got != 0 {
+			t.Fatalf("Step(1) = %d, want 0", got)
+		}
+	}
+}
+
+func TestAliasTableLen(t *testing.T) {
+	a, err := NewAliasTable([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+}

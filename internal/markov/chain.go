@@ -32,6 +32,15 @@ type Chain struct {
 	steadyOnce sync.Once
 	steady     []float64
 	steadyErr  error
+
+	// Alias tables for O(1) sampling, built lazily and shared: one per
+	// row (over the successor list) plus one for the stationary
+	// distribution. See alias.go.
+	aliasOnce       sync.Once
+	rowAlias        []*AliasTable
+	steadyAliasOnce sync.Once
+	steadyAlias     *AliasTable
+	steadyAliasErr  error
 }
 
 // New validates p as a row-stochastic matrix and returns the chain.

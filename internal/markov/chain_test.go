@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"chaffmec/internal/rng"
 )
 
 // twoState returns the classic two-state chain with P(1|0)=a, P(0|1)=b,
@@ -94,10 +96,10 @@ func TestSteadyStateTwoState(t *testing.T) {
 }
 
 func TestSteadyStateIsFixedPoint(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	r := rng.New(7)
 	f := func(seed int64) bool {
-		n := 2 + int(rng.Int31n(20))
-		c := randomChain(rand.New(rand.NewSource(seed)), n)
+		n := 2 + int(r.Int31n(20))
+		c := randomChain(rng.New(seed), n)
 		pi := c.MustSteadyState()
 		next, err := c.StepDistribution(pi)
 		if err != nil {
@@ -111,7 +113,7 @@ func TestSteadyStateIsFixedPoint(t *testing.T) {
 }
 
 func TestSteadyDirectMatchesPower(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := rng.New(11)
 	for trial := 0; trial < 20; trial++ {
 		n := 2 + rng.Intn(15)
 		c := randomChain(rng, n)
@@ -141,7 +143,7 @@ func TestSteadyStateCached(t *testing.T) {
 
 func TestSampleMatchesStationary(t *testing.T) {
 	c := twoState(0.3, 0.1)
-	rng := rand.New(rand.NewSource(5))
+	rng := rng.New(5)
 	const T = 200000
 	tr, err := c.Sample(rng, T)
 	if err != nil {
@@ -162,7 +164,7 @@ func TestSampleMatchesStationary(t *testing.T) {
 
 func TestSampleErrors(t *testing.T) {
 	c := twoState(0.5, 0.5)
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	if _, err := c.Sample(rng, 0); err == nil {
 		t.Fatal("Sample(T=0) succeeded, want error")
 	}

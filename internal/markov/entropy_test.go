@@ -2,8 +2,9 @@ package markov
 
 import (
 	"math"
-	"math/rand"
 	"testing"
+
+	"chaffmec/internal/rng"
 )
 
 func uniformChain(n int) *Chain {
@@ -83,7 +84,7 @@ func TestCollisionProbability(t *testing.T) {
 		t.Fatalf("collision probability = %v, want 0.25", got)
 	}
 	// Lemma V.1: Σπ² ≤ max π, equality iff uniform.
-	rng := rand.New(rand.NewSource(3))
+	rng := rng.New(3)
 	for trial := 0; trial < 20; trial++ {
 		c := randomChain(rng, 2+rng.Intn(12))
 		pi := c.MustSteadyState()

@@ -2,8 +2,9 @@ package markov
 
 import (
 	"math"
-	"math/rand"
 	"testing"
+
+	"chaffmec/internal/rng"
 )
 
 func TestTotalVariation(t *testing.T) {
@@ -30,7 +31,7 @@ func TestMixingTimeUniform(t *testing.T) {
 }
 
 func TestMixingTimeMonotoneInEps(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := rng.New(9)
 	c := randomChain(rng, 8)
 	loose, err := c.MixingTime(0.25, 10000)
 	if err != nil {

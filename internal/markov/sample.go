@@ -5,8 +5,11 @@ import (
 	"math/rand"
 )
 
-// SampleDist draws an index from the distribution dist using rng.
-// dist must sum to ~1; the final index absorbs rounding slack.
+// SampleDist draws an index from the distribution dist using rng with a
+// linear cumulative scan. dist must sum to ~1; the final index absorbs
+// rounding slack. For repeated draws from the same distribution build an
+// AliasTable instead — this O(n) scan is kept as the reference
+// implementation the alias path is differentially tested against.
 func SampleDist(rng *rand.Rand, dist []float64) int {
 	u := rng.Float64()
 	acc := 0.0
@@ -19,8 +22,20 @@ func SampleDist(rng *rand.Rand, dist []float64) int {
 	return len(dist) - 1
 }
 
-// Step samples the successor of state from.
+// Step samples the successor of state from in O(1) via the row's alias
+// table (built lazily on first use, shared by all samplers of the
+// chain). It consumes exactly one uniform variate, like StepLinear, but
+// maps it to a successor through the alias layout instead of the
+// cumulative scan, so the two draw different (identically distributed)
+// values from the same stream.
 func (c *Chain) Step(rng *rand.Rand, from int) int {
+	return c.rowAliasTables()[from].Draw(rng)
+}
+
+// StepLinear samples the successor of state from with the O(successors)
+// cumulative scan. It is the reference implementation for differential
+// tests of the alias tables; simulation code should use Step.
+func (c *Chain) StepLinear(rng *rand.Rand, from int) int {
 	u := rng.Float64()
 	acc := 0.0
 	succ := c.succ[from]
@@ -35,7 +50,28 @@ func (c *Chain) Step(rng *rand.Rand, from int) int {
 
 // Sample draws a trajectory of length T: the initial state from the
 // stationary distribution, subsequent states from the transition matrix.
+// Both draws go through the chain's alias tables (O(1) per slot).
 func (c *Chain) Sample(rng *rand.Rand, T int) (Trajectory, error) {
+	if T <= 0 {
+		return nil, fmt.Errorf("markov: trajectory length %d must be positive", T)
+	}
+	start, err := c.steadyAliasTable()
+	if err != nil {
+		return nil, err
+	}
+	tr := make(Trajectory, T)
+	tr[0] = start.Draw(rng)
+	for t := 1; t < T; t++ {
+		tr[t] = c.Step(rng, tr[t-1])
+	}
+	return tr, nil
+}
+
+// SampleLinear is Sample on the linear-scan reference path (SampleDist +
+// StepLinear). It exists for differential tests against Sample; the two
+// consume the same number of uniforms but produce different trajectories
+// from the same stream.
+func (c *Chain) SampleLinear(rng *rand.Rand, T int) (Trajectory, error) {
 	if T <= 0 {
 		return nil, fmt.Errorf("markov: trajectory length %d must be positive", T)
 	}
@@ -46,7 +82,7 @@ func (c *Chain) Sample(rng *rand.Rand, T int) (Trajectory, error) {
 	tr := make(Trajectory, T)
 	tr[0] = SampleDist(rng, pi)
 	for t := 1; t < T; t++ {
-		tr[t] = c.Step(rng, tr[t-1])
+		tr[t] = c.StepLinear(rng, tr[t-1])
 	}
 	return tr, nil
 }

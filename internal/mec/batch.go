@@ -29,8 +29,9 @@ type BatchResult struct {
 }
 
 // RunBatch executes a batch of episodes on the shared Monte-Carlo engine:
-// episode e draws all of its randomness from the engine.MixSeed(seed, e)
-// stream, workers run episodes in parallel, and aggregation is
+// episode e draws all of its randomness from the rng.Derive(seed, e)
+// stream (a reseeded per-worker splitmix64 source — see internal/rng),
+// workers run episodes in parallel, and aggregation is
 // deterministic in episode order. Because online controllers are stateful,
 // each worker builds its own via newController; cfg.Controller must be
 // left nil (a set controller would be silently ignored, so it is

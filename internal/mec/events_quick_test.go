@@ -1,9 +1,10 @@
 package mec
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"chaffmec/internal/rng"
 )
 
 // TestEventLogReconstructionProperty checks losslessness of the
@@ -12,7 +13,7 @@ import (
 // ground-truth service locations slot by slot.
 func TestEventLogReconstructionProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rng.New(seed)
 		numServices := 1 + rng.Intn(4)
 		slots := 2 + rng.Intn(40)
 		cells := 2 + rng.Intn(12)

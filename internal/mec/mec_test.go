@@ -1,12 +1,12 @@
 package mec
 
 import (
-	"math/rand"
 	"testing"
 
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
 )
 
 func gridChain(t *testing.T) (*markov.Chain, mobility.Grid) {
@@ -86,7 +86,7 @@ func TestSimulatorFollowUserTracksWithoutChaffProtection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run(rand.New(rand.NewSource(3)))
+	rep, err := s.Run(rng.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestSimulatorReconstructionMatchesReality(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run(rand.New(rand.NewSource(7)))
+	rep, err := s.Run(rng.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestSimulatorFailureInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run(rand.New(rand.NewSource(11)))
+	rep, err := s.Run(rng.New(11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestSimulatorThresholdPolicyReducesMigrations(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := s.Run(rand.New(rand.NewSource(13)))
+		rep, err := s.Run(rng.New(13))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +219,7 @@ func TestSimulatorReplayUserTrajectory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run(rand.New(rand.NewSource(1)))
+	rep, err := s.Run(rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}

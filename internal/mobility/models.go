@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"chaffmec/internal/markov"
+	"chaffmec/internal/rng"
 )
 
 // ModelID identifies one of the paper's synthetic mobility models.
@@ -83,6 +84,22 @@ func Build(id ModelID, rng *rand.Rand, L int) (*markov.Chain, error) {
 	default:
 		return nil, fmt.Errorf("mobility: unknown model %d", int(id))
 	}
+}
+
+// StreamModel is the stream index of mobility-model construction in the
+// rng.Derive hierarchy: BuildDerived(id, seed, L) draws model id's
+// random matrix from rng.Derive(seed, StreamModel, id). Every driver
+// that derives models from an experiment seed (internal/figures,
+// internal/scenario) goes through BuildDerived, so one seed yields the
+// same models everywhere.
+const StreamModel = 1
+
+// BuildDerived constructs the identified model on the canonical model
+// stream of an experiment seed. Models (a)/(b) — the ones with random
+// transition matrices — are then identical across all figures and
+// scenarios of one experiment run, as in the paper.
+func BuildDerived(id ModelID, seed int64, L int) (*markov.Chain, error) {
+	return Build(id, rng.NewStream(seed, StreamModel, int64(id)), L)
 }
 
 // RandomChain returns model (a): every entry drawn uniformly from [0,1),

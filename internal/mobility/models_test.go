@@ -2,16 +2,16 @@ package mobility
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"chaffmec/internal/markov"
+	"chaffmec/internal/rng"
 )
 
 func TestBuildAllModels(t *testing.T) {
 	for _, id := range AllModels {
 		t.Run(id.String(), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(42))
+			rng := rng.New(42)
 			c, err := Build(id, rng, 10)
 			if err != nil {
 				t.Fatal(err)
@@ -24,7 +24,7 @@ func TestBuildAllModels(t *testing.T) {
 			}
 		})
 	}
-	if _, err := Build(ModelID(99), rand.New(rand.NewSource(1)), 10); err == nil {
+	if _, err := Build(ModelID(99), rng.New(1), 10); err == nil {
 		t.Fatal("unknown model accepted")
 	}
 }
@@ -44,7 +44,7 @@ func TestModelStrings(t *testing.T) {
 }
 
 func TestSpatiallySkewedHotCell(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	c, err := SpatiallySkewed(rng, 10, DefaultHotCell, DefaultHotBoost)
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +121,7 @@ func TestKLSkewnessOrdering(t *testing.T) {
 	// Section VII-A.1 reports average row-KL of 0.44, 0.34, 8.18, 8.48 for
 	// models (a)-(d): the walks are an order of magnitude more temporally
 	// skewed than the random matrices.
-	rng := rand.New(rand.NewSource(2024))
+	rng := rng.New(2024)
 	kls := make(map[ModelID]float64)
 	for _, id := range AllModels {
 		c, err := Build(id, rng, 10)
@@ -155,13 +155,13 @@ func TestWalkArgValidation(t *testing.T) {
 	if _, err := RingWalk(10, 0.5, 0.25, 0.5); err == nil {
 		t.Fatal("eps ≥ 1/L accepted")
 	}
-	if _, err := RandomChain(rand.New(rand.NewSource(1)), 1); err == nil {
+	if _, err := RandomChain(rng.New(1), 1); err == nil {
 		t.Fatal("L=1 accepted")
 	}
-	if _, err := SpatiallySkewed(rand.New(rand.NewSource(1)), 10, 11, 2); err == nil {
+	if _, err := SpatiallySkewed(rng.New(1), 10, 11, 2); err == nil {
 		t.Fatal("hot cell out of range accepted")
 	}
-	if _, err := SpatiallySkewed(rand.New(rand.NewSource(1)), 10, 0, -1); err == nil {
+	if _, err := SpatiallySkewed(rng.New(1), 10, 0, -1); err == nil {
 		t.Fatal("negative boost accepted")
 	}
 }

@@ -1,17 +1,17 @@
 package multiuser
 
 import (
-	"math/rand"
 	"testing"
 
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
 )
 
 func modelChain(t *testing.T, id mobility.ModelID, seed int64) *markov.Chain {
 	t.Helper()
-	c, err := mobility.Build(id, rand.New(rand.NewSource(seed)), 10)
+	c, err := mobility.Build(id, rng.New(seed), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestValidation(t *testing.T) {
 
 func modelChain5(t *testing.T) *markov.Chain {
 	t.Helper()
-	c, err := mobility.RandomChain(rand.New(rand.NewSource(9)), 5)
+	c, err := mobility.RandomChain(rng.New(9), 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,11 +14,15 @@ import (
 )
 
 // TestRunMatchesPinnedValues pins a small fixed scenario's output. The
-// values were recorded when multiuser moved onto internal/engine: that
-// migration deliberately replaced the old xor+multiply-only per-run seed
-// mixing (whose adjacent runs drew correlated streams) with the shared
-// engine.MixSeed avalanche, so these values differ from the pre-engine
-// harness by design and guard the current streams against future drift.
+// values guard the current streams against accidental drift; they have
+// been re-recorded twice, each time for a deliberate stream change: once
+// when multiuser moved onto internal/engine (replacing the weak
+// xor+multiply per-run seed mixing with the MixSeed avalanche), and once
+// when the repository moved onto the internal/rng substrate (PR 2:
+// splitmix64 per-worker sources replacing math/rand's lagged-Fibonacci
+// source, and alias-table trajectory sampling replacing the linear
+// scan). See the internal/rng package doc for the stream-stability
+// contract governing future changes.
 func TestRunMatchesPinnedValues(t *testing.T) {
 	c := modelChain(t, mobility.ModelSpatiallySkewed, 1)
 	cfg := Config{TargetChain: c, OtherChains: []*markov.Chain{c, c}, Horizon: 8,
@@ -27,11 +31,11 @@ func TestRunMatchesPinnedValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantPerSlot := []float64{0.15625000000000006, 0.18750000000000003, 0.21874999999999997,
-		0.15625000000000003, 0.12499999999999997, 0.0625, 0, 0}
-	wantStdErr := []float64{0.06521328221627366, 0.07010217197868432, 0.07424858801742054,
-		0.06521328221627366, 0.059398870413936426, 0.04347552147751577, 0, 0}
-	const wantOverall = 0.11328125000000001
+	wantPerSlot := []float64{0.28124999999999994, 0.21875000000000006, 0.25,
+		0.125, 0.1875, 0.125, 0.03125, 0.0625}
+	wantStdErr := []float64{0.08075219711382271, 0.07424858801742054, 0.0777713771047819,
+		0.05939887041393643, 0.07010217197868432, 0.059398870413936426, 0.031249999999999997, 0.04347552147751577}
+	const wantOverall = 0.16015625
 	const tol = 1e-12
 	for i := range wantPerSlot {
 		if math.Abs(res.PerSlot[i]-wantPerSlot[i]) > tol {

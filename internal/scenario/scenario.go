@@ -36,6 +36,7 @@ import (
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
 	"chaffmec/internal/multiuser"
+	"chaffmec/internal/rng"
 	"chaffmec/internal/sim"
 )
 
@@ -272,13 +273,12 @@ func buildChain(model string, sp Spec) (*markov.Chain, error) {
 }
 
 func buildSynthetic(id mobility.ModelID, sp Spec) (*markov.Chain, error) {
-	seed := sp.ModelSeed
-	if seed == 0 {
-		// Mirror internal/figures: derive the model seed from the
-		// experiment seed so one config's figures share their models.
-		seed = sp.Seed*1000 + int64(id)
+	if sp.ModelSeed != 0 {
+		return mobility.Build(id, rng.New(sp.ModelSeed), sp.Cells)
 	}
-	return mobility.Build(id, rand.New(rand.NewSource(seed)), sp.Cells)
+	// Mirror internal/figures: build on the canonical model stream of
+	// the experiment seed so one config's figures share their models.
+	return mobility.BuildDerived(id, sp.Seed, sp.Cells)
 }
 
 func init() {

@@ -8,13 +8,18 @@ import (
 	"chaffmec/internal/mobility"
 )
 
-// The values below were produced by the pre-engine harness (hand-rolled
-// worker pool, per-run detector construction) on the same scenarios, so
-// this test proves the engine refactor changed the execution architecture
-// without changing a single result. sim's per-run seed derivation was
-// already engine.MixSeed's algorithm; only the aggregation order moved
-// (worker-partial sums → run-order streaming), hence the tiny tolerance
-// for floating-point reassociation.
+// The values below pin the current sampled streams against accidental
+// drift. They were re-recorded ONCE, deliberately, when the repository
+// moved onto the internal/rng substrate (PR 2): per-run streams are now
+// splitmix64 (reseedable per-worker sources) instead of math/rand's
+// lagged-Fibonacci source, and markov.Chain.Sample maps uniforms to
+// states through Walker alias tables instead of the linear cumulative
+// scan — both change which trajectories a given (seed, run) draws, by
+// design. The run→stream derivation itself (rng.Derive, the old
+// engine.MixSeed algorithm) is unchanged. Any future difference here is
+// a regression unless it is an equally deliberate, documented stream
+// change re-pinned in the same commit (see the internal/rng package doc
+// for the stream-stability contract).
 const pinTol = 1e-12
 
 func assertSeries(t *testing.T, name string, got, want []float64) {
@@ -41,23 +46,23 @@ func TestRunMatchesPreRefactorValues(t *testing.T) {
 		{
 			name:    "MO-basic",
 			sc:      Scenario{Chain: c, Strategy: mo, NumChaffs: 2, Horizon: 8},
-			perSlot: []float64{0.15625, 0.0625, 0.25, 0.125, 0, 0, 0, 0},
-			stderr: []float64{0.06521328221627366, 0.04347552147751577, 0.0777713771047819,
-				0.05939887041393643, 0, 0, 0, 0},
-			detected: []float64{0.05208333333333333, 0.020833333333333332, 0.010416666666666666,
+			perSlot: []float64{0.21875, 0.09375000000000003, 0.09375000000000001, 0.0625, 0.0625, 0.03125, 0, 0.03125},
+			stderr: []float64{0.07424858801742056, 0.052351460373382196, 0.0523514603733822,
+				0.04347552147751578, 0.04347552147751578, 0.03125, 0, 0.031249999999999997},
+			detected: []float64{0.07291666666666667, 0.03125, 0.010416666666666671,
 				0, 0, 0, 0, 0},
 			overall: 0.07421875,
 		},
 		{
 			name:    "IM-basic",
 			sc:      Scenario{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: 3, Horizon: 8},
-			perSlot: []float64{0.15625, 0.375, 0.34375, 0.3125, 0.4375, 0.34375, 0.21875, 0.3125},
-			stderr: []float64{0.06521328221627366, 0.08695104295503155, 0.08530513305661303,
-				0.08324928557283298, 0.08909830562090465, 0.08530513305661303,
-				0.07424858801742054, 0.08324928557283298},
-			detected: []float64{0.08854166666666666, 0.1875, 0.1875, 0.21875, 0.25, 0.3125,
-				0.15625, 0.21875},
-			overall: 0.3125,
+			perSlot: []float64{0.34375, 0.46874999999999994, 0.37500000000000006, 0.4375, 0.5, 0.43750000000000006, 0.37500000000000006, 0.34375000000000006},
+			stderr: []float64{0.08530513305661303, 0.08962708359030336, 0.08695104295503155,
+				0.08909830562090465, 0.08980265101338746, 0.08909830562090465,
+				0.08695104295503155, 0.08530513305661303},
+			detected: []float64{0.23958333333333334, 0.28125, 0.3125, 0.34375000000000006, 0.28125, 0.25,
+				0.25, 0.28125},
+			overall: 0.41015625,
 		},
 		{
 			name: "MO-advanced",

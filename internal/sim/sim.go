@@ -183,8 +183,8 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 }
 
 // runOnce executes a single Monte-Carlo run on the worker's scratch state.
-// The rng is the run's private stream (engine.MixSeed derivation), so the
-// result depends only on (seed, run index).
+// The rng is the run's private stream (rng.Derive(seed, run) — see
+// internal/rng), so the result depends only on (seed, run index).
 func (sc *Scenario) runOnce(w *simWorker, det detect.PrefixDetector, rng *rand.Rand) (runResult, error) {
 	user, err := sc.Chain.Sample(rng, sc.Horizon)
 	if err != nil {

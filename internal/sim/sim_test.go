@@ -2,7 +2,6 @@ package sim
 
 import (
 	"math"
-	"math/rand"
 	"reflect"
 	"runtime"
 	"testing"
@@ -11,11 +10,12 @@ import (
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
 )
 
 func modelChain(t *testing.T, id mobility.ModelID) *markov.Chain {
 	t.Helper()
-	c, err := mobility.Build(id, rand.New(rand.NewSource(99)), 10)
+	c, err := mobility.Build(id, rng.New(99), 10)
 	if err != nil {
 		t.Fatal(err)
 	}

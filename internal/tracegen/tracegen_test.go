@@ -1,16 +1,16 @@
 package tracegen
 
 import (
-	"math/rand"
 	"testing"
 
+	"chaffmec/internal/rng"
 	"chaffmec/internal/trace"
 )
 
 func TestGenerateDefaults(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Nodes = 40 // keep the test fast
-	recs, hotspots, err := Generate(rand.New(rand.NewSource(1)), cfg)
+	recs, hotspots, err := Generate(rng.New(1), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,11 +37,11 @@ func TestGenerateDefaults(t *testing.T) {
 func TestGenerateReproducible(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Nodes = 10
-	a, _, err := Generate(rand.New(rand.NewSource(5)), cfg)
+	a, _, err := Generate(rng.New(5), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := Generate(rand.New(rand.NewSource(5)), cfg)
+	b, _, err := Generate(rng.New(5), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestGenerateProducesActiveAndInactiveNodes(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Nodes = 120
 	cfg.DropoutProb = 0.10
-	recs, _, err := Generate(rand.New(rand.NewSource(11)), cfg)
+	recs, _, err := Generate(rng.New(11), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestGenerateHeterogeneousPredictability(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Nodes = 60
 	cfg.IdlerFraction = 0.3
-	recs, _, err := Generate(rand.New(rand.NewSource(21)), cfg)
+	recs, _, err := Generate(rng.New(21), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestGenerateHeterogeneousPredictability(t *testing.T) {
 }
 
 func TestGenerateValidation(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rng.New(1)
 	bad := DefaultConfig()
 	bad.Nodes = 0
 	if _, _, err := Generate(rng, bad); err == nil {

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"chaffmec/internal/markov"
+	"chaffmec/internal/rng"
 )
 
 func randomChain(rng *rand.Rand, n int) *markov.Chain {
@@ -53,9 +54,9 @@ func TestMLTrajectoryDominantState(t *testing.T) {
 }
 
 func TestMLTrajectoryBeatsSamples(t *testing.T) {
-	rng := rand.New(rand.NewSource(17))
+	outer := rng.New(17)
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
+		r := rng.New(seed)
 		c := randomChain(r, 2+r.Intn(8))
 		T := 1 + r.Intn(30)
 		ml, mlLL, err := MLTrajectory(c, T, nil)
@@ -63,7 +64,7 @@ func TestMLTrajectoryBeatsSamples(t *testing.T) {
 			return false
 		}
 		for k := 0; k < 10; k++ {
-			tr, err := c.Sample(rng, T)
+			tr, err := c.Sample(outer, T)
 			if err != nil {
 				return false
 			}
@@ -84,7 +85,7 @@ func TestMLTrajectoryBeatsSamples(t *testing.T) {
 
 func TestMLTrajectoryAgreesWithDijkstra(t *testing.T) {
 	for seed := int64(0); seed < 25; seed++ {
-		r := rand.New(rand.NewSource(seed))
+		r := rng.New(seed)
 		c := randomChain(r, 2+r.Intn(8))
 		T := 1 + r.Intn(25)
 		_, llDP, err := MLTrajectory(c, T, nil)
@@ -126,7 +127,7 @@ func TestMLTrajectoryExclusions(t *testing.T) {
 }
 
 func TestMLTrajectoryInfeasible(t *testing.T) {
-	c := randomChain(rand.New(rand.NewSource(1)), 3)
+	c := randomChain(rng.New(1), 3)
 	excl := NewExclusionSet()
 	for x := 0; x < 3; x++ {
 		excl.Add(x, 2)
@@ -140,7 +141,7 @@ func TestMLTrajectoryInfeasible(t *testing.T) {
 }
 
 func TestMLTrajectoryArgValidation(t *testing.T) {
-	c := randomChain(rand.New(rand.NewSource(1)), 3)
+	c := randomChain(rng.New(1), 3)
 	if _, _, err := MLTrajectory(c, 0, nil); err == nil {
 		t.Fatal("T=0 accepted")
 	}
