@@ -4,6 +4,7 @@
 package chaffmec
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -149,7 +150,7 @@ func BenchmarkFig9bSingleChaff(b *testing.B) {
 	lab := benchLab(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := figures.Fig9b(lab, 2, 11); err != nil {
+		if _, err := figures.Fig9b(lab, 2, 11, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -159,7 +160,7 @@ func BenchmarkFig10AdvancedTrace(b *testing.B) {
 	lab := benchLab(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := figures.Fig10(lab, 1, 13); err != nil {
+		if _, err := figures.Fig10(lab, 1, 13, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -174,9 +175,9 @@ func BenchmarkAblationChaffBudget(b *testing.B) {
 	for _, n := range []int{1, 4, 9} {
 		b.Run(map[int]string{1: "chaffs=1", 4: "chaffs=4", 9: "chaffs=9"}[n], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(sim.Scenario{
+				res, err := sim.Run(context.Background(), sim.Scenario{
 					Chain: chain, Strategy: chaff.NewIM(chain), NumChaffs: n, Horizon: 50,
-				}, sim.Options{Runs: 20, Seed: 1})
+				}, engine.Options{Runs: 20, Seed: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -197,9 +198,9 @@ func BenchmarkAblationRolloutVsMO(b *testing.B) {
 	for name, s := range strategies {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(sim.Scenario{
+				res, err := sim.Run(context.Background(), sim.Scenario{
 					Chain: chain, Strategy: s, NumChaffs: 1, Horizon: 50,
-				}, sim.Options{Runs: 10, Seed: 1})
+				}, engine.Options{Runs: 10, Seed: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -312,7 +313,7 @@ func BenchmarkPaperProtocolMO(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(sc, sim.Options{Runs: 1000, Seed: 1}); err != nil {
+		if _, err := sim.Run(context.Background(), sc, engine.Options{Runs: 1000, Seed: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -323,7 +324,7 @@ func BenchmarkPaperProtocolMO(b *testing.B) {
 func BenchmarkEngineOverhead(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		err := engine.Run(engine.Options{Runs: 1000, Seed: 1}, engine.Config[struct{}, int]{
+		err := engine.Run(context.Background(), engine.Options{Runs: 1000, Seed: 1}, engine.Config[struct{}, int]{
 			Run:        func(_ struct{}, run int, _ *rand.Rand) (int, error) { return run, nil },
 			Accumulate: func(int, int) error { return nil },
 		})

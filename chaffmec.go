@@ -4,21 +4,33 @@
 // protect a mobile user's location from a cyber eavesdropper observing
 // service migrations between mobile edge clouds.
 //
-// The package is the public facade over the implementation packages:
+// The package is the public facade over the implementation packages.
+// Its center is ONE experiment API: every evaluation — single-user
+// synthetic scenarios, multi-user populations, mixed or heterogeneous
+// chaff strategies, trace-driven fleets, MEC substrate episode batches —
+// is a Job (a declarative scenario spec plus an optional shard selector)
+// answered by a Report (a JSON-serializable envelope of per-slot series,
+// scalar aggregates, run counts, seed/stream provenance and timing).
+// Jobs run on the shared parallel Monte-Carlo engine (internal/engine):
+// deterministic per-run seed streams, per-worker reusable scratch,
+// run-order deterministic aggregation, context cancellation.
+//
+// Scaling past one process is built into the contract: a Job's shard
+// selector restricts execution to a contiguous slice of the global run
+// range, the emitted Report is a serializable partial, and MergeReports
+// combines complementary partials — produced by this process, another
+// process, or another host — into the bit-for-bit identical Report a
+// single whole run yields.
+//
+// Beneath the Job/Report surface sit:
 //
 //   - mobility models (the paper's four synthetic models plus 2-D grids),
 //   - chaff control strategies (IM, ML, CML, OO, MO and the robust
 //     randomized RML/ROO/RMO, plus a rollout-MDP extension),
 //   - eavesdropper detectors (basic ML and strategy-aware advanced),
-//   - one shared parallel Monte-Carlo engine (internal/engine) behind
-//     every harness: deterministic per-run seed streams, per-worker
-//     reusable scratch, run-order streaming aggregation and early
-//     cancellation — the single-user harness (internal/sim), the
-//     multi-user harness (internal/multiuser) and MEC episode batches
-//     (internal/mec) all execute on it,
-//   - a config-driven scenario registry (internal/scenario, surfaced
-//     here as RunScenarioFile and by cmd/experiments -scenario) that
-//     turns new workloads into JSON entries instead of new packages,
+//   - the scenario registry (internal/scenario; kinds single, multiuser,
+//     mixed, hetero, trace, mecbatch) that turns new workloads into JSON
+//     entries instead of new packages,
 //   - the theory bounds of Theorems V.4/V.5 and Corollary V.6,
 //   - the trace pipeline (synthetic taxi traces, Voronoi quantisation,
 //     empirical chain fitting), and
@@ -27,31 +39,47 @@
 //
 // # Quick start
 //
-//	model, _ := chaffmec.BuildModel(chaffmec.ModelNonSkewed, 10, 1)
-//	res, _ := chaffmec.Evaluate(chaffmec.Evaluation{
-//		Chain: model, Strategy: "MO", NumChaffs: 1, Horizon: 100,
-//		Runs: 1000, Seed: 1,
-//	})
-//	fmt.Printf("tracking accuracy: %.3f\n", res.Overall)
+// Run a scenario as one Job and read the digest:
 //
-// See examples/ for runnable programs and internal/figures for the code
-// that regenerates every figure and table of the paper.
+//	rep, _ := chaffmec.RunJob(context.Background(), chaffmec.Job{
+//		Spec: chaffmec.ScenarioSpec{
+//			Kind: "single", Strategy: "MO", NumChaffs: 1,
+//			Horizon: 100, Runs: 1000, Seed: 1,
+//		},
+//	})
+//	sum, _ := rep.Summary()
+//	fmt.Printf("tracking accuracy: %.3f\n", sum.Overall)
+//
+// Or split the same experiment across two processes and merge:
+//
+//	a, _ := chaffmec.RunJob(ctx, chaffmec.Job{Spec: spec, Shard: chaffmec.Shard{Index: 0, Count: 2}})
+//	b, _ := chaffmec.RunJob(ctx, chaffmec.Job{Spec: spec, Shard: chaffmec.Shard{Index: 1, Count: 2}})
+//	whole, _ := chaffmec.MergeReports(a, b) // bit-identical to the unsharded run
+//
+// Evaluate remains the one-call convenience wrapper over the same
+// registry for callers holding a custom Chain. See examples/ for
+// runnable programs, cmd/experiments for the figure/scenario/shard CLI,
+// and internal/figures for the code that regenerates every figure and
+// table of the paper.
 package chaffmec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"chaffmec/internal/analysis"
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/detect"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/figures"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mec"
 	"chaffmec/internal/mobility"
+	"chaffmec/internal/report"
 	"chaffmec/internal/rng"
 	"chaffmec/internal/scenario"
-	"chaffmec/internal/sim"
 )
 
 // Core types re-exported from the implementation packages.
@@ -105,10 +133,16 @@ func NewStrategy(name string, chain *Chain) (Strategy, error) {
 // StrategyNames lists the available strategies.
 func StrategyNames() []string { return chaff.Names() }
 
+// ErrNoGamma marks strategies that are valid but have no deterministic
+// trajectory map Γ (IM, Rollout): errors.Is(Gamma(...), ErrNoGamma)
+// distinguishes "nothing for the advanced eavesdropper to exploit" from
+// a real construction failure.
+var ErrNoGamma = chaff.ErrNoGamma
+
 // Gamma returns the deterministic trajectory map Γ of a strategy family,
 // as assumed by the advanced eavesdropper: ML, CML, OO and MO have one
 // (the robust variants are recognized through their originals: RML→ML,
-// ROO→OO, RMO→MO); IM has none.
+// ROO→OO, RMO→MO); IM has none (ErrNoGamma).
 func Gamma(name string, chain *Chain) (GammaFunc, error) {
 	gamma, err := chaff.GammaByName(name, chain)
 	if err != nil {
@@ -128,7 +162,9 @@ type Evaluation struct {
 	Runs      int
 	Seed      int64
 	// Advanced switches to the strategy-aware eavesdropper; the Γ map is
-	// derived from Strategy automatically.
+	// derived from Strategy automatically. Strategies without a
+	// deterministic Γ (IM, Rollout) degenerate to the basic detector
+	// (Section VI-A.1); any other Γ construction failure is returned.
 	Advanced bool
 	// Workers caps parallelism (0 = GOMAXPROCS).
 	Workers int
@@ -146,39 +182,54 @@ type Result struct {
 	Runs int
 }
 
-// Evaluate runs the experiment.
+// Evaluate runs the experiment — a convenience wrapper submitting a
+// "single"-kind Job with the caller's Chain injected into the scenario
+// registry.
 func Evaluate(e Evaluation) (*Result, error) {
 	if e.Chain == nil {
 		return nil, fmt.Errorf("chaffmec: Evaluation needs a Chain")
 	}
-	strat, err := NewStrategy(e.Strategy, e.Chain)
+	spec := ScenarioSpec{
+		Kind:      "single",
+		Chain:     e.Chain,
+		Strategy:  e.Strategy,
+		NumChaffs: e.NumChaffs,
+		Horizon:   e.Horizon,
+		Runs:      e.Runs,
+		Seed:      e.Seed,
+		Workers:   e.Workers,
+	}
+	if e.Advanced {
+		// Only a genuinely missing Γ (IM, Rollout) falls back to the
+		// basic detector; a failing Γ construction (e.g. the ApproxDP
+		// solver rejecting the chain) or an unknown strategy surfaces
+		// instead of being silently swallowed. The probed Γ is injected
+		// into the spec so the runner does not construct it twice.
+		switch gamma, err := Gamma(e.Strategy, e.Chain); {
+		case err == nil:
+			spec.Advanced = true
+			spec.Gamma = gamma
+		case !errors.Is(err, ErrNoGamma):
+			return nil, err
+		}
+	}
+	rep, err := RunJob(context.Background(), Job{Spec: spec})
 	if err != nil {
 		return nil, err
 	}
-	sc := sim.Scenario{
-		Chain:     e.Chain,
-		Strategy:  strat,
-		NumChaffs: e.NumChaffs,
-		Horizon:   e.Horizon,
+	sum, err := rep.Summary()
+	if err != nil {
+		return nil, err
 	}
-	if e.Advanced {
-		gamma, err := Gamma(strat.Name(), e.Chain)
-		if err == nil {
-			sc.Detector = sim.AdvancedDetector
-			sc.Gamma = gamma
-		}
-		// IM has no Γ: the advanced eavesdropper degenerates to the basic
-		// detector (Section VI-A.1), so the basic scenario is correct.
-	}
-	res, err := sim.Run(sc, sim.Options{Runs: e.Runs, Seed: e.Seed, Workers: e.Workers})
+	det, err := rep.SeriesStats(report.SeriesDetection)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		PerSlot:   res.PerSlot,
-		Overall:   res.Overall,
-		Detection: res.Detection,
-		Runs:      res.Runs,
+		PerSlot:   sum.PerSlot,
+		Overall:   sum.Overall,
+		Detection: det.Mean(),
+		Runs:      sum.Runs,
 	}, nil
 }
 
@@ -231,21 +282,48 @@ func NewOnlineController(name string, chain *Chain) (OnlineController, error) {
 	return oc, nil
 }
 
-// Scenario-registry re-exports: declarative, JSON-loadable workloads
-// running on the shared Monte-Carlo engine.
+// The one experiment API: declarative, JSON-loadable workloads running
+// on the shared Monte-Carlo engine, answered by serializable reports.
 type (
 	// ScenarioSpec declares one scenario instance (kind, mobility model,
 	// strategy/population, eavesdropper, Monte-Carlo options).
 	ScenarioSpec = scenario.Spec
-	// ScenarioResult is a scenario's aggregated outcome.
+	// ScenarioMember declares one slice of a "hetero" population.
+	ScenarioMember = scenario.Member
+	// ScenarioResult is a scenario's aggregated outcome in digest form.
 	ScenarioResult = scenario.Result
+	// Job is a scenario spec plus the shard of its run range to execute.
+	Job = scenario.Job
+	// Shard selects one contiguous slice of a job's global run range.
+	Shard = engine.Shard
+	// Report is the serializable result envelope of a job: named series
+	// and scalar aggregates plus provenance, exactly mergeable across
+	// complementary shards.
+	Report = report.Report
+	// ReportSummary is the human-facing digest of a Report.
+	ReportSummary = report.Summary
 )
 
-// ScenarioKinds lists the registered scenario kinds (single, multiuser,
-// mixed).
+// ScenarioKinds lists the registered scenario kinds (hetero, mecbatch,
+// mixed, multiuser, single, trace).
 func ScenarioKinds() []string { return scenario.Kinds() }
 
-// RunScenario executes one scenario spec.
+// RunJob executes one job — the whole experiment, or one shard of it —
+// and returns its Report. ctx cancels the engine between runs.
+func RunJob(ctx context.Context, job Job) (*Report, error) { return scenario.RunJob(ctx, job) }
+
+// MergeReports combines partial reports of one experiment (complementary
+// shards, in any order) into one report; merging a complete set
+// reproduces the unsharded Report bit-for-bit.
+func MergeReports(parts ...*Report) (*Report, error) { return report.Merge(parts...) }
+
+// ReadReports and WriteReports exchange report envelopes with JSON files
+// — the cross-process leg of the shard workflow (see also
+// cmd/experiments -shard/-merge).
+func ReadReports(path string) ([]*Report, error)     { return report.ReadFile(path) }
+func WriteReports(path string, reps []*Report) error { return report.WriteFile(path, reps) }
+
+// RunScenario executes one scenario spec whole and digests the report.
 func RunScenario(sp ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(sp) }
 
 // RunScenarioFile loads a JSON scenario config and runs every entry.

@@ -1,7 +1,12 @@
 package chaffmec
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	"chaffmec/internal/rng"
@@ -162,5 +167,107 @@ func TestStrategyNames(t *testing.T) {
 	names := StrategyNames()
 	if len(names) != 10 {
 		t.Fatalf("strategies = %v", names)
+	}
+}
+
+// TestEvaluateAdvancedGammaFallback pins the Γ error handling of
+// Evaluate: strategies without a deterministic Γ (IM, Rollout) degrade
+// to the basic detector instead of erroring, while a real Γ construction
+// failure is returned (historically the `if err == nil` branch swallowed
+// every error, hiding e.g. ApproxDP solver failures).
+func TestEvaluateAdvancedGammaFallback(t *testing.T) {
+	model, err := BuildModel(ModelNonSkewed, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := Evaluate(Evaluation{
+		Chain: model, Strategy: "IM", NumChaffs: 2, Horizon: 20,
+		Runs: 40, Seed: 1, Advanced: true,
+	})
+	if err != nil {
+		t.Fatalf("IM under the advanced flag must fall back to basic detection: %v", err)
+	}
+	basic, err := Evaluate(Evaluation{
+		Chain: model, Strategy: "IM", NumChaffs: 2, Horizon: 20,
+		Runs: 40, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same streams, same detector: the fallback is exactly the basic run.
+	if adv.Overall != basic.Overall {
+		t.Fatalf("IM advanced fallback %v != basic %v", adv.Overall, basic.Overall)
+	}
+	if !errors.Is(mustGammaErr(t, "IM", model), ErrNoGamma) {
+		t.Fatal("Gamma(IM) does not mark ErrNoGamma")
+	}
+	if errors.Is(mustGammaErr(t, "nope", model), ErrNoGamma) {
+		t.Fatal("unknown strategy misreported as ErrNoGamma")
+	}
+}
+
+func mustGammaErr(t *testing.T, name string, chain *Chain) error {
+	t.Helper()
+	_, err := Gamma(name, chain)
+	if err == nil {
+		t.Fatalf("Gamma(%s) unexpectedly succeeded", name)
+	}
+	return err
+}
+
+// TestRunJobShardMergeFacade drives the public Job/Report surface end to
+// end: two shards, a file round trip, and a merge reproducing the whole
+// run bit-for-bit.
+func TestRunJobShardMergeFacade(t *testing.T) {
+	spec := ScenarioSpec{Kind: "single", Strategy: "MO", NumChaffs: 1,
+		Horizon: 10, Runs: 24, Seed: 9}
+	whole, err := RunJob(context.Background(), Job{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var files []string
+	for i := 0; i < 2; i++ {
+		part, err := RunJob(context.Background(), Job{Spec: spec, Shard: Shard{Index: i, Count: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("part%d.json", i))
+		if err := WriteReports(path, []*Report{part}); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, path)
+	}
+	var parts []*Report
+	for _, path := range files {
+		got, err := ReadReports(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, got...)
+	}
+	merged, err := MergeReports(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Complete() {
+		t.Fatal("merged report incomplete")
+	}
+	wholeSum, err := whole.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedSum, err := merged.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wholeSum, mergedSum) {
+		t.Fatalf("merged summary differs from whole run:\n%+v\n%+v", mergedSum, wholeSum)
+	}
+	// Cancellation crosses the facade too.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunJob(ctx, Job{Spec: ScenarioSpec{Kind: "single", Strategy: "MO", Runs: 1 << 20}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled job returned %v", err)
 	}
 }

@@ -3,26 +3,47 @@
 // figure's data is written as CSV under -out, and an ASCII rendering plus
 // the headline numbers are printed to stdout. Beyond the paper's figures,
 // -scenario runs declarative workloads from a JSON config through the
-// scenario registry (kinds: single, multiuser, mixed) — new experiment
-// shapes without new code.
+// scenario registry — new experiment shapes without new code.
 //
 // Usage:
 //
 //	experiments -fig all -out out
 //	experiments -fig 5,7 -runs 200        # quicker, reduced-run variant
-//	experiments -fig 9a,9b,10             # trace-driven experiments only
+//	experiments -fig 9a,9b,10 -cellruns 8 # trace figures, 8 chaff streams/cell
 //	experiments -scenario scenarios.json  # config-driven scenario batch
+//
+// # Sharding an experiment across processes
+//
+// Every scenario is a Job over a global Monte-Carlo run range, and the
+// engine's streams and aggregates are pure functions of (seed, run) — so
+// complementary contiguous shards, run by different processes (or
+// hosts), merge into the bit-for-bit identical result of one whole run:
+//
+//	experiments -scenario scenarios.json -shard 0/2 -report part0.json
+//	experiments -scenario scenarios.json -shard 1/2 -report part1.json
+//	experiments -merge -report merged.json -out out part0.json part1.json
+//
+// -shard i/n runs every scenario entry's i-th of n shards and writes the
+// raw Report envelopes (JSON array) to -report instead of rendering
+// results. -merge reads Report files (the positional arguments), merges
+// the partials of each scenario, optionally writes the merged envelopes
+// to -report, and renders complete scenarios exactly like an unsharded
+// -scenario run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
+	"chaffmec/internal/engine"
 	"chaffmec/internal/figures"
 	"chaffmec/internal/plotter"
+	"chaffmec/internal/report"
 	"chaffmec/internal/scenario"
 )
 
@@ -36,7 +57,11 @@ func main() {
 		cells    = flag.Int("L", 10, "cells for synthetic models")
 		nodes    = flag.Int("nodes", 174, "fleet size for trace-driven experiments")
 		topK     = flag.Int("topk", 5, "top users for Figs. 9(b)/10")
+		cellRuns = flag.Int("cellruns", 1, "chaff streams averaged per Fig. 9(b)/10 grid cell")
 		scenFile = flag.String("scenario", "", "JSON scenario config to run instead of the paper figures (kinds: "+strings.Join(scenario.Kinds(), ", ")+")")
+		shardArg = flag.String("shard", "", "run scenarios as shard i/n of their run range (requires -scenario and -report)")
+		repFile  = flag.String("report", "", "write raw Report envelopes (JSON array) to this file")
+		merge    = flag.Bool("merge", false, "merge the Report files given as positional arguments")
 	)
 	flag.Parse()
 
@@ -45,15 +70,39 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *merge {
+		if err := mergeReports(flag.Args(), *repFile, *outDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shardArg != "" {
+		shard, err := parseShard(*shardArg)
+		if err == nil && *scenFile == "" {
+			err = fmt.Errorf("-shard needs -scenario")
+		}
+		if err == nil && *repFile == "" {
+			err = fmt.Errorf("-shard needs -report (the partial envelopes must go somewhere)")
+		}
+		if err == nil {
+			err = runShard(*scenFile, shard, *repFile)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *scenFile != "" {
-		if err := runScenarios(*scenFile, *outDir); err != nil {
+		if err := runScenarios(*scenFile, *outDir, *repFile); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	cfg := figures.Config{Runs: *runs, Horizon: *horizon, Cells: *cells, Seed: *seed}
-	r := &runner{cfg: cfg, outDir: *outDir, nodes: *nodes, topK: *topK, seed: *seed}
+	r := &runner{cfg: cfg, outDir: *outDir, nodes: *nodes, topK: *topK, seed: *seed, cellRuns: *cellRuns}
 
 	wanted := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
@@ -89,13 +138,124 @@ func main() {
 	}
 }
 
-// runScenarios executes a JSON scenario config: per-scenario headline
-// numbers and an ASCII chart on stdout, one CSV per scenario under outDir.
-func runScenarios(path, outDir string) error {
-	results, err := scenario.RunFile(path)
+// parseShard parses an "i/n" selector; the whole string must match (a
+// trailing typo must not silently run the wrong slice).
+func parseShard(s string) (engine.Shard, error) {
+	var sh engine.Shard
+	i, n, ok := strings.Cut(s, "/")
+	if ok {
+		var errI, errN error
+		sh.Index, errI = strconv.Atoi(strings.TrimSpace(i))
+		sh.Count, errN = strconv.Atoi(strings.TrimSpace(n))
+		ok = errI == nil && errN == nil
+	}
+	if !ok {
+		return sh, fmt.Errorf("parsing shard %q (want i/n)", s)
+	}
+	return sh, sh.Validate()
+}
+
+// runShard executes every scenario of the config as one shard of its run
+// range and writes the raw partial Report envelopes to repFile.
+func runShard(path string, shard engine.Shard, repFile string) error {
+	reps, err := scenario.RunJobFile(context.Background(), path, shard)
 	if err != nil {
 		return err
 	}
+	for _, rep := range reps {
+		fmt.Printf("%-30s shard %s: runs [%d,%d) of %d (%.0f ms)\n",
+			rep.Name, shard, rep.RunStart, rep.RunStart+rep.RunCount, rep.TotalRuns, rep.ElapsedMS)
+	}
+	if err := report.WriteFile(repFile, reps); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", repFile)
+	return nil
+}
+
+// mergeReports reads Report files, merges each scenario's partials (in
+// any order), optionally writes the merged envelopes to repFile, and
+// renders complete scenarios like an unsharded run.
+func mergeReports(paths []string, repFile, outDir string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge needs Report files as positional arguments")
+	}
+	// Group partials by config-entry position AND scenario header: every
+	// shard invocation writes one report per config entry in config
+	// order, so entry i of each file belongs to one experiment — even
+	// when a config repeats the same (name, kind, seed) in several
+	// entries (duplicate bare entries are legal, see the CSV dedup).
+	var order []string
+	groups := map[string][]*report.Report{}
+	for _, path := range paths {
+		reps, err := report.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, rep := range reps {
+			key := fmt.Sprintf("%d\x00%s\x00%s\x00%d", i, rep.Name, rep.Kind, rep.Seed)
+			if _, seen := groups[key]; !seen {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], rep)
+		}
+	}
+	var merged []*report.Report
+	var results []*scenario.Result
+	for _, key := range order {
+		rep, err := report.Merge(groups[key]...)
+		if err != nil {
+			return err
+		}
+		merged = append(merged, rep)
+		if !rep.Complete() {
+			fmt.Printf("%-30s INCOMPLETE: runs [%d,%d) of %d\n",
+				rep.Name, rep.RunStart, rep.RunStart+rep.RunCount, rep.TotalRuns)
+			continue
+		}
+		res, err := scenario.ResultOf(rep)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	if repFile != "" {
+		if err := report.WriteFile(repFile, merged); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", repFile)
+	}
+	return renderScenarioResults(results, outDir)
+}
+
+// runScenarios executes a JSON scenario config: per-scenario headline
+// numbers and an ASCII chart on stdout, one CSV per scenario under
+// outDir, and (when repFile is set) the raw Report envelopes as JSON.
+func runScenarios(path, outDir, repFile string) error {
+	reps, err := scenario.RunJobFile(context.Background(), path, engine.Shard{})
+	if err != nil {
+		return err
+	}
+	if repFile != "" {
+		if err := report.WriteFile(repFile, reps); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", repFile)
+	}
+	results := make([]*scenario.Result, 0, len(reps))
+	for _, rep := range reps {
+		res, err := scenario.ResultOf(rep)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	return renderScenarioResults(results, outDir)
+}
+
+// renderScenarioResults prints each scenario's headline numbers and
+// ASCII chart and writes one CSV per scenario under outDir.
+func renderScenarioResults(results []*scenario.Result, outDir string) error {
 	r := &runner{outDir: outDir}
 	// Scenario names are free-form (and default to the kind), so two
 	// entries can slug to the same CSV name; suffix duplicates instead of
@@ -130,11 +290,12 @@ func runScenarios(path, outDir string) error {
 }
 
 type runner struct {
-	cfg    figures.Config
-	outDir string
-	nodes  int
-	topK   int
-	seed   int64
+	cfg      figures.Config
+	outDir   string
+	nodes    int
+	topK     int
+	seed     int64
+	cellRuns int
 
 	lab *figures.TraceLab // built lazily, shared by 8/9a/9b/10
 }
@@ -363,7 +524,7 @@ func (r *runner) fig9b() error {
 	if err != nil {
 		return err
 	}
-	res, err := figures.Fig9b(lab, r.topK, r.seed)
+	res, err := figures.Fig9b(lab, r.topK, r.seed, r.cellRuns)
 	if err != nil {
 		return err
 	}
@@ -375,7 +536,7 @@ func (r *runner) fig10() error {
 	if err != nil {
 		return err
 	}
-	res, err := figures.Fig10(lab, r.topK, r.seed)
+	res, err := figures.Fig10(lab, r.topK, r.seed, r.cellRuns)
 	if err != nil {
 		return err
 	}

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"chaffmec/internal/engine"
 	"chaffmec/internal/figures"
+	"chaffmec/internal/report"
 )
 
 func TestSlug(t *testing.T) {
@@ -102,7 +106,7 @@ func TestRunScenariosFromJSONConfig(t *testing.T) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenarios(cfgPath, outDir); err != nil {
+	if err := runScenarios(cfgPath, outDir, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"scenario_multiuser-advanced.csv", "scenario_mixed-population.csv", "scenario_big-grid.csv"} {
@@ -110,7 +114,7 @@ func TestRunScenariosFromJSONConfig(t *testing.T) {
 			t.Fatalf("missing CSV %s: %v", want, err)
 		}
 	}
-	if err := runScenarios(filepath.Join(dir, "missing.json"), outDir); err == nil {
+	if err := runScenarios(filepath.Join(dir, "missing.json"), outDir, ""); err == nil {
 		t.Fatal("missing config accepted")
 	}
 }
@@ -134,12 +138,139 @@ func TestRunScenariosDeduplicatesCSVNames(t *testing.T) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenarios(cfgPath, outDir); err != nil {
+	if err := runScenarios(cfgPath, outDir, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"scenario_single.csv", "scenario_single_2.csv"} {
 		if _, err := os.Stat(filepath.Join(outDir, want)); err != nil {
 			t.Fatalf("missing CSV %s: %v", want, err)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	sh, err := parseShard("1/3")
+	if err != nil || sh.Index != 1 || sh.Count != 3 {
+		t.Fatalf("parseShard(1/3) = %+v, %v", sh, err)
+	}
+	for _, bad := range []string{"", "x", "3/2", "-1/2", "1of2", "1/2x3", "0/2 8", "1/2/3"} {
+		if _, err := parseShard(bad); err == nil {
+			t.Fatalf("shard %q accepted", bad)
+		}
+	}
+}
+
+// TestShardAndMergeWorkflow drives the CLI path end to end: two shard
+// invocations write partial Report files, -merge combines them, and the
+// merged result equals an unsharded run of the same config bit-for-bit
+// (ignoring timing).
+func TestShardAndMergeWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "scenarios.json")
+	cfg := `{
+		"defaults": {"runs": 20, "horizon": 10, "seed": 3},
+		"scenarios": [
+			{"name": "sm-single", "kind": "single", "strategy": "MO"},
+			{"name": "sm-mec", "kind": "mecbatch", "model": "grid",
+			 "grid_w": 3, "grid_h": 3, "strategy": "MO"}
+		]
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var parts []string
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("part%d.json", i))
+		if err := runShard(cfgPath, engine.Shard{Index: i, Count: 2}, path); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, path)
+	}
+	mergedPath := filepath.Join(dir, "merged.json")
+	outDir := filepath.Join(dir, "out")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeReports(parts, mergedPath, outDir); err != nil {
+		t.Fatal(err)
+	}
+	wholePath := filepath.Join(dir, "whole.json")
+	if err := runScenarios(cfgPath, t.TempDir(), wholePath); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := report.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := report.ReadFile(wholePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 || len(whole) != 2 {
+		t.Fatalf("report counts: merged %d, whole %d", len(merged), len(whole))
+	}
+	for i := range whole {
+		merged[i].ElapsedMS = 0
+		whole[i].ElapsedMS = 0
+		a, _ := json.Marshal(merged[i])
+		b, _ := json.Marshal(whole[i])
+		if string(a) != string(b) {
+			t.Fatalf("scenario %d: merged != whole:\n%s\n%s", i, a, b)
+		}
+	}
+	// The merge also rendered CSVs for the complete scenarios.
+	for _, want := range []string{"scenario_sm-single.csv", "scenario_sm-mec.csv"} {
+		if _, err := os.Stat(filepath.Join(outDir, want)); err != nil {
+			t.Fatalf("missing CSV %s: %v", want, err)
+		}
+	}
+	// A lone shard merges to an INCOMPLETE report without rendering.
+	if err := mergeReports(parts[:1], "", outDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeReports(nil, "", outDir); err == nil {
+		t.Fatal("merge without files accepted")
+	}
+}
+
+// TestMergeDuplicateScenarioNames shards a config whose entries share
+// the same default name: partials must group by config-entry position,
+// not just the scenario header.
+func TestMergeDuplicateScenarioNames(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "dup.json")
+	cfg := `{
+		"defaults": {"runs": 10, "horizon": 6, "seed": 2},
+		"scenarios": [
+			{"kind": "single", "strategy": "MO"},
+			{"kind": "single", "strategy": "IM"}
+		]
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var parts []string
+	for i := 0; i < 2; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("p%d.json", i))
+		if err := runShard(cfgPath, engine.Shard{Index: i, Count: 2}, path); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, path)
+	}
+	mergedPath := filepath.Join(dir, "merged.json")
+	if err := mergeReports(parts, mergedPath, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := report.ReadFile(mergedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 2 {
+		t.Fatalf("%d merged reports, want 2", len(merged))
+	}
+	for i, rep := range merged {
+		if !rep.Complete() {
+			t.Fatalf("entry %d incomplete after merge", i)
 		}
 	}
 }

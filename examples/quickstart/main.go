@@ -1,10 +1,13 @@
-// Quickstart: protect a mobile user with a single chaff service and
-// measure how well a cyber eavesdropper can still track him.
+// Quickstart: protect a mobile user with chaff services and measure how
+// well a cyber eavesdropper can still track him — through the library's
+// one experiment API: submit a Job (a declarative scenario spec plus an
+// optional shard selector), receive a serializable Report.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,42 +15,67 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The user moves over 10 MEC cells following the paper's non-skewed
-	// synthetic mobility model (a random transition matrix).
-	model, err := chaffmec.BuildModel(chaffmec.ModelNonSkewed, 10, 1)
+	// synthetic mobility model; the eavesdropper watches the user's
+	// service plus one impersonating chaff for 100 slots, averaged over
+	// 500 Monte-Carlo runs.
+	baseline := chaffmec.ScenarioSpec{
+		Kind: "single", Strategy: "IM", NumChaffs: 1,
+		Horizon: 100, Runs: 500, Seed: 42,
+	}
+	rep, err := chaffmec.RunJob(ctx, chaffmec.Job{Spec: baseline})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Baseline: the eavesdropper watches the user's service plus one
-	// impersonating chaff for 100 slots.
-	baseline, err := chaffmec.Evaluate(chaffmec.Evaluation{
-		Chain: model, Strategy: "IM", NumChaffs: 1, Horizon: 100,
-		Runs: 500, Seed: 42,
-	})
+	baseSum, err := rep.Summary()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The myopic online strategy (Algorithm 2) controls the chaff to both
-	// out-weigh the user's likelihood and stay away from him.
-	protected, err := chaffmec.Evaluate(chaffmec.Evaluation{
-		Chain: model, Strategy: "MO", NumChaffs: 1, Horizon: 100,
-		Runs: 500, Seed: 42,
-	})
+	// out-weigh the user's likelihood and stay away from him. This time,
+	// split the same experiment into two shards — exactly what two
+	// processes (or hosts) would run — and merge the partial reports: the
+	// result is bit-for-bit the single-process one.
+	protected := baseline
+	protected.Strategy = "MO"
+	var parts []*chaffmec.Report
+	for i := 0; i < 2; i++ {
+		part, err := chaffmec.RunJob(ctx, chaffmec.Job{
+			Spec:  protected,
+			Shard: chaffmec.Shard{Index: i, Count: 2},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts = append(parts, part)
+	}
+	merged, err := chaffmec.MergeReports(parts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	protSum, err := merged.Summary()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Eq. 11 gives the IM baseline in closed form.
+	// Eq. 11 gives the IM baseline in closed form. (Evaluate remains the
+	// one-call wrapper for callers holding a custom Chain.)
+	model, err := chaffmec.BuildModel(chaffmec.ModelNonSkewed, 10, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	closed, err := chaffmec.IMAccuracy(model, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("IM chaff:  tracking accuracy %.3f (Eq. 11 predicts %.3f)\n",
-		baseline.Overall, closed)
-	fmt.Printf("MO chaff:  tracking accuracy %.3f\n", protected.Overall)
+		baseSum.Overall, closed)
+	fmt.Printf("MO chaff:  tracking accuracy %.3f (merged from %d shards, %d runs)\n",
+		protSum.Overall, len(parts), protSum.Runs)
 	fmt.Printf("MO final slot: %.4f (decays toward zero, Theorem V.5)\n",
-		protected.PerSlot[len(protected.PerSlot)-1])
+		protSum.PerSlot[len(protSum.PerSlot)-1])
 }

@@ -1,12 +1,22 @@
 package chaff
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"chaffmec/internal/markov"
 )
+
+// ErrNoGamma marks strategies that are valid but have no deterministic
+// trajectory map Γ for the advanced eavesdropper to exploit (IM, whose
+// chaffs are independent samples, and Rollout). Callers that want to
+// degrade to the basic detector in that case — and ONLY in that case —
+// test errors.Is(err, ErrNoGamma); any other GammaByName error is a real
+// construction failure (unknown strategy, solver failure) and must not
+// be swallowed.
+var ErrNoGamma = errors.New("has no deterministic Γ")
 
 // NewByName constructs the strategy with the given paper abbreviation
 // (case-insensitive): IM, ML, CML, OO, MO, RML, ROO, RMO, or Rollout.
@@ -66,6 +76,11 @@ func GammaByName(name string, chain *markov.Chain) (func(markov.Trajectory) (mar
 		}
 		return dp.Gamma, nil
 	default:
-		return nil, fmt.Errorf("chaff: strategy %q has no deterministic Γ", name)
+		// Distinguish "known strategy without a Γ" (IM, Rollout) from an
+		// unknown name: only the former is an ErrNoGamma.
+		if _, err := NewByName(name, chain); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("chaff: strategy %q %w", name, ErrNoGamma)
 	}
 }

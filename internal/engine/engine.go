@@ -4,17 +4,24 @@
 // scenarios (internal/multiuser), MEC substrate episode batches
 // (internal/mec) and the figure drivers built on them — repeats a seeded
 // run many times and aggregates per-slot metrics. The engine owns the
-// three concerns those harnesses used to duplicate:
+// concerns those harnesses used to duplicate:
 //
 //   - Stream derivation: run r of an experiment with base seed s draws all
 //     of its randomness from the internal/rng splitmix64 stream
 //     rng.Derive(s, r) (MixSeed and NewRunRNG are thin aliases kept for
 //     discoverability). The derivation applies a full golden-ratio
 //     avalanche, so adjacent run indices yield decorrelated streams and a
-//     run's result depends only on (s, r) — never on scheduling or worker
-//     count. Stream stability follows internal/rng's contract: fixed for a
-//     given rng package version, re-pinned in one commit when the
-//     generator changes.
+//     run's result depends only on (s, r) — never on scheduling, worker
+//     count, or which process executes the run. Stream stability follows
+//     internal/rng's contract: fixed for a given rng package version,
+//     re-pinned in one commit when the generator changes.
+//
+//   - Sharding: Options.Shard restricts an experiment to one contiguous
+//     sub-range of its global run indices. Because streams are pure
+//     functions of (seed, run) and the accumulators (SeriesStats,
+//     ScalarStats) are position-aware dyadic reducers, complementary
+//     shards executed by different processes and merged with Merge
+//     reproduce the single-process aggregate bit-for-bit.
 //
 //   - Worker pools with per-worker scratch: NewWorker is called once per
 //     worker, letting callers hoist detector construction, steady-state
@@ -27,18 +34,20 @@
 //     per run).
 //
 //   - Deterministic streaming aggregation: results are re-ordered and
-//     handed to Accumulate in strict run order (0, 1, 2, …) on a single
-//     goroutine, so floating-point reductions are bitwise reproducible for
-//     any worker count. SeriesStats/ScalarStats provide streaming
-//     (Welford) mean and standard-error accumulation for per-slot series
-//     and scalar metrics.
+//     handed to Accumulate in strict run order on a single goroutine, so
+//     floating-point reductions are bitwise reproducible for any worker
+//     count.
 //
 // Errors cancel the experiment early: the first error (from worker setup,
 // a run, or accumulation) stops dispatch, unblocks all workers and is
-// returned to the caller.
+// returned to the caller. Cancelling the context passed to Run has the
+// same effect: dispatch stops, in-flight runs finish, and the context's
+// error is returned (checks happen between runs, so cancellation latency
+// is one run, not one experiment).
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -47,20 +56,65 @@ import (
 	"chaffmec/internal/rng"
 )
 
+// Shard selects one contiguous sub-range of an experiment's global run
+// indices: shard Index of Count covers [Index·Runs/Count,
+// (Index+1)·Runs/Count). The zero value selects the whole experiment.
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// IsWhole reports whether the shard covers the full run range.
+func (s Shard) IsWhole() bool { return s.Count <= 1 }
+
+// Validate rejects malformed selectors (Count < 0, Index outside
+// [0, Count)).
+func (s Shard) Validate() error {
+	if s.Count >= 0 && s.Count <= 1 && s.Index == 0 {
+		return nil
+	}
+	if s.Count < 0 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("engine: invalid shard %d/%d", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Range returns the half-open global run range [start, end) the shard
+// covers out of total runs. Ranges of complementary shards tile [0,
+// total) contiguously and differ in size by at most one run.
+func (s Shard) Range(total int) (start, end int) {
+	if s.IsWhole() {
+		return 0, total
+	}
+	return s.Index * total / s.Count, (s.Index + 1) * total / s.Count
+}
+
+// String formats the selector as "index/count".
+func (s Shard) String() string {
+	if s.IsWhole() {
+		return "0/1"
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
 // Options tunes a Monte-Carlo experiment.
 type Options struct {
-	// Runs is the number of Monte-Carlo repetitions (default 1000, the
-	// paper's setting).
+	// Runs is the TOTAL number of Monte-Carlo repetitions of the
+	// experiment (default 1000, the paper's setting), independent of
+	// sharding: a shard executes its slice of these global run indices.
 	Runs int
-	// Seed derives the per-run RNG streams via MixSeed; a fixed seed makes
-	// the whole experiment reproducible regardless of scheduling.
+	// Seed derives the per-run RNG streams via rng.Derive; a fixed seed
+	// makes the whole experiment reproducible regardless of scheduling.
 	Seed int64
 	// Workers caps the parallel workers (default GOMAXPROCS).
 	Workers int
+	// Shard restricts execution to one contiguous slice of the global
+	// run range (zero value: the whole experiment).
+	Shard Shard
 }
 
 // Normalized resolves the defaults: Runs 1000, Workers GOMAXPROCS (both
-// additionally clamped so Workers ≤ Runs).
+// additionally clamped so Workers does not exceed the executed range).
 func (o Options) Normalized() Options {
 	if o.Runs <= 0 {
 		o.Runs = 1000
@@ -68,10 +122,19 @@ func (o Options) Normalized() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	if o.Workers > o.Runs {
-		o.Workers = o.Runs
+	if start, end := o.Shard.Range(o.Runs); o.Workers > end-start {
+		o.Workers = end - start
+		if o.Workers < 1 {
+			o.Workers = 1
+		}
 	}
 	return o
+}
+
+// Range returns the global run range the options execute (after
+// normalizing Runs).
+func (o Options) Range() (start, end int) {
+	return o.Shard.Range(o.Normalized().Runs)
 }
 
 // MixSeed derives the RNG seed of one run from the experiment's base
@@ -97,10 +160,12 @@ type Config[W, R any] struct {
 	// executes, so setup failures abort the experiment deterministically.
 	// Nil means no scratch (W's zero value is passed to every Run call).
 	NewWorker func(worker int) (W, error)
-	// Run executes one Monte-Carlo run. rng is the run's private stream,
-	// derived deterministically from (Options.Seed, run). The returned R
-	// is retained by the engine until Accumulate consumes it, so it must
-	// not alias worker scratch that the next Run call overwrites.
+	// Run executes one Monte-Carlo run. run is the GLOBAL run index (a
+	// shard sees its own slice of the global range); rng is the run's
+	// private stream, derived deterministically from (Options.Seed, run).
+	// The returned R is retained by the engine until Accumulate consumes
+	// it, so it must not alias worker scratch that the next Run call
+	// overwrites.
 	//
 	// Run must not call rng.Read: the engine repositions a shared
 	// per-worker source between runs, but rand.Rand's Read method
@@ -110,8 +175,9 @@ type Config[W, R any] struct {
 	// method is stateless over the source and safe.
 	Run func(w W, run int, rng *rand.Rand) (R, error)
 	// Accumulate folds one run's result into the experiment aggregate. It
-	// is called on a single goroutine in strict run order (0, 1, 2, …),
-	// making reductions independent of scheduling and worker count.
+	// is called on a single goroutine in strict run order (ascending
+	// global indices), making reductions independent of scheduling and
+	// worker count.
 	Accumulate func(run int, r R) error
 }
 
@@ -142,16 +208,31 @@ func reorderWindow(workers int) int {
 	return w
 }
 
-// Run executes opts.Runs Monte-Carlo runs of cfg across a worker pool.
-// Results are accumulated in run order; the first error cancels the
-// remaining work and is returned.
-func Run[W, R any](opts Options, cfg Config[W, R]) error {
+// Run executes cfg's runs across a worker pool: the whole global range
+// [0, opts.Runs) by default, or the slice selected by opts.Shard.
+// Results are accumulated in run order; the first error — including
+// ctx's cancellation — stops the remaining work and is returned.
+func Run[W, R any](ctx context.Context, opts Options, cfg Config[W, R]) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	o := opts.Normalized()
+	if err := o.Shard.Validate(); err != nil {
+		return err
+	}
 	if cfg.Run == nil {
 		return fmt.Errorf("engine: Config.Run is nil")
 	}
 	if cfg.Accumulate == nil {
 		return fmt.Errorf("engine: Config.Accumulate is nil")
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	first, last := o.Shard.Range(o.Runs)
+	runs := last - first
+	if runs == 0 {
+		return nil
 	}
 
 	// Worker scratch is built up front, before any run executes: a setup
@@ -167,7 +248,7 @@ func Run[W, R any](opts Options, cfg Config[W, R]) error {
 		}
 	}
 
-	chunk := chunkSize(o.Runs, o.Workers)
+	chunk := chunkSize(runs, o.Workers)
 	// A chunk is the half-open run range [start, start+len(res)).
 	type outcome struct {
 		start int
@@ -206,6 +287,16 @@ func Run[W, R any](opts Options, cfg Config[W, R]) error {
 					}
 					out := outcome{start: job[0], res: make([]R, 0, job[1]-job[0])}
 					for run := job[0]; run < job[1]; run++ {
+						// Keep the documented one-run cancellation
+						// latency even for large chunks: once the
+						// experiment is stopping (first error or ctx
+						// cancel), abandon the rest of the chunk —
+						// nobody reads results anymore.
+						select {
+						case <-cancel:
+							return
+						default:
+						}
 						src.Reseed(o.Seed, run)
 						res, err := cfg.Run(state, run, workerRNG)
 						if err != nil {
@@ -226,29 +317,40 @@ func Run[W, R any](opts Options, cfg Config[W, R]) error {
 
 	go func() {
 		defer close(jobs)
-		for start := 0; start < o.Runs; start += chunk {
+		for start := first; start < last; start += chunk {
 			end := start + chunk
-			if end > o.Runs {
-				end = o.Runs
+			if end > last {
+				end = last
 			}
 			select {
 			case tokens <- struct{}{}:
 			case <-cancel:
+				return
+			case <-ctx.Done():
 				return
 			}
 			select {
 			case jobs <- [2]int{start, end}:
 			case <-cancel:
 				return
+			case <-ctx.Done():
+				return
 			}
 		}
 	}()
 
 	pending := make(map[int][]R, o.Workers)
-	next := 0
+	next := first
 	var firstErr error
-	for next < o.Runs && firstErr == nil {
-		out := <-results
+collect:
+	for next < last && firstErr == nil {
+		var out outcome
+		select {
+		case out = <-results:
+		case <-ctx.Done():
+			firstErr = fmt.Errorf("engine: %w", ctx.Err())
+			break collect
+		}
 		if out.err != nil {
 			firstErr = fmt.Errorf("engine: run %d: %w", out.errRun, out.err)
 			break

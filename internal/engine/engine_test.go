@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,7 +19,7 @@ import (
 func collect(t *testing.T, runs, workers int, seed int64) []float64 {
 	t.Helper()
 	var out []float64
-	err := Run(Options{Runs: runs, Seed: seed, Workers: workers}, Config[int, float64]{
+	err := Run(context.Background(), Options{Runs: runs, Seed: seed, Workers: workers}, Config[int, float64]{
 		NewWorker: func(worker int) (int, error) { return worker, nil },
 		Run: func(_ int, run int, rng *rand.Rand) (float64, error) {
 			return rng.Float64(), nil
@@ -49,7 +50,7 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 
 func TestAccumulateInRunOrder(t *testing.T) {
 	next := 0
-	err := Run(Options{Runs: 200, Seed: 1, Workers: 8}, Config[struct{}, int]{
+	err := Run(context.Background(), Options{Runs: 200, Seed: 1, Workers: 8}, Config[struct{}, int]{
 		Run: func(_ struct{}, run int, _ *rand.Rand) (int, error) { return run, nil },
 		Accumulate: func(run int, v int) error {
 			if run != next || v != run {
@@ -70,7 +71,7 @@ func TestAccumulateInRunOrder(t *testing.T) {
 func TestRunErrorCancelsEarly(t *testing.T) {
 	boom := errors.New("boom")
 	executed := 0
-	err := Run(Options{Runs: 100000, Seed: 1, Workers: 4}, Config[struct{}, int]{
+	err := Run(context.Background(), Options{Runs: 100000, Seed: 1, Workers: 4}, Config[struct{}, int]{
 		Run: func(_ struct{}, run int, _ *rand.Rand) (int, error) {
 			if run == 17 {
 				return 0, boom
@@ -96,7 +97,7 @@ func TestRunErrorCancelsEarly(t *testing.T) {
 func TestWorkerSetupErrorPropagates(t *testing.T) {
 	boom := errors.New("no scratch")
 	ran := false
-	err := Run(Options{Runs: 10, Seed: 1, Workers: 3}, Config[int, int]{
+	err := Run(context.Background(), Options{Runs: 10, Seed: 1, Workers: 3}, Config[int, int]{
 		// Only the last worker fails — setup runs up front, so the error
 		// is reported deterministically, before any run executes.
 		NewWorker: func(worker int) (int, error) {
@@ -121,7 +122,7 @@ func TestWorkerSetupErrorPropagates(t *testing.T) {
 
 func TestAccumulateErrorPropagates(t *testing.T) {
 	boom := errors.New("agg")
-	err := Run(Options{Runs: 50, Seed: 1, Workers: 4}, Config[struct{}, int]{
+	err := Run(context.Background(), Options{Runs: 50, Seed: 1, Workers: 4}, Config[struct{}, int]{
 		Run: func(_ struct{}, run int, _ *rand.Rand) (int, error) { return run, nil },
 		Accumulate: func(run int, v int) error {
 			if run == 10 {
@@ -218,10 +219,10 @@ func TestScalarStats(t *testing.T) {
 	}
 }
 
-// TestSeriesStatsMergeMatchesSequential shards one data set three ways,
-// merges the partial accumulators, and demands the result agree with a
-// single sequential accumulation — the contract that makes cross-process
-// sharding well-defined.
+// TestSeriesStatsMergeMatchesSequential shards one data set into
+// position-aware partial accumulators, merges them, and demands the
+// result agree BIT-FOR-BIT with a single sequential accumulation — the
+// contract that makes cross-process sharding exact.
 func TestSeriesStatsMergeMatchesSequential(t *testing.T) {
 	rng := rng.New(17)
 	const T, n = 5, 300
@@ -241,11 +242,13 @@ func TestSeriesStatsMergeMatchesSequential(t *testing.T) {
 		}
 	}
 
-	// Uneven shards, including an empty one.
+	// Uneven shards, including an empty one; each shard accumulates at
+	// its global offset (NewSeriesStatsAt), the requirement for exact
+	// merges.
 	bounds := []int{0, 7, 7, 180, n}
 	merged := NewSeriesStats(T)
 	for s := 0; s+1 < len(bounds); s++ {
-		shard := NewSeriesStats(T)
+		shard := NewSeriesStatsAt(T, bounds[s])
 		for _, row := range data[bounds[s]:bounds[s+1]] {
 			if err := shard.Add(row); err != nil {
 				t.Fatal(err)
@@ -259,19 +262,28 @@ func TestSeriesStatsMergeMatchesSequential(t *testing.T) {
 	if merged.N() != seq.N() {
 		t.Fatalf("merged N = %d, want %d", merged.N(), seq.N())
 	}
-	sm, mm := seq.Mean(), merged.Mean()
-	se, me := seq.StdErr(), merged.StdErr()
-	for k := 0; k < T; k++ {
-		if math.Abs(sm[k]-mm[k]) > 1e-12 {
-			t.Fatalf("mean[%d]: merged %v, sequential %v", k, mm[k], sm[k])
-		}
-		if math.Abs(se[k]-me[k]) > 1e-12 {
-			t.Fatalf("stderr[%d]: merged %v, sequential %v", k, me[k], se[k])
-		}
+	if !reflect.DeepEqual(seq.Mean(), merged.Mean()) {
+		t.Fatalf("merged mean differs from sequential:\n%v\n%v", merged.Mean(), seq.Mean())
+	}
+	if !reflect.DeepEqual(seq.StdErr(), merged.StdErr()) {
+		t.Fatalf("merged stderr differs from sequential:\n%v\n%v", merged.StdErr(), seq.StdErr())
+	}
+	if !reflect.DeepEqual(seq.Snapshot(), merged.Snapshot()) {
+		t.Fatal("merged snapshot differs from sequential")
 	}
 
 	if err := merged.Merge(NewSeriesStats(T + 1)); err == nil {
 		t.Fatal("length mismatch accepted")
+	}
+	// Merging a shard that does not start where the accumulator ends
+	// (here: a second copy of the last shard) must fail loudly instead
+	// of producing a silently wrong aggregate.
+	dup := NewSeriesStatsAt(T, bounds[len(bounds)-2])
+	if err := dup.Add(data[bounds[len(bounds)-2]]); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(dup); err == nil {
+		t.Fatal("overlapping shard accepted")
 	}
 }
 
@@ -305,7 +317,8 @@ func TestScalarStatsMergeMatchesSequential(t *testing.T) {
 	for _, v := range vals {
 		seq.Add(v)
 	}
-	var a, b, c, merged ScalarStats
+	a, b, c := NewScalarStatsAt(0), NewScalarStatsAt(40), NewScalarStatsAt(41)
+	var merged ScalarStats
 	for _, v := range vals[:40] {
 		a.Add(v)
 	}
@@ -315,18 +328,23 @@ func TestScalarStatsMergeMatchesSequential(t *testing.T) {
 	for _, v := range vals[41:] {
 		c.Add(v)
 	}
-	merged.Merge(a)
-	merged.Merge(ScalarStats{}) // empty shard is a no-op
-	merged.Merge(b)
-	merged.Merge(c)
+	for _, shard := range []ScalarStats{a, {}, b, c} { // empty shard is a no-op
+		if err := merged.Merge(shard); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if merged.N() != seq.N() {
 		t.Fatalf("merged N = %d, want %d", merged.N(), seq.N())
 	}
-	if math.Abs(merged.Mean()-seq.Mean()) > 1e-12 {
+	if merged.Mean() != seq.Mean() {
 		t.Fatalf("merged mean %v, sequential %v", merged.Mean(), seq.Mean())
 	}
-	if math.Abs(merged.StdErr()-seq.StdErr()) > 1e-12 {
+	if merged.StdErr() != seq.StdErr() {
 		t.Fatalf("merged stderr %v, sequential %v", merged.StdErr(), seq.StdErr())
+	}
+	// Out-of-position merges fail loudly.
+	if err := merged.Merge(b); err == nil {
+		t.Fatal("overlapping scalar shard accepted")
 	}
 }
 
@@ -342,10 +360,10 @@ func TestOptionsNormalized(t *testing.T) {
 }
 
 func TestNilCallbacksRejected(t *testing.T) {
-	if err := Run(Options{Runs: 1}, Config[int, int]{}); err == nil {
+	if err := Run(context.Background(), Options{Runs: 1}, Config[int, int]{}); err == nil {
 		t.Fatal("nil Run accepted")
 	}
-	if err := Run(Options{Runs: 1}, Config[int, int]{
+	if err := Run(context.Background(), Options{Runs: 1}, Config[int, int]{
 		Run: func(int, int, *rand.Rand) (int, error) { return 0, nil },
 	}); err == nil {
 		t.Fatal("nil Accumulate accepted")

@@ -1,10 +1,12 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"chaffmec/internal/analysis"
 	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/mobility"
 	"chaffmec/internal/sim"
 )
@@ -44,12 +46,12 @@ func Eq11(cfg Config, ns []int) ([]Eq11Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := sim.Run(sim.Scenario{
+			res, err := sim.Run(context.Background(), sim.Scenario{
 				Chain:     chain,
 				Strategy:  chaff.NewIM(chain),
 				NumChaffs: n - 1,
 				Horizon:   cfg.Horizon,
-			}, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			}, engine.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"chaffmec/internal/chaff"
@@ -48,12 +49,12 @@ func ExtSolvers(cfg Config) ([]ExtSolverRow, error) {
 			{"Rollout", chaff.NewRollout(chain)},
 			{"ApproxDP", dp},
 		} {
-			res, err := sim.Run(sim.Scenario{
+			res, err := sim.Run(context.Background(), sim.Scenario{
 				Chain:     chain,
 				Strategy:  entry.strategy,
 				NumChaffs: 1,
 				Horizon:   cfg.Horizon,
-			}, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			}, engine.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {
 				return nil, fmt.Errorf("figures: ext-solvers %v/%s: %w", id, entry.name, err)
 			}
@@ -102,16 +103,16 @@ func ExtMultiuser(cfg Config, crowds []int) ([]ExtMultiuserRow, error) {
 			for i := 0; i < others; i++ {
 				otherChains = append(otherChains, chain)
 			}
-			unprot, err := multiuser.Run(multiuser.Config{
+			unprot, err := multiuser.Run(context.Background(), multiuser.Config{
 				TargetChain: chain, OtherChains: otherChains, Horizon: cfg.Horizon,
-			}, multiuser.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			}, engine.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
-			prot, err := multiuser.Run(multiuser.Config{
+			prot, err := multiuser.Run(context.Background(), multiuser.Config{
 				TargetChain: chain, OtherChains: otherChains, Horizon: cfg.Horizon,
 				Strategy: chaff.NewMO(chain), NumChaffs: 1,
-			}, multiuser.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			}, engine.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -171,7 +172,7 @@ func ExtCostPrivacy(cfg Config, budgets []int) ([]ExtCostRow, error) {
 				}
 				return ctrl, nil
 			}
-			batch, err := mec.RunBatch(mec.Config{
+			batch, err := mec.RunBatch(context.Background(), mec.Config{
 				Chain:     chain,
 				NumChaffs: n,
 				Horizon:   cfg.Horizon,

@@ -13,9 +13,9 @@ import (
 // comparing the original strategies (IM, ML, OO, MO) — which are
 // ineffective — against the robust randomized ones (RMO, RML, ROO).
 // Like Fig9b, the (user × strategy) grid runs on the engine worker
-// pool: every cell draws from its own engine-derived stream and the
-// output is deterministic for any worker count.
-func Fig10(lab *TraceLab, topK int, seed int64) (*TraceBarResult, error) {
+// pool, every cell averaging over runs (≤ 1: one) engine-derived chaff
+// streams; the output is deterministic for any worker count.
+func Fig10(lab *TraceLab, topK int, seed int64, runs int) (*TraceBarResult, error) {
 	top, _, err := lab.TopUsers(topK)
 	if err != nil {
 		return nil, err
@@ -62,7 +62,7 @@ func Fig10(lab *TraceLab, topK int, seed int64) (*TraceBarResult, error) {
 			cells = append(cells, gridCell{rank, si})
 		}
 	}
-	err = runGrid(res, cells, seed, func(c gridCell, rng *rand.Rand) (float64, error) {
+	err = runGrid(res, cells, seed, runs, func(c gridCell, rng *rand.Rand) (float64, error) {
 		s := strategies[c.si]
 		acc, err := lab.userAccuracyWithChaffs(top[c.rank], s.build(), numChaffs, rng, s.gamma)
 		if err != nil {

@@ -1,9 +1,11 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
 	"chaffmec/internal/sim"
@@ -55,12 +57,12 @@ func Fig5(cfg Config) ([]Fig5Panel, error) {
 		}
 		panel := Fig5Panel{Model: id}
 		for _, entry := range fig5Strategies(chain) {
-			res, err := sim.Run(sim.Scenario{
+			res, err := sim.Run(context.Background(), sim.Scenario{
 				Chain:     chain,
 				Strategy:  entry.strategy,
 				NumChaffs: entry.numChaffs,
 				Horizon:   cfg.Horizon,
-			}, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			}, engine.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {
 				return nil, fmt.Errorf("figures: fig5 %v/%s: %w", id, entry.label, err)
 			}

@@ -1,9 +1,11 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/mobility"
 	"chaffmec/internal/sim"
 	"chaffmec/internal/stats"
@@ -54,13 +56,13 @@ func Fig6(cfg Config) ([]Fig6Panel, error) {
 			{chaff.NewCML(chain), &panel.CML, &panel.MeanCML},
 			{chaff.NewMO(chain), &panel.MO, &panel.MeanMO},
 		} {
-			res, err := sim.Run(sim.Scenario{
+			res, err := sim.Run(context.Background(), sim.Scenario{
 				Chain:     chain,
 				Strategy:  entry.strategy,
 				NumChaffs: 1,
 				Horizon:   cfg.Horizon,
 				CollectCt: true,
-			}, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			}, engine.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {
 				return nil, fmt.Errorf("figures: fig6 %v/%s: %w", id, entry.strategy.Name(), err)
 			}

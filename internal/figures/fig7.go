@@ -1,10 +1,12 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/detect"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
 	"chaffmec/internal/sim"
@@ -61,7 +63,7 @@ func Fig7(cfg Config) ([]Fig7Panel, error) {
 				sc.Detector = sim.AdvancedDetector
 				sc.Gamma = entry.gamma
 			}
-			res, err := sim.Run(sc, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+			res, err := sim.Run(context.Background(), sc, engine.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
 			if err != nil {
 				return nil, fmt.Errorf("figures: fig7 %v/%s: %w", id, entry.label, err)
 			}

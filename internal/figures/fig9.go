@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -50,8 +51,11 @@ type TraceBarResult struct {
 	UserIdx []int
 	// Strategies names the columns of Acc.
 	Strategies []string
-	// Acc[u][s] is user u's tracking accuracy under strategy s.
+	// Acc[u][s] is user u's tracking accuracy under strategy s, averaged
+	// over Runs chaff streams.
 	Acc [][]float64
+	// Runs echoes the per-cell repetition count.
+	Runs int
 }
 
 // gridCell is one (user rank, strategy column) evaluation of a
@@ -59,36 +63,51 @@ type TraceBarResult struct {
 type gridCell struct{ rank, si int }
 
 // runGrid evaluates a (top-K user × strategy) accuracy grid on the
-// shared Monte-Carlo engine: each cell is one engine run whose private
-// RNG stream is derived from (seed, cell index), cells execute on the
-// worker pool, and results are written back by cell index — the output
-// is deterministic for any worker count and identical to a sequential
-// evaluation. eval computes one cell on the cell's stream.
-func runGrid(res *TraceBarResult, cells []gridCell, seed int64,
+// shared Monte-Carlo engine, repeating every cell `runs` times over
+// decorrelated chaff streams and averaging: engine run index r maps to
+// cell r/runs and repetition r%runs, so each (cell, repetition) pair
+// draws the private stream rng.Derive(seed, r). With runs = 1 (the
+// default everywhere) this reproduces the historical one-stream-per-cell
+// evaluation exactly; larger values quantify the chaff-stream variance
+// the single evaluation hides. Cells execute on the worker pool and
+// results are accumulated in run order — the output is deterministic for
+// any worker count and identical to a sequential evaluation.
+func runGrid(res *TraceBarResult, cells []gridCell, seed int64, runs int,
 	eval func(c gridCell, rng *rand.Rand) (float64, error)) error {
+	if runs < 1 {
+		runs = 1
+	}
+	res.Runs = runs
 	if len(cells) == 0 {
 		return nil // engine.Options would normalize Runs 0 to 1000
 	}
-	return engine.Run(engine.Options{Runs: len(cells), Seed: seed},
+	err := engine.Run(context.Background(), engine.Options{Runs: len(cells) * runs, Seed: seed},
 		engine.Config[struct{}, float64]{
 			Run: func(_ struct{}, i int, rng *rand.Rand) (float64, error) {
-				return eval(cells[i], rng)
+				return eval(cells[i/runs], rng)
 			},
 			Accumulate: func(i int, acc float64) error {
-				res.Acc[cells[i].rank][cells[i].si] = acc
+				res.Acc[cells[i/runs].rank][cells[i/runs].si] += acc
 				return nil
 			},
 		})
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
+		res.Acc[c.rank][c.si] /= float64(runs)
+	}
+	return nil
 }
 
 // Fig9b reproduces Fig. 9(b): the top-K users' tracking accuracy before
 // and after adding a single chaff controlled by IM, MO, ML, or OO. The
 // eavesdropper is the basic ML detector over all trajectories plus the
 // chaff. The (user × strategy) grid is evaluated in parallel on the
-// engine worker pool; each chaffed cell draws from its own
-// engine-derived stream, and the output is deterministic for any worker
-// count.
-func Fig9b(lab *TraceLab, topK int, seed int64) (*TraceBarResult, error) {
+// engine worker pool, each chaffed cell averaging over runs (≤ 1: one)
+// engine-derived chaff streams; the output is deterministic for any
+// worker count.
+func Fig9b(lab *TraceLab, topK int, seed int64, runs int) (*TraceBarResult, error) {
 	top, accs, err := lab.TopUsers(topK)
 	if err != nil {
 		return nil, err
@@ -120,7 +139,7 @@ func Fig9b(lab *TraceLab, topK int, seed int64) (*TraceBarResult, error) {
 			cells = append(cells, gridCell{rank, si})
 		}
 	}
-	err = runGrid(res, cells, seed, func(c gridCell, rng *rand.Rand) (float64, error) {
+	err = runGrid(res, cells, seed, runs, func(c gridCell, rng *rand.Rand) (float64, error) {
 		s := strategies[c.si]
 		acc, err := lab.userAccuracyWithChaffs(top[c.rank], s.build(), 1, rng, nil)
 		if err != nil {

@@ -1,10 +1,12 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 
 	"chaffmec/internal/analysis"
 	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/rng"
 	"chaffmec/internal/sim"
@@ -71,12 +73,12 @@ func Theory(cfg Config, horizons []int) ([]TheoryRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		cml, err := sim.Run(sim.Scenario{
+		cml, err := sim.Run(context.Background(), sim.Scenario{
 			Chain:     chain,
 			Strategy:  chaff.NewCML(chain),
 			NumChaffs: 1,
 			Horizon:   T,
-		}, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+		}, engine.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -93,12 +95,12 @@ func Theory(cfg Config, horizons []int) ([]TheoryRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		mo, err := sim.Run(sim.Scenario{
+		mo, err := sim.Run(context.Background(), sim.Scenario{
 			Chain:     chain,
 			Strategy:  chaff.NewMO(chain),
 			NumChaffs: 1,
 			Horizon:   T,
-		}, sim.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
+		}, engine.Options{Runs: cfg.Runs, Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}

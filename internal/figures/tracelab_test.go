@@ -122,7 +122,7 @@ func TestFig9a(t *testing.T) {
 
 func TestFig9b(t *testing.T) {
 	lab := getLab(t)
-	res, err := Fig9b(lab, 3, 11)
+	res, err := Fig9b(lab, 3, 11, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestFig9b(t *testing.T) {
 
 func TestFig10(t *testing.T) {
 	lab := getLab(t)
-	res, err := Fig10(lab, 2, 13)
+	res, err := Fig10(lab, 2, 13, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,5 +220,41 @@ func TestFig10(t *testing.T) {
 	}
 	if mean(roo4) > mean(roo)+0.02 {
 		t.Fatalf("ROO4 mean %v not better than ROO mean %v", mean(roo4), mean(roo))
+	}
+}
+
+// TestFig9bCellRuns exercises the repeated-runs knob: averaging each
+// grid cell over several chaff streams keeps the no-chaff column
+// untouched, stays deterministic, and yields in-range accuracies.
+func TestFig9bCellRuns(t *testing.T) {
+	lab := getLab(t)
+	one, err := Fig9b(lab, 2, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := Fig9b(lab, 2, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Runs != 1 || avg.Runs != 4 {
+		t.Fatalf("runs echo: %d, %d", one.Runs, avg.Runs)
+	}
+	again, err := Fig9b(lab, 2, 11, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range avg.Acc {
+		// Column 0 is the no-chaff accuracy: independent of chaff streams.
+		if avg.Acc[u][0] != one.Acc[u][0] {
+			t.Fatalf("user %d: no-chaff column changed under cell runs", u)
+		}
+		for s, v := range avg.Acc[u] {
+			if v < 0 || v > 1 {
+				t.Fatalf("user %d strategy %s: averaged accuracy %v out of range", u, avg.Strategies[s], v)
+			}
+			if again.Acc[u][s] != v {
+				t.Fatalf("user %d strategy %s: repeated evaluation differs", u, avg.Strategies[s])
+			}
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package mec
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -8,10 +9,21 @@ import (
 	"chaffmec/internal/engine"
 )
 
+// BatchStats bundles the batch's raw position-aware accumulators — the
+// exactly-mergeable partials the Job/Report shard workflow serializes.
+type BatchStats struct {
+	Tracking *engine.SeriesStats
+	Overall  engine.ScalarStats
+	// Cost components and episode counters, one accumulator each.
+	MigrationCost, ChaffCost, CommCost          engine.ScalarStats
+	Migrations, FailedMigrations, QoSViolations engine.ScalarStats
+}
+
 // BatchResult aggregates a batch of Monte-Carlo episodes of the MEC
-// substrate simulator.
+// substrate simulator (possibly one shard of them).
 type BatchResult struct {
-	// Episodes is the number of episodes aggregated.
+	// Episodes is the number of episodes aggregated (the shard's size
+	// when the options select one).
 	Episodes int
 	// Tracking is the mean per-slot tracking accuracy across episodes,
 	// TrackingStdErr its standard error.
@@ -26,17 +38,20 @@ type BatchResult struct {
 	// Migrations, FailedMigrations and QoSViolations are per-episode
 	// means of the corresponding episode counters.
 	Migrations, FailedMigrations, QoSViolations float64
+	// Stats holds the raw accumulators behind every aggregate above.
+	Stats *BatchStats
 }
 
-// RunBatch executes a batch of episodes on the shared Monte-Carlo engine:
-// episode e draws all of its randomness from the rng.Derive(seed, e)
-// stream (a reseeded per-worker splitmix64 source — see internal/rng),
-// workers run episodes in parallel, and aggregation is
-// deterministic in episode order. Because online controllers are stateful,
+// RunBatch executes a batch of episodes on the shared Monte-Carlo engine
+// (the whole batch, or the global-episode slice opts.Shard selects; ctx
+// cancels between episodes): episode e draws all of its randomness from
+// the rng.Derive(seed, e) stream (a reseeded per-worker splitmix64
+// source — see internal/rng), workers run episodes in parallel, and
+// aggregation is deterministic in episode order. Because online controllers are stateful,
 // each worker builds its own via newController; cfg.Controller must be
 // left nil (a set controller would be silently ignored, so it is
 // rejected).
-func RunBatch(cfg Config, newController func() (chaff.OnlineController, error), opts engine.Options) (*BatchResult, error) {
+func RunBatch(ctx context.Context, cfg Config, newController func() (chaff.OnlineController, error), opts engine.Options) (*BatchResult, error) {
 	if newController == nil {
 		return nil, errors.New("mec: RunBatch needs a controller factory")
 	}
@@ -57,11 +72,19 @@ func RunBatch(cfg Config, newController func() (chaff.OnlineController, error), 
 		return nil, err
 	}
 
-	track := engine.NewSeriesStats(cfg.Horizon)
-	var overall, migCost, chaffCost, commCost engine.ScalarStats
-	var migrations, failed, qos engine.ScalarStats
+	start, _ := o.Range()
+	st := &BatchStats{
+		Tracking:         engine.NewSeriesStatsAt(cfg.Horizon, start),
+		Overall:          engine.NewScalarStatsAt(start),
+		MigrationCost:    engine.NewScalarStatsAt(start),
+		ChaffCost:        engine.NewScalarStatsAt(start),
+		CommCost:         engine.NewScalarStatsAt(start),
+		Migrations:       engine.NewScalarStatsAt(start),
+		FailedMigrations: engine.NewScalarStatsAt(start),
+		QoSViolations:    engine.NewScalarStatsAt(start),
+	}
 
-	err = engine.Run(o, engine.Config[*Simulator, *Report]{
+	err = engine.Run(ctx, o, engine.Config[*Simulator, *Report]{
 		NewWorker: func(int) (*Simulator, error) {
 			wcfg := cfg
 			ctrl, err := newController()
@@ -75,16 +98,16 @@ func RunBatch(cfg Config, newController func() (chaff.OnlineController, error), 
 			return s.Run(rng)
 		},
 		Accumulate: func(episode int, rep *Report) error {
-			if err := track.Add(rep.Tracking); err != nil {
+			if err := st.Tracking.Add(rep.Tracking); err != nil {
 				return err
 			}
-			overall.Add(rep.Overall)
-			migCost.Add(rep.Costs.Migration)
-			chaffCost.Add(rep.Costs.Chaff)
-			commCost.Add(rep.Costs.Comm)
-			migrations.Add(float64(rep.Migrations))
-			failed.Add(float64(rep.FailedMigrations))
-			qos.Add(float64(rep.QoSViolations))
+			st.Overall.Add(rep.Overall)
+			st.MigrationCost.Add(rep.Costs.Migration)
+			st.ChaffCost.Add(rep.Costs.Chaff)
+			st.CommCost.Add(rep.Costs.Comm)
+			st.Migrations.Add(float64(rep.Migrations))
+			st.FailedMigrations.Add(float64(rep.FailedMigrations))
+			st.QoSViolations.Add(float64(rep.QoSViolations))
 			return nil
 		},
 	})
@@ -93,18 +116,19 @@ func RunBatch(cfg Config, newController func() (chaff.OnlineController, error), 
 	}
 
 	return &BatchResult{
-		Episodes:       o.Runs,
-		Tracking:       track.Mean(),
-		TrackingStdErr: track.StdErr(),
-		Overall:        overall.Mean(),
-		OverallStdErr:  overall.StdErr(),
+		Episodes:       st.Tracking.N(),
+		Tracking:       st.Tracking.Mean(),
+		TrackingStdErr: st.Tracking.StdErr(),
+		Overall:        st.Overall.Mean(),
+		OverallStdErr:  st.Overall.StdErr(),
 		Costs: CostBreakdown{
-			Migration: migCost.Mean(),
-			Chaff:     chaffCost.Mean(),
-			Comm:      commCost.Mean(),
+			Migration: st.MigrationCost.Mean(),
+			Chaff:     st.ChaffCost.Mean(),
+			Comm:      st.CommCost.Mean(),
 		},
-		Migrations:       migrations.Mean(),
-		FailedMigrations: failed.Mean(),
-		QoSViolations:    qos.Mean(),
+		Migrations:       st.Migrations.Mean(),
+		FailedMigrations: st.FailedMigrations.Mean(),
+		QoSViolations:    st.QoSViolations.Mean(),
+		Stats:            st,
 	}, nil
 }

@@ -1,6 +1,7 @@
 package mec
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -26,7 +27,7 @@ func batchFixture(t *testing.T) (Config, func() (chaff.OnlineController, error))
 
 func TestRunBatchAggregates(t *testing.T) {
 	cfg, newController := batchFixture(t)
-	res, err := RunBatch(cfg, newController, engine.Options{Runs: 40, Seed: 5})
+	res, err := RunBatch(context.Background(), cfg, newController, engine.Options{Runs: 40, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,12 +53,12 @@ func TestRunBatchAggregates(t *testing.T) {
 
 func TestRunBatchDeterministicAcrossWorkerCounts(t *testing.T) {
 	cfg, newController := batchFixture(t)
-	ref, err := RunBatch(cfg, newController, engine.Options{Runs: 30, Seed: 11, Workers: 1})
+	ref, err := RunBatch(context.Background(), cfg, newController, engine.Options{Runs: 30, Seed: 11, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
-		got, err := RunBatch(cfg, newController, engine.Options{Runs: 30, Seed: 11, Workers: workers})
+		got, err := RunBatch(context.Background(), cfg, newController, engine.Options{Runs: 30, Seed: 11, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,17 +70,17 @@ func TestRunBatchDeterministicAcrossWorkerCounts(t *testing.T) {
 
 func TestRunBatchValidation(t *testing.T) {
 	cfg, newController := batchFixture(t)
-	if _, err := RunBatch(cfg, nil, engine.Options{Runs: 1}); err == nil {
+	if _, err := RunBatch(context.Background(), cfg, nil, engine.Options{Runs: 1}); err == nil {
 		t.Fatal("nil controller factory accepted")
 	}
 	bad := cfg
 	bad.Horizon = 0
-	if _, err := RunBatch(bad, newController, engine.Options{Runs: 1}); err == nil {
+	if _, err := RunBatch(context.Background(), bad, newController, engine.Options{Runs: 1}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 	preset := cfg
 	preset.Controller = chaff.NewMO(cfg.Chain)
-	if _, err := RunBatch(preset, newController, engine.Options{Runs: 1}); err == nil {
+	if _, err := RunBatch(context.Background(), preset, newController, engine.Options{Runs: 1}); err == nil {
 		t.Fatal("pre-set cfg.Controller accepted (would be silently ignored)")
 	}
 }

@@ -12,6 +12,7 @@
 package multiuser
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -33,6 +34,14 @@ type Config struct {
 	// Strategy, when non-nil, protects the target with NumChaffs chaffs.
 	Strategy  chaff.Strategy
 	NumChaffs int
+	// OtherStrategies, when non-empty, protects the coexisting users too
+	// (the heterogeneous population of the "hetero" scenario kind): entry
+	// i generates OtherNumChaffs[i] chaffs for other user i, nil entries
+	// leave that user unprotected. Both slices must align with
+	// OtherChains. Chaffs are drawn right after their owner's trajectory,
+	// so adding an unprotected user never perturbs the existing streams.
+	OtherStrategies []chaff.Strategy
+	OtherNumChaffs  []int
 	// Horizon is the trajectory length T.
 	Horizon int
 	// Gamma, when non-nil, upgrades the eavesdropper to the strategy-aware
@@ -60,25 +69,34 @@ func (c *Config) validate() error {
 			return fmt.Errorf("multiuser: other chain %d has %d cells, want %d", i, oc.NumStates(), L)
 		}
 	}
+	if len(c.OtherStrategies) > 0 {
+		if len(c.OtherStrategies) != len(c.OtherChains) || len(c.OtherNumChaffs) != len(c.OtherChains) {
+			return fmt.Errorf("multiuser: %d other strategies / %d chaff budgets for %d other users",
+				len(c.OtherStrategies), len(c.OtherNumChaffs), len(c.OtherChains))
+		}
+		for i, s := range c.OtherStrategies {
+			if s != nil && c.OtherNumChaffs[i] < 1 {
+				return fmt.Errorf("multiuser: other user %d has a strategy but %d chaffs", i, c.OtherNumChaffs[i])
+			}
+		}
+	}
 	return nil
 }
 
-// Result aggregates the Monte-Carlo runs.
+// Result aggregates the Monte-Carlo runs (possibly one shard of them).
 type Result struct {
 	// PerSlot is the mean per-slot tracking accuracy for the target;
 	// PerSlotStdErr its standard error and Overall its time average.
 	PerSlot       []float64
 	PerSlotStdErr []float64
 	Overall       float64
-	// Runs echoes the repetition count.
+	// Runs is the number of runs aggregated (the shard's size when the
+	// options select one).
 	Runs int
-}
-
-// Options tunes the runner (mirrors engine.Options).
-type Options struct {
-	Runs    int
-	Seed    int64
-	Workers int
+	// TrackStats is the raw position-aware accumulator behind PerSlot —
+	// the exactly-mergeable partial the Job/Report shard workflow
+	// serializes.
+	TrackStats *engine.SeriesStats
 }
 
 // muWorker is the per-worker scratch: the detection workspace and the
@@ -88,10 +106,12 @@ type muWorker struct {
 	trs []markov.Trajectory
 }
 
-// Run executes the scenario: each run samples the target, the coexisting
-// users and the chaffs, and evaluates the per-slot prefix detector that
-// knows the target's chain.
-func Run(cfg Config, opts Options) (*Result, error) {
+// Run executes the scenario on the shared Monte-Carlo engine (the whole
+// experiment, or the global-run slice opts.Shard selects; ctx cancels
+// between runs): each run samples the target, the coexisting users and
+// the chaffs, and evaluates the per-slot prefix detector that knows the
+// target's chain.
+func Run(ctx context.Context, cfg Config, opts engine.Options) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -107,14 +127,21 @@ func Run(cfg Config, opts Options) (*Result, error) {
 	} else {
 		det = detect.NewMLDetector(cfg.TargetChain)
 	}
-	o := engine.Options{Runs: opts.Runs, Seed: opts.Seed, Workers: opts.Workers}.Normalized()
-	track := engine.NewSeriesStats(cfg.Horizon)
+	o := opts.Normalized()
+	start, _ := o.Range()
+	track := engine.NewSeriesStatsAt(cfg.Horizon, start)
 
-	err := engine.Run(o, engine.Config[*muWorker, []float64]{
+	err := engine.Run(ctx, o, engine.Config[*muWorker, []float64]{
 		NewWorker: func(int) (*muWorker, error) {
+			cap := 1 + len(cfg.OtherChains) + cfg.NumChaffs
+			for i := range cfg.OtherStrategies {
+				if cfg.OtherStrategies[i] != nil {
+					cap += cfg.OtherNumChaffs[i]
+				}
+			}
 			return &muWorker{
 				ws:  detect.NewWorkspace(),
-				trs: make([]markov.Trajectory, 0, 1+len(cfg.OtherChains)+cfg.NumChaffs),
+				trs: make([]markov.Trajectory, 0, cap),
 			}, nil
 		},
 		Run: func(w *muWorker, run int, rng *rand.Rand) ([]float64, error) {
@@ -131,7 +158,8 @@ func Run(cfg Config, opts Options) (*Result, error) {
 	res := &Result{
 		PerSlot:       track.Mean(),
 		PerSlotStdErr: track.StdErr(),
-		Runs:          o.Runs,
+		Runs:          track.N(),
+		TrackStats:    track,
 	}
 	res.Overall = detect.TimeAverage(res.PerSlot)
 	return res, nil
@@ -143,12 +171,19 @@ func runOnce(cfg *Config, det detect.PrefixDetector, w *muWorker, rng *rand.Rand
 		return nil, err
 	}
 	w.trs = append(w.trs[:0], target)
-	for _, oc := range cfg.OtherChains {
+	for i, oc := range cfg.OtherChains {
 		tr, err := oc.Sample(rng, cfg.Horizon)
 		if err != nil {
 			return nil, err
 		}
 		w.trs = append(w.trs, tr)
+		if i < len(cfg.OtherStrategies) && cfg.OtherStrategies[i] != nil {
+			chaffs, err := cfg.OtherStrategies[i].GenerateChaffs(rng, tr, cfg.OtherNumChaffs[i])
+			if err != nil {
+				return nil, fmt.Errorf("multiuser: chaffs for other user %d: %w", i, err)
+			}
+			w.trs = append(w.trs, chaffs...)
+		}
 	}
 	if cfg.Strategy != nil {
 		chaffs, err := cfg.Strategy.GenerateChaffs(rng, target, cfg.NumChaffs)

@@ -1,9 +1,11 @@
 package multiuser
 
 import (
+	"context"
 	"testing"
 
 	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
 	"chaffmec/internal/rng"
@@ -29,7 +31,7 @@ func TestValidation(t *testing.T) {
 		{TargetChain: c, Horizon: 10, OtherChains: []*markov.Chain{small}},
 	}
 	for i, cfg := range bad {
-		if _, err := Run(cfg, Options{Runs: 1}); err == nil {
+		if _, err := Run(context.Background(), cfg, engine.Options{Runs: 1}); err == nil {
 			t.Fatalf("config %d accepted", i)
 		}
 	}
@@ -54,7 +56,7 @@ func TestCoexistingUsersProvideCover(t *testing.T) {
 		for i := 0; i < others; i++ {
 			cfg.OtherChains = append(cfg.OtherChains, c)
 		}
-		res, err := Run(cfg, Options{Runs: 400, Seed: 7})
+		res, err := Run(context.Background(), cfg, engine.Options{Runs: 400, Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,9 +82,9 @@ func TestCrowdRegressesTowardCollisionLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	mo := chaff.NewMO(c)
-	alone, err := Run(Config{
+	alone, err := Run(context.Background(), Config{
 		TargetChain: c, Horizon: 50, Strategy: mo, NumChaffs: 1,
-	}, Options{Runs: 300, Seed: 3})
+	}, engine.Options{Runs: 300, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestCrowdRegressesTowardCollisionLimit(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		crowd.OtherChains = append(crowd.OtherChains, c)
 	}
-	crowded, err := Run(crowd, Options{Runs: 300, Seed: 3})
+	crowded, err := Run(context.Background(), crowd, engine.Options{Runs: 300, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func TestHeterogeneousOtherUsers(t *testing.T) {
 	// cover, just less than statistically identical ones.
 	target := modelChain(t, mobility.ModelSpatiallySkewed, 1)
 	other := modelChain(t, mobility.ModelNonSkewed, 5)
-	none, err := Run(Config{TargetChain: target, Horizon: 50}, Options{Runs: 300, Seed: 11})
+	none, err := Run(context.Background(), Config{TargetChain: target, Horizon: 50}, engine.Options{Runs: 300, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func TestHeterogeneousOtherUsers(t *testing.T) {
 	for i := 0; i < 9; i++ {
 		cfg.OtherChains = append(cfg.OtherChains, other)
 	}
-	hetero, err := Run(cfg, Options{Runs: 300, Seed: 11})
+	hetero, err := Run(context.Background(), cfg, engine.Options{Runs: 300, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +133,11 @@ func TestHeterogeneousOtherUsers(t *testing.T) {
 func TestDeterministicAcrossWorkers(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed, 1)
 	cfg := Config{TargetChain: c, Horizon: 20, OtherChains: []*markov.Chain{c, c}}
-	a, err := Run(cfg, Options{Runs: 60, Seed: 5, Workers: 2})
+	a, err := Run(context.Background(), cfg, engine.Options{Runs: 60, Seed: 5, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg, Options{Runs: 60, Seed: 5, Workers: 16})
+	b, err := Run(context.Background(), cfg, engine.Options{Runs: 60, Seed: 5, Workers: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,5 +145,41 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 		if a.PerSlot[i] != b.PerSlot[i] {
 			t.Fatal("result depends on worker count")
 		}
+	}
+}
+
+// TestProtectedOtherUsers exercises the heterogeneous-population path:
+// coexisting users running their own chaff strategies add strictly more
+// cover than the same users unprotected.
+func TestProtectedOtherUsers(t *testing.T) {
+	c := modelChain(t, mobility.ModelSpatiallySkewed, 1)
+	base := Config{TargetChain: c, Horizon: 40, OtherChains: []*markov.Chain{c, c, c}}
+	plain, err := Run(context.Background(), base, engine.Options{Runs: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := base
+	protected.OtherStrategies = []chaff.Strategy{chaff.NewMO(c), nil, chaff.NewIM(c)}
+	protected.OtherNumChaffs = []int{2, 0, 1}
+	prot, err := Run(context.Background(), protected, engine.Options{Runs: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.Overall >= plain.Overall {
+		t.Fatalf("other users' chaffs inert: %v with, %v without", prot.Overall, plain.Overall)
+	}
+
+	// Misaligned population slices are rejected.
+	bad := base
+	bad.OtherStrategies = []chaff.Strategy{chaff.NewMO(c)}
+	bad.OtherNumChaffs = []int{1}
+	if _, err := Run(context.Background(), bad, engine.Options{Runs: 1}); err == nil {
+		t.Fatal("misaligned OtherStrategies accepted")
+	}
+	budget := base
+	budget.OtherStrategies = []chaff.Strategy{chaff.NewMO(c), nil, nil}
+	budget.OtherNumChaffs = []int{0, 0, 0}
+	if _, err := Run(context.Background(), budget, engine.Options{Runs: 1}); err == nil {
+		t.Fatal("zero chaff budget for a protected other user accepted")
 	}
 }

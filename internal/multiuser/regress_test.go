@@ -1,6 +1,7 @@
 package multiuser
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"runtime"
@@ -27,7 +28,7 @@ func TestRunMatchesPinnedValues(t *testing.T) {
 	c := modelChain(t, mobility.ModelSpatiallySkewed, 1)
 	cfg := Config{TargetChain: c, OtherChains: []*markov.Chain{c, c}, Horizon: 8,
 		Strategy: chaff.NewMO(c), NumChaffs: 1}
-	res, err := Run(cfg, Options{Runs: 32, Seed: 12345, Workers: 3})
+	res, err := Run(context.Background(), cfg, engine.Options{Runs: 32, Seed: 12345, Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestRunMatchesPinnedValues(t *testing.T) {
 func TestRunUsesEngineSeedDerivation(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed, 1)
 	cfg := Config{TargetChain: c, OtherChains: []*markov.Chain{c, c}, Horizon: 10}
-	res, err := Run(cfg, Options{Runs: 1, Seed: 77, Workers: 1})
+	res, err := Run(context.Background(), cfg, engine.Options{Runs: 1, Seed: 77, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,12 +89,12 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	c := modelChain(t, mobility.ModelBothSkewed, 2)
 	cfg := Config{TargetChain: c, OtherChains: []*markov.Chain{c}, Horizon: 12,
 		Strategy: chaff.NewMO(c), NumChaffs: 1}
-	ref, err := Run(cfg, Options{Runs: 50, Seed: 4, Workers: 1})
+	ref, err := Run(context.Background(), cfg, engine.Options{Runs: 50, Seed: 4, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
-		got, err := Run(cfg, Options{Runs: 50, Seed: 4, Workers: workers})
+		got, err := Run(context.Background(), cfg, engine.Options{Runs: 50, Seed: 4, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,13 +112,13 @@ func TestAdvancedEavesdropper(t *testing.T) {
 	mo := chaff.NewMO(c)
 	base := Config{TargetChain: c, OtherChains: []*markov.Chain{c, c},
 		Strategy: mo, NumChaffs: 1, Horizon: 30}
-	basic, err := Run(base, Options{Runs: 150, Seed: 9})
+	basic, err := Run(context.Background(), base, engine.Options{Runs: 150, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
 	adv := base
 	adv.Gamma = mo.Gamma
-	aware, err := Run(adv, Options{Runs: 150, Seed: 9})
+	aware, err := Run(context.Background(), adv, engine.Options{Runs: 150, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}

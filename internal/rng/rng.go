@@ -60,6 +60,14 @@ package rng
 
 import "math/rand"
 
+// StreamVersion names the generator + derivation this package currently
+// implements. It is recorded in serialized experiment partials
+// (internal/report) so that shards produced by different builds are only
+// merged when they drew from the same streams; bump it in the same
+// commit as any breaking stream change (see the stream-stability
+// contract above).
+const StreamVersion = "splitmix64-derive/1"
+
 // golden is 2^64/φ, the splitmix64 Weyl-sequence increment.
 const golden = 0x9e3779b97f4a7c15
 

@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"chaffmec/internal/engine"
+	"chaffmec/internal/report"
+)
+
+// Job is the one experiment envelope: a scenario spec plus the shard of
+// its global Monte-Carlo run range to execute. The zero Shard runs the
+// whole experiment. Complementary shards of the same Job — run by this
+// process, another process, or another host — merge with report.Merge
+// into the identical Report a whole run produces.
+type Job struct {
+	Spec  Spec         `json:"spec"`
+	Shard engine.Shard `json:"shard"`
+}
+
+// RunJob executes one job through its registered kind and returns the
+// (possibly partial) serializable Report, stamped with provenance (the
+// defaulted spec echo, seed, stream version, covered run range) and
+// wall-clock timing. ctx cancels the underlying engine between runs.
+func RunJob(ctx context.Context, job Job) (*report.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if job.Spec.Kind == "" {
+		return nil, errors.New("scenario: spec needs a kind")
+	}
+	r, ok := registry[job.Spec.Kind]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown kind %q (known: %s)", job.Spec.Kind, strings.Join(Kinds(), ", "))
+	}
+	if err := job.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	sp := job.Spec.withDefaults()
+	begin := time.Now()
+	rep, err := r(ctx, sp, job.Shard)
+	if err != nil {
+		// Name the failing scenario without re-stating the package: the
+		// runners' errors already carry a "scenario:"/"sim:"/... prefix.
+		return nil, fmt.Errorf("%q: %w", sp.Name, err)
+	}
+	rep.ElapsedMS = float64(time.Since(begin)) / float64(time.Millisecond)
+	if spec, err := json.Marshal(sp); err == nil {
+		rep.Spec = spec
+	}
+	return rep, nil
+}
+
+// Run executes one spec whole and digests the report — the convenience
+// entry point for callers that do not shard.
+func Run(sp Spec) (*Result, error) {
+	rep, err := RunJob(context.Background(), Job{Spec: sp})
+	if err != nil {
+		return nil, err
+	}
+	return ResultOf(rep)
+}
+
+// RunFile loads a JSON config and runs every scenario in order.
+func RunFile(path string) ([]*Result, error) {
+	specs, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(specs))
+	for i, sp := range specs {
+		res, err := Run(sp)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunJobFile loads a JSON config and runs every scenario as the given
+// shard, returning the raw report envelopes — the cross-process entry
+// point behind cmd/experiments -scenario -shard.
+func RunJobFile(ctx context.Context, path string, shard engine.Shard) ([]*report.Report, error) {
+	specs, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*report.Report, 0, len(specs))
+	for i, sp := range specs {
+		rep, err := RunJob(ctx, Job{Spec: sp, Shard: shard})
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

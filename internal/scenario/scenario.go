@@ -1,9 +1,14 @@
-// Package scenario is the config-driven workload layer above the
-// Monte-Carlo engine: a registry of named scenario kinds, each a function
-// from a declarative Spec to an aggregated Result, plus a JSON loader so
-// new experiments — larger populations, different eavesdroppers, mixed
-// chaff strategies, big 2-D grids — are a config entry rather than a new
-// package. cmd/experiments exposes it via the -scenario flag.
+// Package scenario is the one experiment API above the Monte-Carlo
+// engine: a registry of named scenario kinds, each a function from a
+// declarative Spec to a serializable report.Report, plus the Job
+// envelope (spec + shard selector) and a JSON loader, so new experiments
+// — larger populations, different eavesdroppers, mixed chaff strategies,
+// trace-driven fleets, MEC episode batches — are a config entry rather
+// than a new package. Every kind supports context cancellation and
+// contiguous run-range sharding: complementary shards of one Job, run by
+// different processes and merged with report.Merge, reproduce the
+// single-process Report bit-for-bit. cmd/experiments exposes the layer
+// via -scenario/-shard/-merge; the chaffmec facade via RunJob.
 //
 // Built-in kinds:
 //
@@ -13,8 +18,15 @@
 //     basic or advanced eavesdropper — the internal/multiuser scenario.
 //   - "mixed": a mixed-strategy chaff population: every strategy listed
 //     in Strategies contributes NumChaffs chaffs for the same user, and
-//     the basic eavesdropper observes the union. The population composes
-//     into one chaff.Strategy and runs through internal/sim.
+//     the basic eavesdropper observes the union.
+//   - "hetero": a heterogeneous population — every coexisting user in
+//     Population follows its own mobility model and runs its own chaff
+//     strategy, and the eavesdropper observes everything.
+//   - "trace": a TraceLab-backed fleet (synthetic taxi traces quantised
+//     into Voronoi cells, Section VII-B): the fixed observed population
+//     plus per-run chaff streams protecting one top-tracked user.
+//   - "mecbatch": MEC substrate episodes (migration events, failure
+//     injection, cost accounting) aggregated with cost curves.
 //
 // Mobility models are named by the paper's labels ("non-skewed",
 // "spatially-skewed", "temporally-skewed", "both-skewed") or "grid" for a
@@ -23,22 +35,34 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 	"sort"
 	"strings"
 
-	"chaffmec/internal/chaff"
+	"chaffmec/internal/detect"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
-	"chaffmec/internal/multiuser"
+	"chaffmec/internal/report"
 	"chaffmec/internal/rng"
-	"chaffmec/internal/sim"
 )
+
+// Member declares one slice of the "hetero" kind's population.
+type Member struct {
+	// Strategy protects this member's Count users with NumChaffs chaffs
+	// each (default 1 chaff); empty leaves them unprotected.
+	Strategy  string `json:"strategy,omitempty"`
+	NumChaffs int    `json:"num_chaffs,omitempty"`
+	// Count is the number of users in this slice (default 1).
+	Count int `json:"count,omitempty"`
+	// Model overrides the spec's mobility model for this slice.
+	Model string `json:"model,omitempty"`
+}
 
 // Spec declares one scenario instance. Zero-valued fields take the
 // defaults documented per field; kinds ignore fields that do not apply.
@@ -52,10 +76,16 @@ type Spec struct {
 	// models ("non-skewed", "spatially-skewed", "temporally-skewed",
 	// "both-skewed") or "grid" (default "non-skewed").
 	Model string `json:"model,omitempty"`
+	// Chain, when non-nil, is used as the target's mobility model instead
+	// of building one from Model — the hook library callers (the chaffmec
+	// facade's Evaluate) use to run custom chains through the registry.
+	// Not expressible in JSON configs.
+	Chain *markov.Chain `json:"-"`
 	// Cells sizes the synthetic models (default 10, the paper's L).
 	Cells int `json:"cells,omitempty"`
-	// ModelSeed seeds the random-matrix models; 0 derives it from Seed
-	// the same way internal/figures does.
+	// ModelSeed seeds the random-matrix models (and the "trace" kind's
+	// synthetic fleet); 0 derives it from Seed the same way
+	// internal/figures does.
 	ModelSeed int64 `json:"model_seed,omitempty"`
 	// GridW, GridH size the "grid" model (default 5×5); PMove is its
 	// per-slot move probability (default 0.7).
@@ -64,7 +94,9 @@ type Spec struct {
 	PMove float64 `json:"p_move,omitempty"`
 
 	// Strategy is the chaff strategy name (see chaff.Names); empty means
-	// unprotected where the kind allows it ("multiuser").
+	// unprotected where the kind allows it ("multiuser", "hetero",
+	// "trace"). For "mecbatch" it must name an online controller (IM,
+	// CML, MO, RMO, Rollout).
 	Strategy string `json:"strategy,omitempty"`
 	// Strategies lists the population of the "mixed" kind.
 	Strategies []string `json:"strategies,omitempty"`
@@ -73,11 +105,32 @@ type Spec struct {
 	// Advanced upgrades the eavesdropper to the strategy-aware detector
 	// of Section VI-A (requires a strategy with a deterministic Γ).
 	Advanced bool `json:"advanced,omitempty"`
+	// Gamma, when non-nil and Advanced is set, is the strategy map the
+	// advanced eavesdropper assumes, instead of deriving it from
+	// Strategy — the injection hook paired with Chain (the facade's
+	// Evaluate passes the Γ it already probed). Not expressible in JSON.
+	Gamma detect.GammaFunc `json:"-"`
 
 	// OtherUsers adds coexisting users ("multiuser" kind), following
 	// OtherModel (default: the target's model).
 	OtherUsers int    `json:"other_users,omitempty"`
 	OtherModel string `json:"other_model,omitempty"`
+
+	// Population declares the "hetero" kind's coexisting users.
+	Population []Member `json:"population,omitempty"`
+
+	// Nodes sizes the "trace" kind's synthetic fleet before inactivity
+	// filtering (default 174, the paper's extraction); TraceUser selects
+	// the protected user by tracked-ness rank (0 = most tracked).
+	Nodes     int `json:"nodes,omitempty"`
+	TraceUser int `json:"trace_user,omitempty"`
+
+	// MigrationFailProb drops each "mecbatch" migration independently
+	// with this probability; Threshold switches the real-service policy
+	// to tolerate that many grid hops of user-service distance
+	// (0: follow the user every slot).
+	MigrationFailProb float64 `json:"migration_fail_prob,omitempty"`
+	Threshold         int     `json:"threshold,omitempty"`
 
 	// Horizon is T (default 100); Runs the Monte-Carlo repetitions
 	// (default 1000); Seed the experiment seed; Workers the parallelism
@@ -119,7 +172,27 @@ func (sp Spec) withDefaults() Spec {
 	return sp
 }
 
-// Result is a scenario's aggregated outcome.
+// options assembles the engine options of a (spec, shard) pair — the one
+// place the Monte-Carlo knobs of the Spec meet the Job's shard selector.
+func (sp Spec) options(shard engine.Shard) engine.Options {
+	return engine.Options{Runs: sp.Runs, Seed: sp.Seed, Workers: sp.Workers, Shard: shard}
+}
+
+// envelope starts a Report for the (spec, shard) pair with the full
+// provenance header filled in; runners attach their series and scalars.
+func (sp Spec) envelope(shard engine.Shard) *report.Report {
+	o := sp.options(shard).Normalized()
+	start, end := o.Range()
+	return &report.Report{
+		Name: sp.Name, Kind: sp.Kind,
+		Seed: o.Seed, Horizon: sp.Horizon,
+		TotalRuns: o.Runs, RunStart: start, RunCount: end - start,
+		Stream: rng.StreamVersion,
+	}
+}
+
+// Result is a scenario's aggregated outcome in digest form — the
+// human-facing view of a complete Report.
 type Result struct {
 	Name string `json:"name"`
 	Kind string `json:"kind"`
@@ -132,8 +205,21 @@ type Result struct {
 	Runs int `json:"runs"`
 }
 
-// Runner executes one scenario kind.
-type Runner func(sp Spec) (*Result, error)
+// ResultOf digests a report into the Result view.
+func ResultOf(r *report.Report) (*Result, error) {
+	sum, err := r.Summary()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name: r.Name, Kind: r.Kind,
+		PerSlot: sum.PerSlot, PerSlotStdErr: sum.PerSlotStdErr,
+		Overall: sum.Overall, Runs: sum.Runs,
+	}, nil
+}
+
+// Runner executes one scenario kind over one shard of its run range.
+type Runner func(ctx context.Context, sp Spec, shard engine.Shard) (*report.Report, error)
 
 var registry = map[string]Runner{}
 
@@ -154,18 +240,6 @@ func Kinds() []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// Run executes one spec through its registered kind.
-func Run(sp Spec) (*Result, error) {
-	if sp.Kind == "" {
-		return nil, errors.New("scenario: spec needs a kind")
-	}
-	r, ok := registry[sp.Kind]
-	if !ok {
-		return nil, fmt.Errorf("scenario: unknown kind %q (known: %s)", sp.Kind, strings.Join(Kinds(), ", "))
-	}
-	return r(sp.withDefaults())
 }
 
 // File is the JSON config format: file-level defaults applied to every
@@ -233,25 +307,12 @@ func LoadFile(path string) ([]Spec, error) {
 	return Load(f)
 }
 
-// RunFile loads a JSON config and runs every scenario in order.
-func RunFile(path string) ([]*Result, error) {
-	specs, err := LoadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*Result, 0, len(specs))
-	for i, sp := range specs {
-		res, err := Run(sp)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: %q (entry %d): %w", sp.Name, i, err)
-		}
-		out = append(out, res)
-	}
-	return out, nil
-}
-
-// buildChain resolves Spec's mobility-model fields.
+// buildChain resolves Spec's mobility-model fields for the target (an
+// injected Chain wins over Model).
 func buildChain(model string, sp Spec) (*markov.Chain, error) {
+	if sp.Chain != nil && strings.EqualFold(model, sp.Model) {
+		return sp.Chain, nil
+	}
 	switch strings.ToLower(strings.TrimSpace(model)) {
 	case "grid":
 		grid, err := mobility.NewGrid(sp.GridW, sp.GridH)
@@ -285,153 +346,7 @@ func init() {
 	Register("single", runSingle)
 	Register("multiuser", runMultiuser)
 	Register("mixed", runMixed)
-}
-
-// runSingle is the internal/sim scenario.
-func runSingle(sp Spec) (*Result, error) {
-	if sp.Strategy == "" {
-		return nil, errors.New(`scenario: kind "single" needs a strategy`)
-	}
-	chain, err := buildChain(sp.Model, sp)
-	if err != nil {
-		return nil, err
-	}
-	strat, err := chaff.NewByName(sp.Strategy, chain)
-	if err != nil {
-		return nil, err
-	}
-	sc := sim.Scenario{
-		Chain:     chain,
-		Strategy:  strat,
-		NumChaffs: sp.NumChaffs,
-		Horizon:   sp.Horizon,
-	}
-	if sp.Advanced {
-		gamma, err := chaff.GammaByName(sp.Strategy, chain)
-		if err != nil {
-			return nil, err
-		}
-		sc.Detector = sim.AdvancedDetector
-		sc.Gamma = gamma
-	}
-	res, err := sim.Run(sc, sim.Options{Runs: sp.Runs, Seed: sp.Seed, Workers: sp.Workers})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Name: sp.Name, Kind: sp.Kind,
-		PerSlot: res.PerSlot, PerSlotStdErr: res.PerSlotStdErr,
-		Overall: res.Overall, Runs: res.Runs,
-	}, nil
-}
-
-// runMultiuser is the internal/multiuser scenario, optionally with the
-// strategy-aware advanced eavesdropper.
-func runMultiuser(sp Spec) (*Result, error) {
-	chain, err := buildChain(sp.Model, sp)
-	if err != nil {
-		return nil, err
-	}
-	cfg := multiuser.Config{TargetChain: chain, Horizon: sp.Horizon}
-	if sp.OtherUsers > 0 {
-		other := chain
-		if sp.OtherModel != sp.Model {
-			if other, err = buildChain(sp.OtherModel, sp); err != nil {
-				return nil, err
-			}
-			if other.NumStates() != chain.NumStates() {
-				return nil, fmt.Errorf("scenario: other model %q has %d cells, target has %d",
-					sp.OtherModel, other.NumStates(), chain.NumStates())
-			}
-		}
-		for i := 0; i < sp.OtherUsers; i++ {
-			cfg.OtherChains = append(cfg.OtherChains, other)
-		}
-	}
-	if sp.Strategy != "" {
-		if cfg.Strategy, err = chaff.NewByName(sp.Strategy, chain); err != nil {
-			return nil, err
-		}
-		cfg.NumChaffs = sp.NumChaffs
-	}
-	if sp.Advanced {
-		if sp.Strategy == "" {
-			return nil, errors.New("scenario: advanced eavesdropper needs a strategy to recognize")
-		}
-		gamma, err := chaff.GammaByName(sp.Strategy, chain)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Gamma = gamma
-	}
-	res, err := multiuser.Run(cfg, multiuser.Options{Runs: sp.Runs, Seed: sp.Seed, Workers: sp.Workers})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Name: sp.Name, Kind: sp.Kind,
-		PerSlot: res.PerSlot, PerSlotStdErr: res.PerSlotStdErr,
-		Overall: res.Overall, Runs: res.Runs,
-	}, nil
-}
-
-// unionStrategy composes several chaff strategies into one population:
-// each member generates `per` chaffs for the same user trajectory, in
-// listed order (so RNG draws match running the members back to back).
-type unionStrategy struct {
-	strategies []chaff.Strategy
-	per        int
-}
-
-func (u *unionStrategy) Name() string { return "mixed" }
-
-func (u *unionStrategy) GenerateChaffs(rng *rand.Rand, user markov.Trajectory, numChaffs int) ([]markov.Trajectory, error) {
-	if want := u.per * len(u.strategies); numChaffs != want {
-		return nil, fmt.Errorf("scenario: mixed population generates %d chaffs, asked for %d", want, numChaffs)
-	}
-	out := make([]markov.Trajectory, 0, numChaffs)
-	for _, s := range u.strategies {
-		chaffs, err := s.GenerateChaffs(rng, user, u.per)
-		if err != nil {
-			return nil, fmt.Errorf("scenario: %s chaffs: %w", s.Name(), err)
-		}
-		out = append(out, chaffs...)
-	}
-	return out, nil
-}
-
-// runMixed evaluates a mixed-strategy chaff population: every strategy in
-// Strategies contributes NumChaffs chaffs for the same user, and the
-// basic ML eavesdropper observes the union. The population composes into
-// a single chaff.Strategy, so execution is plain sim.Run on the engine.
-func runMixed(sp Spec) (*Result, error) {
-	if len(sp.Strategies) == 0 {
-		return nil, errors.New(`scenario: kind "mixed" needs strategies`)
-	}
-	chain, err := buildChain(sp.Model, sp)
-	if err != nil {
-		return nil, err
-	}
-	union := &unionStrategy{per: sp.NumChaffs}
-	for _, name := range sp.Strategies {
-		s, err := chaff.NewByName(name, chain)
-		if err != nil {
-			return nil, err
-		}
-		union.strategies = append(union.strategies, s)
-	}
-	res, err := sim.Run(sim.Scenario{
-		Chain:     chain,
-		Strategy:  union,
-		NumChaffs: sp.NumChaffs * len(union.strategies),
-		Horizon:   sp.Horizon,
-	}, sim.Options{Runs: sp.Runs, Seed: sp.Seed, Workers: sp.Workers})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Name: sp.Name, Kind: sp.Kind,
-		PerSlot: res.PerSlot, PerSlotStdErr: res.PerSlotStdErr,
-		Overall: res.Overall, Runs: res.Runs,
-	}, nil
+	Register("hetero", runHetero)
+	Register("trace", runTrace)
+	Register("mecbatch", runMecbatch)
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func TestKindsRegistered(t *testing.T) {
-	want := []string{"mixed", "multiuser", "single"}
+	want := []string{"hetero", "mecbatch", "mixed", "multiuser", "single", "trace"}
 	if got := Kinds(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("kinds = %v, want %v", got, want)
 	}

@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/detect"
+	"chaffmec/internal/engine"
+	"chaffmec/internal/figures"
+	"chaffmec/internal/markov"
+	"chaffmec/internal/report"
+)
+
+// runTrace is the trace-driven population kind (Section VII-B): a
+// TraceLab fleet — synthetic taxi traces regularised, inactivity
+// filtered and quantised into Voronoi cells — forms the fixed observed
+// population, and each Monte-Carlo run draws a fresh chaff stream (from
+// the run's private engine stream) protecting the TraceUser-th most
+// tracked user. The eavesdropper (basic ML, or strategy-aware when
+// Advanced) observes all fleet trajectories plus the chaffs; the
+// reported series is the protected user's per-slot tracking accuracy
+// averaged over the chaff streams. With no Strategy the runs are
+// chaff-free (and therefore identical — a deterministic baseline).
+//
+// Spec fields used: Nodes (fleet size, default 174), Horizon (the
+// observation window in one-minute slots), TraceUser (tracked-ness
+// rank), Strategy/NumChaffs/Advanced, ModelSeed (fleet generation seed;
+// 0 uses Seed).
+func runTrace(ctx context.Context, sp Spec, shard engine.Shard) (*report.Report, error) {
+	if sp.Advanced && sp.Strategy == "" {
+		return nil, errors.New("scenario: advanced eavesdropper needs a strategy to recognize")
+	}
+	if sp.TraceUser < 0 {
+		return nil, fmt.Errorf("scenario: trace_user %d must be >= 0", sp.TraceUser)
+	}
+	labSeed := sp.ModelSeed
+	if labSeed == 0 {
+		labSeed = sp.Seed
+	}
+	lab, err := figures.BuildTraceLab(figures.TraceConfig{
+		Seed:    labSeed,
+		Nodes:   sp.Nodes,
+		Minutes: sp.Horizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	top, _, err := lab.TopUsers(sp.TraceUser + 1)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: selecting trace user %d: %w", sp.TraceUser, err)
+	}
+	user := top[sp.TraceUser]
+
+	var strat chaff.Strategy
+	numChaffs := 0
+	if sp.Strategy != "" {
+		if strat, err = chaff.NewByName(sp.Strategy, lab.Chain); err != nil {
+			return nil, err
+		}
+		numChaffs = sp.NumChaffs
+	}
+	var det detect.PrefixDetector = detect.NewMLDetector(lab.Chain)
+	if sp.Advanced {
+		gamma, err := specGamma(sp, lab.Chain)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := detect.NewAdvancedDetector(lab.Chain, gamma)
+		if err != nil {
+			return nil, err
+		}
+		det = adv
+	}
+
+	o := sp.options(shard).Normalized()
+	start, _ := o.Range()
+	track := engine.NewSeriesStatsAt(lab.Horizon, start)
+
+	type traceWorker struct {
+		ws  *detect.Workspace
+		trs []markov.Trajectory
+	}
+	err = engine.Run(ctx, o, engine.Config[*traceWorker, []float64]{
+		NewWorker: func(int) (*traceWorker, error) {
+			return &traceWorker{
+				ws:  detect.NewWorkspace(),
+				trs: make([]markov.Trajectory, 0, len(lab.Trajectories)+numChaffs),
+			}, nil
+		},
+		Run: func(w *traceWorker, run int, rng *rand.Rand) ([]float64, error) {
+			w.trs = append(w.trs[:0], lab.Trajectories...)
+			if strat != nil {
+				chaffs, err := strat.GenerateChaffs(rng, lab.Trajectories[user], numChaffs)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: trace chaffs: %w", err)
+				}
+				w.trs = append(w.trs, chaffs...)
+			}
+			dets, err := det.PrefixDetectionsWith(w.ws, w.trs)
+			if err != nil {
+				return nil, err
+			}
+			return detect.TrackingAccuracySeries(dets, w.trs, user)
+		},
+		Accumulate: func(run int, series []float64) error {
+			return track.Add(series)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := sp.envelope(shard)
+	rep.Horizon = lab.Horizon
+	rep.Series = map[string]engine.SeriesSnapshot{
+		report.SeriesTracking: track.Snapshot(),
+	}
+	return rep, nil
+}

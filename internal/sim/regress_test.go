@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/mobility"
 )
 
@@ -76,7 +78,7 @@ func TestRunMatchesPreRefactorValues(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			res, err := Run(tc.sc, Options{Runs: 32, Seed: 12345, Workers: 3})
+			res, err := Run(context.Background(), tc.sc, engine.Options{Runs: 32, Seed: 12345, Workers: 3})
 			if err != nil {
 				t.Fatal(err)
 			}

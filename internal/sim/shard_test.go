@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
+	"chaffmec/internal/mobility"
+)
+
+// TestShardedRunMergesBitIdentical runs the pinned regression scenario as
+// complementary shards and demands the merged accumulators match the
+// whole run bit-for-bit — the property the cross-process Job/Report
+// workflow rests on.
+func TestShardedRunMergesBitIdentical(t *testing.T) {
+	c := modelChain(t, mobility.ModelSpatiallySkewed)
+	sc := Scenario{Chain: c, Strategy: chaff.NewMO(c), NumChaffs: 2, Horizon: 8}
+	opts := engine.Options{Runs: 32, Seed: 12345, Workers: 3}
+
+	whole, err := Run(context.Background(), sc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	track := engine.NewSeriesStats(sc.Horizon)
+	det := engine.NewSeriesStats(sc.Horizon)
+	runs := 0
+	for i := 0; i < 3; i++ {
+		shardOpts := opts
+		shardOpts.Shard = engine.Shard{Index: i, Count: 3}
+		part, err := Run(context.Background(), sc, shardOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs += part.Runs
+		if err := track.Merge(part.TrackStats); err != nil {
+			t.Fatal(err)
+		}
+		if err := det.Merge(part.DetectionStats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 32 {
+		t.Fatalf("shards ran %d runs, want 32", runs)
+	}
+	if !reflect.DeepEqual(track.Snapshot(), whole.TrackStats.Snapshot()) {
+		t.Fatal("merged tracking accumulator differs from whole run")
+	}
+	if !reflect.DeepEqual(det.Snapshot(), whole.DetectionStats.Snapshot()) {
+		t.Fatal("merged detection accumulator differs from whole run")
+	}
+	if !reflect.DeepEqual(track.Mean(), whole.PerSlot) || !reflect.DeepEqual(track.StdErr(), whole.PerSlotStdErr) {
+		t.Fatal("merged aggregates differ from whole run")
+	}
+}
+
+// TestRunContextCancel proves cancellation propagates through the
+// harness: the engine stops dispatching and the context error surfaces.
+func TestRunContextCancel(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	sc := Scenario{Chain: c, Strategy: chaff.NewMO(c), NumChaffs: 1, Horizon: 40}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	begin := time.Now()
+	_, err := Run(ctx, sc, engine.Options{Runs: 1_000_000, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 5*time.Second {
+		t.Fatalf("cancelled run still took %v", elapsed)
+	}
+}

@@ -11,6 +11,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -70,7 +71,8 @@ func (sc *Scenario) validate() error {
 	return nil
 }
 
-// Result aggregates a scenario's Monte-Carlo runs.
+// Result aggregates a scenario's Monte-Carlo runs (possibly one shard
+// of them — see engine.Options.Shard).
 type Result struct {
 	// PerSlot[t] is the mean tracking accuracy at slot t across runs.
 	PerSlot []float64
@@ -81,23 +83,16 @@ type Result struct {
 	// Overall is the time-average of PerSlot — the paper's headline
 	// tracking-accuracy number.
 	Overall float64
-	// Runs is the number of Monte-Carlo runs aggregated.
+	// Runs is the number of Monte-Carlo runs aggregated (the shard's
+	// size when the options select one).
 	Runs int
 	// CtSamples holds the collected c_t values when Scenario.CollectCt,
 	// in run order.
 	CtSamples []float64
-}
-
-// Options tunes the runner (the engine.Options of this scenario).
-type Options struct {
-	// Runs is the number of Monte-Carlo repetitions (default 1000, the
-	// paper's setting).
-	Runs int
-	// Seed derives the per-run RNG streams; a fixed seed makes the whole
-	// experiment reproducible regardless of scheduling.
-	Seed int64
-	// Workers caps the parallel workers (default GOMAXPROCS).
-	Workers int
+	// TrackStats and DetectionStats are the raw position-aware
+	// accumulators behind PerSlot/Detection: the exactly-mergeable
+	// partials the Job/Report shard workflow serializes.
+	TrackStats, DetectionStats *engine.SeriesStats
 }
 
 // newDetector builds the scenario's eavesdropper once, hoisting detector
@@ -130,8 +125,10 @@ type runResult struct {
 	ct         []float64
 }
 
-// Run executes the scenario.
-func Run(sc Scenario, opts Options) (*Result, error) {
+// Run executes the scenario on the shared Monte-Carlo engine: the whole
+// experiment, or the contiguous global-run slice opts.Shard selects.
+// ctx cancels between runs.
+func Run(ctx context.Context, sc Scenario, opts engine.Options) (*Result, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
@@ -139,14 +136,15 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := engine.Options{Runs: opts.Runs, Seed: opts.Seed, Workers: opts.Workers}.Normalized()
+	o := opts.Normalized()
+	start, _ := o.Range()
 	T := sc.Horizon
 
-	track := engine.NewSeriesStats(T)
-	detection := engine.NewSeriesStats(T)
+	track := engine.NewSeriesStatsAt(T, start)
+	detection := engine.NewSeriesStatsAt(T, start)
 	var cts []float64
 
-	err = engine.Run(o, engine.Config[*simWorker, runResult]{
+	err = engine.Run(ctx, o, engine.Config[*simWorker, runResult]{
 		NewWorker: func(int) (*simWorker, error) {
 			return &simWorker{
 				ws:  detect.NewWorkspace(),
@@ -172,11 +170,13 @@ func Run(sc Scenario, opts Options) (*Result, error) {
 	}
 
 	res := &Result{
-		PerSlot:       track.Mean(),
-		PerSlotStdErr: track.StdErr(),
-		Detection:     detection.Mean(),
-		Runs:          o.Runs,
-		CtSamples:     cts,
+		PerSlot:        track.Mean(),
+		PerSlotStdErr:  track.StdErr(),
+		Detection:      detection.Mean(),
+		Runs:           track.N(),
+		CtSamples:      cts,
+		TrackStats:     track,
+		DetectionStats: detection,
 	}
 	res.Overall = detect.TimeAverage(res.PerSlot)
 	return res, nil

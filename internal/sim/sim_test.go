@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 
 	"chaffmec/internal/analysis"
 	"chaffmec/internal/chaff"
+	"chaffmec/internal/engine"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/mobility"
 	"chaffmec/internal/rng"
@@ -32,7 +34,7 @@ func TestRunValidation(t *testing.T) {
 		{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: 1, Horizon: 10, Detector: AdvancedDetector},
 	}
 	for i, sc := range bad {
-		if _, err := Run(sc, Options{Runs: 1}); err == nil {
+		if _, err := Run(context.Background(), sc, engine.Options{Runs: 1}); err == nil {
 			t.Fatalf("scenario %d accepted", i)
 		}
 	}
@@ -41,11 +43,11 @@ func TestRunValidation(t *testing.T) {
 func TestRunDeterministic(t *testing.T) {
 	c := modelChain(t, mobility.ModelSpatiallySkewed)
 	sc := Scenario{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: 3, Horizon: 20}
-	a, err := Run(sc, Options{Runs: 50, Seed: 42, Workers: 4})
+	a, err := Run(context.Background(), sc, engine.Options{Runs: 50, Seed: 42, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(sc, Options{Runs: 50, Seed: 42, Workers: 13})
+	b, err := Run(context.Background(), sc, engine.Options{Runs: 50, Seed: 42, Workers: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,7 @@ func TestIMMatchesClosedForm(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed)
 	for _, n := range []int{2, 10} {
 		sc := Scenario{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: n - 1, Horizon: 60}
-		res, err := Run(sc, Options{Runs: 1200, Seed: 7})
+		res, err := Run(context.Background(), sc, engine.Options{Runs: 1200, Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,11 +85,11 @@ func TestOODrivesAccuracyDown(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed)
 	oo := Scenario{Chain: c, Strategy: chaff.NewOO(c), NumChaffs: 1, Horizon: 100}
 	im := Scenario{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: 1, Horizon: 100}
-	resOO, err := Run(oo, Options{Runs: 200, Seed: 3})
+	resOO, err := Run(context.Background(), oo, engine.Options{Runs: 200, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resIM, err := Run(im, Options{Runs: 200, Seed: 3})
+	resIM, err := Run(context.Background(), im, engine.Options{Runs: 200, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func TestOODrivesAccuracyDown(t *testing.T) {
 func TestMODecaysToZero(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed)
 	sc := Scenario{Chain: c, Strategy: chaff.NewMO(c), NumChaffs: 1, Horizon: 100}
-	res, err := Run(sc, Options{Runs: 200, Seed: 5})
+	res, err := Run(context.Background(), sc, engine.Options{Runs: 200, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +130,7 @@ func TestMLStaysNonZero(t *testing.T) {
 	// Eq. 12: P_ML = (1/T)Σπ(x₂,t) > 0 — bounded away from zero.
 	c := modelChain(t, mobility.ModelSpatiallySkewed)
 	sc := Scenario{Chain: c, Strategy: chaff.NewML(c), NumChaffs: 1, Horizon: 100}
-	res, err := Run(sc, Options{Runs: 300, Seed: 9})
+	res, err := Run(context.Background(), sc, engine.Options{Runs: 300, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +146,7 @@ func TestAdvancedDetectorBeatsDeterministicStrategies(t *testing.T) {
 		Chain: c, Strategy: mo, NumChaffs: 1, Horizon: 50,
 		Detector: AdvancedDetector, Gamma: mo.Gamma,
 	}
-	res, err := Run(sc, Options{Runs: 100, Seed: 11})
+	res, err := Run(context.Background(), sc, engine.Options{Runs: 100, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +163,7 @@ func TestRobustStrategiesResistAdvancedDetector(t *testing.T) {
 		Chain: c, Strategy: rmo, NumChaffs: 9, Horizon: 50,
 		Detector: AdvancedDetector, Gamma: mo.Gamma,
 	}
-	res, err := Run(sc, Options{Runs: 100, Seed: 13})
+	res, err := Run(context.Background(), sc, engine.Options{Runs: 100, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +175,7 @@ func TestRobustStrategiesResistAdvancedDetector(t *testing.T) {
 func TestCollectCt(t *testing.T) {
 	c := modelChain(t, mobility.ModelNonSkewed)
 	sc := Scenario{Chain: c, Strategy: chaff.NewCML(c), NumChaffs: 1, Horizon: 50, CollectCt: true}
-	res, err := Run(sc, Options{Runs: 50, Seed: 17})
+	res, err := Run(context.Background(), sc, engine.Options{Runs: 50, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,12 +197,12 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	// Workers 1, 4 and GOMAXPROCS all produce the identical Result.
 	c := modelChain(t, mobility.ModelBothSkewed)
 	sc := Scenario{Chain: c, Strategy: chaff.NewMO(c), NumChaffs: 2, Horizon: 15, CollectCt: true}
-	ref, err := Run(sc, Options{Runs: 40, Seed: 21, Workers: 1})
+	ref, err := Run(context.Background(), sc, engine.Options{Runs: 40, Seed: 21, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
-		got, err := Run(sc, Options{Runs: 40, Seed: 21, Workers: workers})
+		got, err := Run(context.Background(), sc, engine.Options{Runs: 40, Seed: 21, Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
