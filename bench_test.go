@@ -150,7 +150,7 @@ func BenchmarkFig9bSingleChaff(b *testing.B) {
 	lab := benchLab(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := figures.Fig9b(lab, 2, 11, 1); err != nil {
+		if _, err := figures.Fig9b(lab, 2, 11, figures.GridOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -160,7 +160,7 @@ func BenchmarkFig10AdvancedTrace(b *testing.B) {
 	lab := benchLab(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := figures.Fig10(lab, 1, 13, 1); err != nil {
+		if _, err := figures.Fig10(lab, 1, 13, figures.GridOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -22,6 +22,13 @@
 // process, or another host — into the bit-for-bit identical Report a
 // single whole run yields.
 //
+// Execution is also adaptive and resumable: a spec carrying a
+// ScenarioPrecision block runs in SE-targeted rounds, stopping as soon
+// as the tracked standard error reaches the goal instead of burning a
+// fixed run count; any (partial) Report doubles as a checkpoint that
+// ResumeJob extends — later or elsewhere — into the bit-for-bit result
+// of the uninterrupted run (ExtendReport is the underlying primitive).
+//
 // Beneath the Job/Report surface sit:
 //
 //   - mobility models (the paper's four synthetic models plus 2-D grids),
@@ -55,6 +62,18 @@
 //	a, _ := chaffmec.RunJob(ctx, chaffmec.Job{Spec: spec, Shard: chaffmec.Shard{Index: 0, Count: 2}})
 //	b, _ := chaffmec.RunJob(ctx, chaffmec.Job{Spec: spec, Shard: chaffmec.Shard{Index: 1, Count: 2}})
 //	whole, _ := chaffmec.MergeReports(a, b) // bit-identical to the unsharded run
+//
+// Or let the precision target pick the run count (and checkpoint/resume
+// long jobs):
+//
+//	spec.Precision = &chaffmec.ScenarioPrecision{TargetSE: 0.005, MaxRuns: 100_000}
+//	rep, err := chaffmec.RunJob(ctx, chaffmec.Job{Spec: spec})
+//	if err != nil && rep != nil { // interrupted: rep holds the completed rounds
+//		chaffmec.WriteReports("ckpt.json", []*chaffmec.Report{rep})
+//	}
+//	// later, anywhere:
+//	parts, _ := chaffmec.ReadReports("ckpt.json")
+//	rep, _ = chaffmec.ResumeJob(ctx, chaffmec.Job{Spec: spec}, parts[0])
 //
 // Evaluate remains the one-call convenience wrapper over the same
 // registry for callers holding a custom Chain. See examples/ for
@@ -168,6 +187,11 @@ type Evaluation struct {
 	Advanced bool
 	// Workers caps parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Precision, when non-nil with a positive target, makes the run
+	// adaptive: Monte-Carlo runs are added in rounds until the tracking
+	// series' standard error reaches Precision.TargetSE (between
+	// MinRuns and MaxRuns), instead of executing the fixed Runs count.
+	Precision *ScenarioPrecision
 }
 
 // Result is the aggregated outcome of an Evaluation.
@@ -198,6 +222,7 @@ func Evaluate(e Evaluation) (*Result, error) {
 		Runs:      e.Runs,
 		Seed:      e.Seed,
 		Workers:   e.Workers,
+		Precision: e.Precision,
 	}
 	if e.Advanced {
 		// Only a genuinely missing Γ (IM, Rollout) falls back to the
@@ -302,6 +327,13 @@ type (
 	Report = report.Report
 	// ReportSummary is the human-facing digest of a Report.
 	ReportSummary = report.Summary
+	// ScenarioPrecision is a spec's adaptive-execution block: a
+	// standard-error goal on a named series or scalar, with run-count
+	// bounds. A job carrying one runs in SE-targeted rounds.
+	ScenarioPrecision = scenario.Precision
+	// AdaptiveRound describes one completed round of an adaptive or
+	// resumed job (the progress unit of RunAdaptiveJob).
+	AdaptiveRound = scenario.Round
 )
 
 // ScenarioKinds lists the registered scenario kinds (hetero, mecbatch,
@@ -309,8 +341,35 @@ type (
 func ScenarioKinds() []string { return scenario.Kinds() }
 
 // RunJob executes one job — the whole experiment, or one shard of it —
-// and returns its Report. ctx cancels the engine between runs.
+// and returns its Report. A job whose spec carries a ScenarioPrecision
+// block (and selects the whole range) runs adaptively. ctx cancels the
+// engine between runs.
 func RunJob(ctx context.Context, job Job) (*Report, error) { return scenario.RunJob(ctx, job) }
+
+// RunAdaptiveJob executes one whole job in rounds, reporting each
+// completed round to progress (nil: silent): SE-targeted when the spec
+// carries a precision block, a single fixed round otherwise. On error —
+// including ctx cancellation mid-round — the partial Report accumulated
+// from the completed rounds is returned alongside the error: a
+// well-formed checkpoint ResumeJob continues from.
+func RunAdaptiveJob(ctx context.Context, job Job, progress func(AdaptiveRound)) (*Report, error) {
+	return scenario.RunAdaptive(ctx, job, progress)
+}
+
+// ResumeJob continues a checkpointed job from a previously emitted
+// (partial) Report — in this process, later, or on another host. The
+// checkpoint must belong to the same experiment (its precision block may
+// differ: tightening the target on resume is legal); the finished
+// Report is bit-for-bit the one an uninterrupted run yields.
+func ResumeJob(ctx context.Context, job Job, from *Report) (*Report, error) {
+	return scenario.ResumeJob(ctx, job, from, nil)
+}
+
+// ExtendReport appends continuation partials — each starting exactly
+// where the accumulated coverage ends — to r in place: the low-level
+// primitive behind ResumeJob for callers orchestrating rounds
+// themselves (e.g. handing workers "extend this report until SE ≤ ε").
+func ExtendReport(r *Report, parts ...*Report) error { return r.Extend(parts...) }
 
 // MergeReports combines partial reports of one experiment (complementary
 // shards, in any order) into one report; merging a complete set

@@ -271,3 +271,76 @@ func TestRunJobShardMergeFacade(t *testing.T) {
 		t.Fatalf("cancelled job returned %v", err)
 	}
 }
+
+// TestAdaptiveResumeFacade drives the checkpoint-restart surface:
+// Evaluate with a precision target adapts its run count; RunAdaptiveJob,
+// ResumeJob and ExtendReport reproduce the uninterrupted run bit-for-bit
+// from a mid-job checkpoint.
+func TestAdaptiveResumeFacade(t *testing.T) {
+	ctx := context.Background()
+	chain, err := BuildModel(ModelNonSkewed, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(Evaluation{
+		Chain: chain, Strategy: "MO", NumChaffs: 1, Horizon: 10, Runs: 64, Seed: 5,
+		Precision: &ScenarioPrecision{TargetSE: 1e-9, MinRuns: 8, MaxRuns: 24},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs < 8 || res.Runs > 24 {
+		t.Fatalf("adaptive Evaluate ran %d runs, want [8,24]", res.Runs)
+	}
+
+	spec := ScenarioSpec{Kind: "single", Strategy: "MO", NumChaffs: 1,
+		Horizon: 10, Runs: 64, Seed: 5,
+		Precision: &ScenarioPrecision{TargetSE: 1e-9, MinRuns: 8, MaxRuns: 40}}
+	job := Job{Spec: spec}
+	whole, err := RunAdaptiveJob(ctx, job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint after the first round, through a file, then resume.
+	ctx2, cancel := context.WithCancel(ctx)
+	partial, err := RunAdaptiveJob(ctx2, job, func(r AdaptiveRound) { cancel() })
+	if !errors.Is(err, context.Canceled) || partial == nil {
+		t.Fatalf("interrupted job: rep %v err %v", partial, err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := WriteReports(path, []*Report{partial}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReports(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeJob(ctx, job, back[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.ElapsedMS = whole.ElapsedMS
+	if !reflect.DeepEqual(whole, resumed) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n%+v\n%+v", resumed, whole)
+	}
+
+	// ExtendReport is the primitive: a later explicit-range shard of the
+	// same experiment extends a partial in place.
+	first, err := RunJob(ctx, Job{Spec: ScenarioSpec{Kind: "single", Strategy: "MO", NumChaffs: 1,
+		Horizon: 10, Runs: 20, Seed: 5}, Shard: Shard{Index: 0, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunJob(ctx, Job{Spec: ScenarioSpec{Kind: "single", Strategy: "MO", NumChaffs: 1,
+		Horizon: 10, Runs: 20, Seed: 5}, Shard: Shard{Index: 1, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ExtendReport(first, second); err != nil {
+		t.Fatal(err)
+	}
+	if !first.Complete() || first.RunCount != 20 {
+		t.Fatalf("extended report covers [%d,%d) of %d", first.RunStart, first.RunStart+first.RunCount, first.TotalRuns)
+	}
+}

@@ -29,16 +29,43 @@
 // the partials of each scenario, optionally writes the merged envelopes
 // to -report, and renders complete scenarios exactly like an unsharded
 // -scenario run.
+//
+// # Adaptive precision targets and checkpoint/resume
+//
+// A scenario entry carrying a "precision" block — or every entry, when
+// -target-se is given — runs adaptively: runs are added in rounds until
+// the tracked standard error reaches the target (stopping between the
+// block's min_runs and max_runs), with per-round progress on stderr.
+// Interrupting a run (Ctrl-C) writes the partial envelopes accumulated
+// from the completed rounds to -report; -resume continues such a
+// checkpoint — later, or on another host — and the finished result is
+// bit-for-bit the uninterrupted run's:
+//
+//	experiments -scenario scenarios.json -target-se 0.005 -report ckpt.json
+//	^C                                            # partial rounds saved
+//	experiments -resume ckpt.json -report done.json
+//
+// Without -scenario, -resume reconstructs each job from the checkpoint's
+// spec echo. The trace figures accept the same precision flags:
+// -fig 9b,10 -target-se 0.01 adapts each grid cell's chaff-stream count
+// and the CSVs gain per-cell error-bar columns.
+//
+// -bench-adaptive FILE runs the paper-protocol benchmark (fixed vs
+// adaptive run counts, wall time, allocations) and writes it as JSON —
+// the CI perf artifact.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"chaffmec/internal/engine"
 	"chaffmec/internal/figures"
@@ -57,11 +84,16 @@ func main() {
 		cells    = flag.Int("L", 10, "cells for synthetic models")
 		nodes    = flag.Int("nodes", 174, "fleet size for trace-driven experiments")
 		topK     = flag.Int("topk", 5, "top users for Figs. 9(b)/10")
-		cellRuns = flag.Int("cellruns", 1, "chaff streams averaged per Fig. 9(b)/10 grid cell")
+		cellRuns = flag.Int("cellruns", 1, "chaff streams averaged per Fig. 9(b)/10 grid cell (the minimum with -target-se)")
 		scenFile = flag.String("scenario", "", "JSON scenario config to run instead of the paper figures (kinds: "+strings.Join(scenario.Kinds(), ", ")+")")
 		shardArg = flag.String("shard", "", "run scenarios as shard i/n of their run range (requires -scenario and -report)")
 		repFile  = flag.String("report", "", "write raw Report envelopes (JSON array) to this file")
 		merge    = flag.Bool("merge", false, "merge the Report files given as positional arguments")
+		targetSE = flag.Float64("target-se", 0, "adaptive stopping: std-error goal for scenarios without their own precision block, and for Fig. 9(b)/10 grid cells")
+		minRuns  = flag.Int("min-runs", 0, "adaptive stopping: run floor before -target-se may stop an experiment")
+		maxRuns  = flag.Int("max-runs", 0, "adaptive stopping: run cap when -target-se is unattainable (default: the scenario's runs)")
+		resume   = flag.String("resume", "", "resume the checkpointed Report envelopes in this file (with -scenario to validate against the config, else from the spec echoes)")
+		benchOut = flag.String("bench-adaptive", "", "run the adaptive-vs-fixed paper-protocol benchmark and write it as JSON to this file")
 	)
 	flag.Parse()
 
@@ -70,6 +102,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Ctrl-C / SIGTERM cancels between runs; scenario paths then persist
+	// the partial rounds to -report as a resumable checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var flagPrec *scenario.Precision
+	if *targetSE > 0 {
+		flagPrec = &scenario.Precision{TargetSE: *targetSE, MinRuns: *minRuns, MaxRuns: *maxRuns}
+	}
+
+	if *benchOut != "" {
+		if err := benchAdaptive(ctx, *benchOut, *runs, *horizon, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *merge {
 		if err := mergeReports(flag.Args(), *repFile, *outDir); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -77,8 +126,25 @@ func main() {
 		}
 		return
 	}
+	if *resume != "" {
+		err := fmt.Errorf("-resume cannot combine with -shard (a resumed job extends its whole run range)")
+		if *shardArg == "" {
+			err = resumeScenarios(ctx, *resume, *scenFile, *outDir, *repFile, flagPrec)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *shardArg != "" {
 		shard, err := parseShard(*shardArg)
+		if err == nil && flagPrec != nil {
+			// A shard executes exactly its assigned slice; silently
+			// running it fixed would let the user believe the partial was
+			// SE-targeted.
+			err = fmt.Errorf("-target-se cannot combine with -shard (a shard executes its fixed slice; run the job whole, or checkpoint and -resume it)")
+		}
 		if err == nil && *scenFile == "" {
 			err = fmt.Errorf("-shard needs -scenario")
 		}
@@ -86,7 +152,7 @@ func main() {
 			err = fmt.Errorf("-shard needs -report (the partial envelopes must go somewhere)")
 		}
 		if err == nil {
-			err = runShard(*scenFile, shard, *repFile)
+			err = runShard(ctx, *scenFile, shard, *repFile)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -95,14 +161,15 @@ func main() {
 		return
 	}
 	if *scenFile != "" {
-		if err := runScenarios(*scenFile, *outDir, *repFile); err != nil {
+		if err := runScenarios(ctx, *scenFile, *outDir, *repFile, flagPrec); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	cfg := figures.Config{Runs: *runs, Horizon: *horizon, Cells: *cells, Seed: *seed}
-	r := &runner{cfg: cfg, outDir: *outDir, nodes: *nodes, topK: *topK, seed: *seed, cellRuns: *cellRuns}
+	r := &runner{cfg: cfg, outDir: *outDir, nodes: *nodes, topK: *topK, seed: *seed,
+		grid: figures.GridOptions{Runs: *cellRuns, TargetSE: *targetSE, MaxRuns: *maxRuns}}
 
 	wanted := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
@@ -157,8 +224,8 @@ func parseShard(s string) (engine.Shard, error) {
 
 // runShard executes every scenario of the config as one shard of its run
 // range and writes the raw partial Report envelopes to repFile.
-func runShard(path string, shard engine.Shard, repFile string) error {
-	reps, err := scenario.RunJobFile(context.Background(), path, shard)
+func runShard(ctx context.Context, path string, shard engine.Shard, repFile string) error {
+	reps, err := scenario.RunJobFile(ctx, path, shard)
 	if err != nil {
 		return err
 	}
@@ -228,22 +295,170 @@ func mergeReports(paths []string, repFile, outDir string) error {
 	return renderScenarioResults(results, outDir)
 }
 
-// runScenarios executes a JSON scenario config: per-scenario headline
-// numbers and an ASCII chart on stdout, one CSV per scenario under
-// outDir, and (when repFile is set) the raw Report envelopes as JSON.
-func runScenarios(path, outDir, repFile string) error {
-	reps, err := scenario.RunJobFile(context.Background(), path, engine.Shard{})
+// applyPrecision imposes the CLI's -target-se block on a spec that does
+// not carry its own precision block (an explicit config block wins).
+func applyPrecision(sp scenario.Spec, prec *scenario.Precision) scenario.Spec {
+	if prec != nil && sp.Precision == nil {
+		p := *prec
+		sp.Precision = &p
+	}
+	return sp
+}
+
+// roundProgress reports one scenario's adaptive rounds on stderr, so a
+// long job shows runs completed and current-vs-target SE as it works.
+func roundProgress(name string) scenario.Progress {
+	return func(r scenario.Round) {
+		status := "continuing"
+		if r.Done {
+			status = "done"
+		}
+		if math.IsNaN(r.SE) || r.Target <= 0 {
+			fmt.Fprintf(os.Stderr, "%-30s round [%d,%d): %d runs (%s)\n",
+				name, r.Start, r.End, r.Covered, status)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%-30s round [%d,%d): %d runs, se %.4g vs target %.4g (%s)\n",
+			name, r.Start, r.End, r.Covered, r.SE, r.Target, status)
+	}
+}
+
+// runScenarios executes a JSON scenario config — adaptively for entries
+// with a precision block (or under -target-se): per-scenario headline
+// numbers and an ASCII chart on stdout, round progress on stderr, one
+// CSV per scenario under outDir, and (when repFile is set) the raw
+// Report envelopes as JSON. On failure — including an interrupt
+// mid-round — the envelopes completed so far, plus the failing
+// scenario's partial rounds, are still written to repFile: a checkpoint
+// -resume continues from.
+func runScenarios(ctx context.Context, path, outDir, repFile string, prec *scenario.Precision) error {
+	specs, err := scenario.LoadFile(path)
 	if err != nil {
 		return err
 	}
-	if repFile != "" {
+	var reps []*report.Report
+	var failed error
+	for i, sp := range specs {
+		sp = applyPrecision(sp, prec)
+		name := sp.Name
+		if name == "" {
+			name = sp.Kind
+		}
+		rep, err := scenario.RunAdaptive(ctx, scenario.Job{Spec: sp}, roundProgress(name))
+		if rep != nil {
+			reps = append(reps, rep)
+		}
+		if err != nil {
+			failed = fmt.Errorf("entry %d: %w", i, err)
+			break
+		}
+	}
+	if repFile != "" && len(reps) > 0 {
 		if err := report.WriteFile(repFile, reps); err != nil {
+			if failed != nil {
+				return fmt.Errorf("%w (and writing checkpoint: %v)", failed, err)
+			}
 			return err
 		}
-		fmt.Printf("wrote %s\n", repFile)
+		if failed != nil {
+			fmt.Fprintf(os.Stderr, "wrote checkpoint %s (%d envelopes; resume with -resume %s)\n", repFile, len(reps), repFile)
+		} else {
+			fmt.Printf("wrote %s\n", repFile)
+		}
+	}
+	if failed != nil {
+		return failed
 	}
 	results := make([]*scenario.Result, 0, len(reps))
 	for _, rep := range reps {
+		res, err := scenario.ResultOf(rep)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	return renderScenarioResults(results, outDir)
+}
+
+// resumeScenarios continues the checkpointed envelopes in resumePath:
+// each entry is validated against the corresponding config entry (when
+// scenPath is given; extra config entries run from scratch) or
+// reconstructed from its spec echo, extended with the rounds the
+// uninterrupted run would have executed, and the updated envelopes are
+// written back (to repFile, defaulting to the checkpoint itself).
+func resumeScenarios(ctx context.Context, resumePath, scenPath, outDir, repFile string, prec *scenario.Precision) error {
+	ckpt, err := report.ReadFile(resumePath)
+	if err != nil {
+		return err
+	}
+	var jobs []scenario.Job
+	if scenPath != "" {
+		specs, err := scenario.LoadFile(scenPath)
+		if err != nil {
+			return err
+		}
+		if len(ckpt) > len(specs) {
+			return fmt.Errorf("checkpoint %s has %d envelopes, config %s only %d scenarios", resumePath, len(ckpt), scenPath, len(specs))
+		}
+		for _, sp := range specs {
+			jobs = append(jobs, scenario.Job{Spec: sp})
+		}
+	} else {
+		for _, rep := range ckpt {
+			job, err := scenario.JobFromReport(rep)
+			if err != nil {
+				return err
+			}
+			jobs = append(jobs, job)
+		}
+	}
+	out := repFile
+	if out == "" {
+		out = resumePath
+	}
+	reps := append([]*report.Report(nil), ckpt...)
+	reps = append(reps, make([]*report.Report, len(jobs)-len(ckpt))...)
+	var failed error
+	for i, job := range jobs {
+		job.Spec = applyPrecision(job.Spec, prec)
+		name := job.Spec.Name
+		if name == "" {
+			name = job.Spec.Kind
+		}
+		var from *report.Report
+		if i < len(ckpt) {
+			from = ckpt[i]
+		}
+		rep, err := scenario.ResumeJob(ctx, job, from, roundProgress(name))
+		if rep != nil {
+			reps[i] = rep
+		}
+		if err != nil {
+			failed = fmt.Errorf("resuming entry %d: %w", i, err)
+			break
+		}
+	}
+	written := reps
+	for len(written) > 0 && written[len(written)-1] == nil {
+		written = written[:len(written)-1] // scenarios never started
+	}
+	if err := report.WriteFile(out, written); err != nil {
+		if failed != nil {
+			return fmt.Errorf("%w (and writing checkpoint: %v)", failed, err)
+		}
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if failed != nil {
+		return failed
+	}
+	var results []*scenario.Result
+	for _, rep := range written {
+		if !rep.Complete() {
+			fmt.Printf("%-30s INCOMPLETE: runs [%d,%d) of %d\n",
+				rep.Name, rep.RunStart, rep.RunStart+rep.RunCount, rep.TotalRuns)
+			continue
+		}
 		res, err := scenario.ResultOf(rep)
 		if err != nil {
 			return err
@@ -290,12 +505,12 @@ func renderScenarioResults(results []*scenario.Result, outDir string) error {
 }
 
 type runner struct {
-	cfg      figures.Config
-	outDir   string
-	nodes    int
-	topK     int
-	seed     int64
-	cellRuns int
+	cfg    figures.Config
+	outDir string
+	nodes  int
+	topK   int
+	seed   int64
+	grid   figures.GridOptions // per-cell runs / precision for 9b/10
 
 	lab *figures.TraceLab // built lazily, shared by 8/9a/9b/10
 }
@@ -524,7 +739,7 @@ func (r *runner) fig9b() error {
 	if err != nil {
 		return err
 	}
-	res, err := figures.Fig9b(lab, r.topK, r.seed, r.cellRuns)
+	res, err := figures.Fig9b(lab, r.topK, r.seed, r.grid)
 	if err != nil {
 		return err
 	}
@@ -536,7 +751,7 @@ func (r *runner) fig10() error {
 	if err != nil {
 		return err
 	}
-	res, err := figures.Fig10(lab, r.topK, r.seed, r.cellRuns)
+	res, err := figures.Fig10(lab, r.topK, r.seed, r.grid)
 	if err != nil {
 		return err
 	}
@@ -551,17 +766,33 @@ func (r *runner) renderBars(title, file string, res *figures.TraceBarResult) err
 	}
 	for s, sname := range res.Strategies {
 		ser := plotter.Series{Name: sname}
+		bar := plotter.Series{Name: sname + "_stderr"}
 		for u := range res.Users {
 			ser.X = append(ser.X, float64(u+1))
 			ser.Y = append(ser.Y, res.Acc[u][s])
+			bar.X = append(bar.X, float64(u+1))
+			bar.Y = append(bar.Y, res.StdErr[u][s])
 		}
-		series = append(series, ser)
+		series = append(series, ser, bar)
 	}
 	bars, err := plotter.ASCIIBars(title, res.Strategies, groups, 40)
 	if err != nil {
 		return err
 	}
 	fmt.Print(bars)
+	// Per-cell error bars and adaptive repetition counts (the variance
+	// study the per-cell precision target drives).
+	for u, name := range res.Users {
+		fmt.Printf("user%d (%s):", u+1, name)
+		for s, sname := range res.Strategies {
+			if res.CellRuns[u][s] == 0 {
+				fmt.Printf("  %s %.3f", sname, res.Acc[u][s])
+				continue
+			}
+			fmt.Printf("  %s %.3f±%.3f (n=%d)", sname, res.Acc[u][s], res.StdErr[u][s], res.CellRuns[u][s])
+		}
+		fmt.Println()
+	}
 	return r.writeCSV(file, series)
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"chaffmec/internal/engine"
 	"chaffmec/internal/figures"
 	"chaffmec/internal/report"
+	"chaffmec/internal/scenario"
 )
 
 func TestSlug(t *testing.T) {
@@ -106,7 +108,7 @@ func TestRunScenariosFromJSONConfig(t *testing.T) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenarios(cfgPath, outDir, ""); err != nil {
+	if err := runScenarios(context.Background(), cfgPath, outDir, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"scenario_multiuser-advanced.csv", "scenario_mixed-population.csv", "scenario_big-grid.csv"} {
@@ -114,7 +116,7 @@ func TestRunScenariosFromJSONConfig(t *testing.T) {
 			t.Fatalf("missing CSV %s: %v", want, err)
 		}
 	}
-	if err := runScenarios(filepath.Join(dir, "missing.json"), outDir, ""); err == nil {
+	if err := runScenarios(context.Background(), filepath.Join(dir, "missing.json"), outDir, "", nil); err == nil {
 		t.Fatal("missing config accepted")
 	}
 }
@@ -138,7 +140,7 @@ func TestRunScenariosDeduplicatesCSVNames(t *testing.T) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScenarios(cfgPath, outDir, ""); err != nil {
+	if err := runScenarios(context.Background(), cfgPath, outDir, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"scenario_single.csv", "scenario_single_2.csv"} {
@@ -181,7 +183,7 @@ func TestShardAndMergeWorkflow(t *testing.T) {
 	var parts []string
 	for i := 0; i < 2; i++ {
 		path := filepath.Join(dir, fmt.Sprintf("part%d.json", i))
-		if err := runShard(cfgPath, engine.Shard{Index: i, Count: 2}, path); err != nil {
+		if err := runShard(context.Background(), cfgPath, engine.Shard{Index: i, Count: 2}, path); err != nil {
 			t.Fatal(err)
 		}
 		parts = append(parts, path)
@@ -195,7 +197,7 @@ func TestShardAndMergeWorkflow(t *testing.T) {
 		t.Fatal(err)
 	}
 	wholePath := filepath.Join(dir, "whole.json")
-	if err := runScenarios(cfgPath, t.TempDir(), wholePath); err != nil {
+	if err := runScenarios(context.Background(), cfgPath, t.TempDir(), wholePath, nil); err != nil {
 		t.Fatal(err)
 	}
 	merged, err := report.ReadFile(mergedPath)
@@ -252,7 +254,7 @@ func TestMergeDuplicateScenarioNames(t *testing.T) {
 	var parts []string
 	for i := 0; i < 2; i++ {
 		path := filepath.Join(dir, fmt.Sprintf("p%d.json", i))
-		if err := runShard(cfgPath, engine.Shard{Index: i, Count: 2}, path); err != nil {
+		if err := runShard(context.Background(), cfgPath, engine.Shard{Index: i, Count: 2}, path); err != nil {
 			t.Fatal(err)
 		}
 		parts = append(parts, path)
@@ -272,5 +274,165 @@ func TestMergeDuplicateScenarioNames(t *testing.T) {
 		if !rep.Complete() {
 			t.Fatalf("entry %d incomplete after merge", i)
 		}
+	}
+}
+
+// TestAdaptiveScenarioCLI runs a precision-block config through the
+// scenario path: the emitted envelope must be adaptively finalized
+// (TotalRuns = the chosen count inside [min_runs, max_runs]).
+func TestAdaptiveScenarioCLI(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "adaptive.json")
+	cfg := `{
+		"defaults": {"runs": 64, "horizon": 10, "seed": 11},
+		"scenarios": [
+			{"name": "ad-single", "kind": "single", "strategy": "MO",
+			 "precision": {"target_se": 1e-9, "min_runs": 8, "max_runs": 24}}
+		]
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repPath := filepath.Join(dir, "rep.json")
+	if err := runScenarios(context.Background(), cfgPath, t.TempDir(), repPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := report.ReadFile(repPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || !reps[0].Complete() {
+		t.Fatalf("adaptive envelope: %+v", reps)
+	}
+	if n := reps[0].TotalRuns; n < 8 || n > 24 {
+		t.Fatalf("adaptive run count %d outside [8,24]", n)
+	}
+	// The -target-se flag block applies to entries without their own.
+	cfg2 := `{
+		"defaults": {"runs": 64, "horizon": 10, "seed": 11},
+		"scenarios": [{"name": "flag-single", "kind": "single", "strategy": "MO"}]
+	}`
+	cfg2Path := filepath.Join(dir, "flag.json")
+	if err := os.WriteFile(cfg2Path, []byte(cfg2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScenarios(context.Background(), cfg2Path, t.TempDir(), repPath,
+		&scenario.Precision{TargetSE: 1e-9, MinRuns: 4, MaxRuns: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if reps, err = report.ReadFile(repPath); err != nil {
+		t.Fatal(err)
+	}
+	if n := reps[0].TotalRuns; len(reps) != 1 || n < 4 || n > 12 {
+		t.Fatalf("flag-imposed precision: %+v", reps[0])
+	}
+}
+
+// TestResumeWorkflowCLI is the CLI-layer bitwise resume guarantee: a
+// partial envelope file (here: shard 0/2, exactly what an interrupted
+// run checkpoints) resumed through -resume — with the config, and again
+// from the spec echoes alone — equals the unsharded run bit-for-bit.
+func TestResumeWorkflowCLI(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "scenarios.json")
+	cfg := `{
+		"defaults": {"runs": 20, "horizon": 10, "seed": 3},
+		"scenarios": [
+			{"name": "rs-single", "kind": "single", "strategy": "MO"},
+			{"name": "rs-mec", "kind": "mecbatch", "model": "grid",
+			 "grid_w": 3, "grid_h": 3, "strategy": "MO"}
+		]
+	}`
+	if err := os.WriteFile(cfgPath, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wholePath := filepath.Join(dir, "whole.json")
+	if err := runScenarios(context.Background(), cfgPath, t.TempDir(), wholePath, nil); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := report.ReadFile(wholePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	compare := func(path string) {
+		t.Helper()
+		resumed, err := report.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resumed) != len(whole) {
+			t.Fatalf("%d resumed envelopes, want %d", len(resumed), len(whole))
+		}
+		for i := range whole {
+			a, b := *whole[i], *resumed[i]
+			a.ElapsedMS, b.ElapsedMS = 0, 0
+			ab, _ := json.Marshal(&a)
+			bb, _ := json.Marshal(&b)
+			if string(ab) != string(bb) {
+				t.Fatalf("scenario %d: resumed != whole:\n%s\n%s", i, bb, ab)
+			}
+		}
+	}
+
+	// With the config.
+	ckptPath := filepath.Join(dir, "ckpt.json")
+	if err := runShard(context.Background(), cfgPath, engine.Shard{Index: 0, Count: 2}, ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "resumed.json")
+	if err := resumeScenarios(context.Background(), ckptPath, cfgPath, t.TempDir(), outPath, nil); err != nil {
+		t.Fatal(err)
+	}
+	compare(outPath)
+
+	// From the spec echoes alone (checkpoint shipped to another host),
+	// writing back to the checkpoint file itself.
+	if err := runShard(context.Background(), cfgPath, engine.Shard{Index: 0, Count: 2}, ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumeScenarios(context.Background(), ckptPath, "", t.TempDir(), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	compare(ckptPath)
+
+	// A checkpoint with more envelopes than the config has entries is
+	// rejected; a missing checkpoint file errors.
+	if err := resumeScenarios(context.Background(), ckptPath, filepath.Join(dir, "missing.json"), t.TempDir(), "", nil); err == nil {
+		t.Fatal("missing config accepted")
+	}
+	if err := resumeScenarios(context.Background(), filepath.Join(dir, "missing.json"), "", t.TempDir(), "", nil); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
+// TestBenchAdaptiveArtifact: the perf artifact runs both legs and
+// reports an adaptive run count no larger than the fixed protocol's.
+func TestBenchAdaptiveArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_adaptive.json")
+	if err := benchAdaptive(context.Background(), path, 200, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Fixed    struct{ Runs int } `json:"fixed"`
+		Adaptive struct{ Runs int } `json:"adaptive"`
+		TargetSE float64            `json:"target_se"`
+		Savings  float64            `json:"run_savings_pct"`
+	}
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Fixed.Runs != 200 {
+		t.Fatalf("fixed leg ran %d runs", out.Fixed.Runs)
+	}
+	if out.Adaptive.Runs < 2 || out.Adaptive.Runs > 200 {
+		t.Fatalf("adaptive leg ran %d runs", out.Adaptive.Runs)
+	}
+	if out.TargetSE <= 0 {
+		t.Fatalf("target se %v", out.TargetSE)
 	}
 }

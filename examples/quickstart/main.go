@@ -3,6 +3,14 @@
 // one experiment API: submit a Job (a declarative scenario spec plus an
 // optional shard selector), receive a serializable Report.
 //
+// The walkthrough covers the three execution shapes: a whole fixed job,
+// the same job split into shards and merged (bit-for-bit identical), and
+// an ADAPTIVE job that picks its own run count — runs are added in
+// rounds until the tracking series' standard error reaches a target —
+// together with checkpoint/resume: any partial Report (here: the job
+// interrupted mid-flight) resumes into the exact Report the
+// uninterrupted run produces.
+//
 // Run with: go run ./examples/quickstart
 package main
 
@@ -78,4 +86,49 @@ func main() {
 		protSum.Overall, len(parts), protSum.Runs)
 	fmt.Printf("MO final slot: %.4f (decays toward zero, Theorem V.5)\n",
 		protSum.PerSlot[len(protSum.PerSlot)-1])
+
+	// Adaptive execution: instead of guessing a run count, declare the
+	// precision you need. The job runs in rounds — [0,n₁), [n₁,n₂), … —
+	// and stops as soon as the tracking series' worst per-slot standard
+	// error drops to the target (between MinRuns and MaxRuns).
+	adaptive := protected
+	adaptive.Precision = &chaffmec.ScenarioPrecision{
+		TargetSE: 0.01, MinRuns: 100, MaxRuns: 10_000,
+	}
+	rep, err = chaffmec.RunAdaptiveJob(ctx, chaffmec.Job{Spec: adaptive},
+		func(r chaffmec.AdaptiveRound) {
+			fmt.Printf("  round [%d,%d): se %.4f (target %.4f)\n", r.Start, r.End, r.SE, r.Target)
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	adSum, err := rep.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adaptive:  tracking accuracy %.3f after %d runs (SE target %.3g hit)\n",
+		adSum.Overall, adSum.Runs, adaptive.Precision.TargetSE)
+
+	// Checkpoint/restart: interrupt the same job after its first round —
+	// the partial Report that comes back with the error is a well-formed
+	// checkpoint (WriteReports/ReadReports ship it across processes or
+	// hosts) — then resume it. The resumed Report is bit-for-bit the
+	// uninterrupted one above.
+	interruptCtx, cancel := context.WithCancel(ctx)
+	partial, err := chaffmec.RunAdaptiveJob(interruptCtx, chaffmec.Job{Spec: adaptive},
+		func(chaffmec.AdaptiveRound) { cancel() }) // "Ctrl-C" after round 1
+	if partial == nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interrupted after %d runs; resuming...\n", partial.RunCount)
+	resumed, err := chaffmec.ResumeJob(ctx, chaffmec.Job{Spec: adaptive}, partial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resSum, err := resumed.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed:   tracking accuracy %.6f over %d runs (uninterrupted: %.6f over %d)\n",
+		resSum.Overall, resSum.Runs, adSum.Overall, adSum.Runs)
 }

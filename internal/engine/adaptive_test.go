@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestSpanShardValidateAndRange(t *testing.T) {
+	for _, bad := range []Shard{
+		{Start: -1, End: 3},                    // negative start
+		{Start: 5, End: 5},                     // empty explicit range
+		{Start: 3, End: 1},                     // inverted
+		{Start: 2, End: 8, Index: 1, Count: 2}, // mixed modes
+		{Start: 2, End: 8, Count: 3},           // mixed modes
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("shard %+v accepted", bad)
+		}
+	}
+	sp := Span(7, 19)
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sp.IsExplicit() || sp.IsWhole() {
+		t.Fatalf("span %+v not recognized as explicit", sp)
+	}
+	if start, end := sp.Range(10); start != 7 || end != 19 {
+		t.Fatalf("span range = [%d,%d), want [7,19) (End may exceed total)", start, end)
+	}
+	if got := sp.String(); got != "[7,19)" {
+		t.Fatalf("span string = %q", got)
+	}
+	// The zero shard stays whole and index/count selectors are untouched.
+	if (Shard{}).IsExplicit() || !(Shard{}).IsWhole() {
+		t.Fatal("zero shard misclassified")
+	}
+}
+
+// TestRangeRoundsMergeBitIdentical is the engine-level resume guarantee:
+// executing an experiment as successive explicit-range rounds
+// [0,n₁) → [n₁,n₂) → … and merging the positioned accumulators is
+// bit-for-bit the single whole run — the property the adaptive driver
+// and checkpoint/restore build on.
+func TestRangeRoundsMergeBitIdentical(t *testing.T) {
+	const runs, seed = 103, int64(29)
+	whole, wholeScalar := statsOver(t, runs, seed, Shard{})
+	for _, cuts := range [][]int{{0, 32, runs}, {0, 7, 20, 41, 80, runs}} {
+		merged := NewSeriesStats(4)
+		var mergedScalar ScalarStats
+		for i := 0; i+1 < len(cuts); i++ {
+			part, partScalar := statsOver(t, runs, seed, Span(cuts[i], cuts[i+1]))
+			if part.N() != cuts[i+1]-cuts[i] {
+				t.Fatalf("round [%d,%d) covered %d runs", cuts[i], cuts[i+1], part.N())
+			}
+			if err := merged.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+			if err := mergedScalar.Merge(partScalar); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(whole.Snapshot(), merged.Snapshot()) {
+			t.Fatalf("cuts %v: merged series snapshot differs from whole run", cuts)
+		}
+		if mergedScalar.Mean() != wholeScalar.Mean() || mergedScalar.StdErr() != wholeScalar.StdErr() {
+			t.Fatalf("cuts %v: merged scalar aggregates differ from whole run", cuts)
+		}
+	}
+}
+
+func TestTargetNormalizeValidate(t *testing.T) {
+	tt := Target{SE: 0.01}.Normalized(500)
+	if tt.MaxRuns != 500 || tt.MinRuns != 32 {
+		t.Fatalf("defaults: %+v", tt)
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// MinRuns floors at 2 and clamps to MaxRuns.
+	if got := (Target{SE: 1, MinRuns: 1}).Normalized(100); got.MinRuns != 2 {
+		t.Fatalf("MinRuns floor: %+v", got)
+	}
+	if got := (Target{SE: 1, MinRuns: 50}).Normalized(10); got.MinRuns != 10 {
+		t.Fatalf("MinRuns clamp: %+v", got)
+	}
+	if err := (Target{}).Validate(); err == nil {
+		t.Fatal("disabled target validated")
+	}
+	if err := (Target{SE: 1, Series: "a", Scalar: "b", MinRuns: 2, MaxRuns: 4}).Validate(); err == nil {
+		t.Fatal("double-named target validated")
+	}
+	if err := (Target{SE: 1, MinRuns: 9, MaxRuns: 4}).Validate(); err == nil {
+		t.Fatal("inverted bounds validated")
+	}
+}
+
+func TestTargetStopping(t *testing.T) {
+	tt := Target{SE: 0.01, MinRuns: 16, MaxRuns: 1024}
+	if tt.Done(8, 0.001) {
+		t.Fatal("stopped below MinRuns")
+	}
+	if !tt.Done(16, 0.01) || !tt.Met(16, 0.0099) {
+		t.Fatal("attained goal not recognized")
+	}
+	if tt.Done(512, 0.02) {
+		t.Fatal("stopped with goal unmet below MaxRuns")
+	}
+	if !tt.Done(1024, 0.02) {
+		t.Fatal("MaxRuns did not stop")
+	}
+	if tt.Met(100, math.NaN()) {
+		t.Fatal("NaN SE met the goal")
+	}
+}
+
+// TestTargetSchedule drives the round scheduler against a synthetic
+// SE(n) = c/√n law: an attainable goal stops in [MinRuns, MaxRuns) after
+// a logarithmic number of rounds, an unattainable one lands exactly on
+// MaxRuns, and every round grows coverage within the documented
+// [1.5×, 2×] clamp.
+func TestTargetSchedule(t *testing.T) {
+	se := func(c float64, n int) float64 { return c / math.Sqrt(float64(n)) }
+	for _, tc := range []struct {
+		c          float64
+		attainable bool
+	}{
+		{0.05, true},  // needs ~100 runs
+		{10.0, false}, // needs ~4M runs, far beyond MaxRuns
+	} {
+		tt := Target{SE: 0.005, MinRuns: 16, MaxRuns: 4096}
+		n, rounds := 0, 0
+		for !tt.Done(n, se(tc.c, max(n, 1))) || n == 0 {
+			next := tt.NextEnd(n, se(tc.c, max(n, 1)))
+			if next <= n || next > tt.MaxRuns {
+				t.Fatalf("c=%v: round to %d from %d", tc.c, next, n)
+			}
+			if n > 0 && next > 2*n {
+				t.Fatalf("c=%v: growth %d → %d exceeds 2×", tc.c, n, next)
+			}
+			n = next
+			if rounds++; rounds > 64 {
+				t.Fatalf("c=%v: schedule did not terminate", tc.c)
+			}
+		}
+		if tc.attainable {
+			if n < tt.MinRuns || n >= tt.MaxRuns {
+				t.Fatalf("attainable goal stopped at %d, want [%d,%d)", n, tt.MinRuns, tt.MaxRuns)
+			}
+		} else if n != tt.MaxRuns {
+			t.Fatalf("unattainable goal stopped at %d, want exactly %d", n, tt.MaxRuns)
+		}
+	}
+	// First round always opens at MinRuns.
+	if got := (Target{SE: 1, MinRuns: 8, MaxRuns: 64}).NextEnd(0, math.NaN()); got != 8 {
+		t.Fatalf("opening round = %d, want MinRuns", got)
+	}
+}

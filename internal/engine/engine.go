@@ -57,19 +57,42 @@ import (
 )
 
 // Shard selects one contiguous sub-range of an experiment's global run
-// indices: shard Index of Count covers [Index·Runs/Count,
-// (Index+1)·Runs/Count). The zero value selects the whole experiment.
+// indices, in one of two modes: shard Index of Count covers
+// [Index·Runs/Count, (Index+1)·Runs/Count), while an explicit Start/End
+// pair covers exactly [Start, End) regardless of the experiment's
+// declared run count — the selector round-based (adaptive or resumed)
+// execution uses to extend a covered range past what earlier rounds
+// executed, possibly beyond Options.Runs. The zero value selects the
+// whole experiment.
 type Shard struct {
 	Index int `json:"index"`
 	Count int `json:"count"`
+	// Start and End, when End > Start, select the explicit half-open run
+	// range [Start, End) instead of the Index/Count split. Mixing the two
+	// modes is rejected by Validate.
+	Start int `json:"start,omitempty"`
+	End   int `json:"end,omitempty"`
 }
 
+// IsExplicit reports whether the shard selects an explicit run range.
+func (s Shard) IsExplicit() bool { return s.Start != 0 || s.End != 0 }
+
 // IsWhole reports whether the shard covers the full run range.
-func (s Shard) IsWhole() bool { return s.Count <= 1 }
+func (s Shard) IsWhole() bool { return s.Count <= 1 && !s.IsExplicit() }
 
 // Validate rejects malformed selectors (Count < 0, Index outside
-// [0, Count)).
+// [0, Count), empty or negative explicit ranges, mixed modes).
 func (s Shard) Validate() error {
+	if s.IsExplicit() {
+		if s.Index != 0 || s.Count < 0 || s.Count > 1 {
+			return fmt.Errorf("engine: shard mixes split %d/%d with explicit range [%d,%d)",
+				s.Index, s.Count, s.Start, s.End)
+		}
+		if s.Start < 0 || s.End <= s.Start {
+			return fmt.Errorf("engine: invalid shard range [%d,%d)", s.Start, s.End)
+		}
+		return nil
+	}
 	if s.Count >= 0 && s.Count <= 1 && s.Index == 0 {
 		return nil
 	}
@@ -80,22 +103,34 @@ func (s Shard) Validate() error {
 }
 
 // Range returns the half-open global run range [start, end) the shard
-// covers out of total runs. Ranges of complementary shards tile [0,
-// total) contiguously and differ in size by at most one run.
+// covers out of total runs. Index/Count ranges of complementary shards
+// tile [0, total) contiguously and differ in size by at most one run; an
+// explicit range is returned as declared (its End may exceed total —
+// rounds extending an experiment run past its declared count).
 func (s Shard) Range(total int) (start, end int) {
+	if s.IsExplicit() {
+		return s.Start, s.End
+	}
 	if s.IsWhole() {
 		return 0, total
 	}
 	return s.Index * total / s.Count, (s.Index + 1) * total / s.Count
 }
 
-// String formats the selector as "index/count".
+// String formats the selector as "index/count" or "[start,end)".
 func (s Shard) String() string {
+	if s.IsExplicit() {
+		return fmt.Sprintf("[%d,%d)", s.Start, s.End)
+	}
 	if s.IsWhole() {
 		return "0/1"
 	}
 	return fmt.Sprintf("%d/%d", s.Index, s.Count)
 }
+
+// Span returns the explicit-range selector covering [start, end) — the
+// shard a round driver submits to extend an experiment's coverage.
+func Span(start, end int) Shard { return Shard{Start: start, End: end} }
 
 // Options tunes a Monte-Carlo experiment.
 type Options struct {

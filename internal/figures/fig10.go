@@ -13,9 +13,11 @@ import (
 // comparing the original strategies (IM, ML, OO, MO) — which are
 // ineffective — against the robust randomized ones (RMO, RML, ROO).
 // Like Fig9b, the (user × strategy) grid runs on the engine worker
-// pool, every cell averaging over runs (≤ 1: one) engine-derived chaff
-// streams; the output is deterministic for any worker count.
-func Fig10(lab *TraceLab, topK int, seed int64, runs int) (*TraceBarResult, error) {
+// pool, every cell averaging over opts.Runs (default one) engine-derived
+// chaff streams — adaptively extended per cell under opts.TargetSE, with
+// error bars in StdErr; the output is deterministic for any worker
+// count.
+func Fig10(lab *TraceLab, topK int, seed int64, opts GridOptions) (*TraceBarResult, error) {
 	top, _, err := lab.TopUsers(topK)
 	if err != nil {
 		return nil, err
@@ -49,20 +51,20 @@ func Fig10(lab *TraceLab, topK int, seed int64, runs int) (*TraceBarResult, erro
 		{"ROO4", func() chaff.Strategy { s := chaff.NewROO(lab.Chain); s.Pairs = 4; return s }, ooGamma},
 	}
 	const numChaffs = 2
-	res := &TraceBarResult{Acc: make([][]float64, len(top))}
-	for _, s := range strategies {
-		res.Strategies = append(res.Strategies, s.label)
+	labels := make([]string, len(strategies))
+	for i, s := range strategies {
+		labels[i] = s.label
 	}
+	res := newTraceBarResult(len(top), labels)
 	var cells []gridCell
 	for rank, u := range top {
 		res.Users = append(res.Users, lab.Nodes[u])
 		res.UserIdx = append(res.UserIdx, u)
-		res.Acc[rank] = make([]float64, len(strategies))
 		for si := range strategies {
 			cells = append(cells, gridCell{rank, si})
 		}
 	}
-	err = runGrid(res, cells, seed, runs, func(c gridCell, rng *rand.Rand) (float64, error) {
+	err = runGrid(res, cells, seed, opts, func(c gridCell, rng *rand.Rand) (float64, error) {
 		s := strategies[c.si]
 		acc, err := lab.userAccuracyWithChaffs(top[c.rank], s.build(), numChaffs, rng, s.gamma)
 		if err != nil {

@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// syntheticGrid runs the bar-figure grid harness over a 2×3 cell layout
+// whose per-cell sampling noise is controlled: column 0 is deterministic,
+// column 1 mildly noisy, column 2 very noisy.
+func syntheticGrid(t *testing.T, opts GridOptions) *TraceBarResult {
+	t.Helper()
+	res := newTraceBarResult(2, []string{"det", "mild", "wild"})
+	res.Users = []string{"u0", "u1"}
+	var cells []gridCell
+	for rank := 0; rank < 2; rank++ {
+		for si := 0; si < 3; si++ {
+			cells = append(cells, gridCell{rank, si})
+		}
+	}
+	scale := []float64{0, 0.05, 0.8}
+	if err := runGrid(res, cells, 7, opts, func(c gridCell, rng *rand.Rand) (float64, error) {
+		return 0.5 + scale[c.si]*rng.NormFloat64(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRunGridFixed: without a target every cell executes exactly Runs
+// repetitions and reports its error bar.
+func TestRunGridFixed(t *testing.T) {
+	res := syntheticGrid(t, GridOptions{Runs: 6})
+	for u := range res.Acc {
+		for s := range res.Strategies {
+			if res.CellRuns[u][s] != 6 {
+				t.Fatalf("cell (%d,%d) ran %d reps, want 6", u, s, res.CellRuns[u][s])
+			}
+		}
+		if res.StdErr[u][0] != 0 {
+			t.Fatalf("deterministic cell reports SE %v", res.StdErr[u][0])
+		}
+		if res.StdErr[u][2] <= res.StdErr[u][1] {
+			t.Fatalf("error bars out of order: wild %v <= mild %v", res.StdErr[u][2], res.StdErr[u][1])
+		}
+	}
+}
+
+// TestRunGridAdaptive: with a target the per-cell repetition count is
+// precision-driven — deterministic cells stop at the base sweep, the
+// mildly noisy column converges below MaxRuns, the wild column exhausts
+// MaxRuns — and the whole evaluation is deterministic across invocations.
+func TestRunGridAdaptive(t *testing.T) {
+	opts := GridOptions{Runs: 4, TargetSE: 0.02, MaxRuns: 64}
+	res := syntheticGrid(t, opts)
+	for u := range res.Acc {
+		det, mild, wild := res.CellRuns[u][0], res.CellRuns[u][1], res.CellRuns[u][2]
+		if det != opts.Runs {
+			t.Fatalf("user %d: deterministic cell extended to %d reps", u, det)
+		}
+		// mild needs ~(0.05/0.02)² ≈ 7 reps; wild ~1600 ≫ MaxRuns.
+		if mild <= opts.Runs || mild >= opts.MaxRuns {
+			t.Fatalf("user %d: mild cell ran %d reps, want inside (%d,%d)", u, mild, opts.Runs, opts.MaxRuns)
+		}
+		if res.StdErr[u][1] > opts.TargetSE {
+			t.Fatalf("user %d: mild cell stopped at SE %v > target", u, res.StdErr[u][1])
+		}
+		if wild != opts.MaxRuns {
+			t.Fatalf("user %d: wild cell ran %d reps, want exactly MaxRuns %d", u, wild, opts.MaxRuns)
+		}
+	}
+	again := syntheticGrid(t, opts)
+	for u := range res.Acc {
+		for s := range res.Strategies {
+			if res.Acc[u][s] != again.Acc[u][s] || res.StdErr[u][s] != again.StdErr[u][s] ||
+				res.CellRuns[u][s] != again.CellRuns[u][s] {
+				t.Fatalf("cell (%d,%d): adaptive grid evaluation not deterministic", u, s)
+			}
+		}
+	}
+}

@@ -122,7 +122,7 @@ func TestFig9a(t *testing.T) {
 
 func TestFig9b(t *testing.T) {
 	lab := getLab(t)
-	res, err := Fig9b(lab, 3, 11, 1)
+	res, err := Fig9b(lab, 3, 11, GridOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestFig9b(t *testing.T) {
 
 func TestFig10(t *testing.T) {
 	lab := getLab(t)
-	res, err := Fig10(lab, 2, 13, 1)
+	res, err := Fig10(lab, 2, 13, GridOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,18 +228,18 @@ func TestFig10(t *testing.T) {
 // untouched, stays deterministic, and yields in-range accuracies.
 func TestFig9bCellRuns(t *testing.T) {
 	lab := getLab(t)
-	one, err := Fig9b(lab, 2, 11, 1)
+	one, err := Fig9b(lab, 2, 11, GridOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	avg, err := Fig9b(lab, 2, 11, 4)
+	avg, err := Fig9b(lab, 2, 11, GridOptions{Runs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if one.Runs != 1 || avg.Runs != 4 {
 		t.Fatalf("runs echo: %d, %d", one.Runs, avg.Runs)
 	}
-	again, err := Fig9b(lab, 2, 11, 4)
+	again, err := Fig9b(lab, 2, 11, GridOptions{Runs: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,6 +90,68 @@ func (r *Report) ScalarStats(name string) (engine.ScalarStats, error) {
 	return engine.ScalarFromSnapshot(snap)
 }
 
+// TargetSE evaluates the standard error an adaptive precision target
+// tracks on this report's coverage: the WORST (maximum) per-slot
+// standard error of the named series, or the named scalar's standard
+// error. Both names empty defaults to the canonical tracking series.
+// The value is a pure function of the report's aggregates, so a resumed
+// driver recomputes exactly the SE the checkpointing driver saw.
+func (r *Report) TargetSE(t engine.Target) (float64, error) {
+	if t.Scalar != "" {
+		s, err := r.ScalarStats(t.Scalar)
+		if err != nil {
+			return 0, err
+		}
+		return s.StdErr(), nil
+	}
+	name := t.Series
+	if name == "" {
+		name = SeriesTracking
+	}
+	s, err := r.SeriesStats(name)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for _, se := range s.StdErr() {
+		if se > worst {
+			worst = se
+		}
+	}
+	return worst, nil
+}
+
+// Extend appends continuation partials to r in place: each part must
+// start exactly where the accumulated coverage ends (contiguity, header,
+// stream, spec and key checks are Merge's). Unlike Merge, Extend
+// tolerates parts declaring different TotalRuns — rounds of an adaptive
+// job do not know the final run count in advance — and adopts the
+// largest declared value; an adaptive driver re-stamps TotalRuns to the
+// covered count when it stops. The parts are not modified.
+func (r *Report) Extend(parts ...*Report) error {
+	if len(parts) == 0 {
+		return nil
+	}
+	total := r.TotalRuns
+	for _, p := range parts {
+		if p.TotalRuns > total {
+			total = p.TotalRuns
+		}
+	}
+	all := make([]*Report, 0, len(parts)+1)
+	for _, p := range append([]*Report{r}, parts...) {
+		cl := *p
+		cl.TotalRuns = total
+		all = append(all, &cl)
+	}
+	merged, err := Merge(all...)
+	if err != nil {
+		return err
+	}
+	*r = *merged
+	return nil
+}
+
 // Summary is the human-facing digest of a Report's tracking series.
 type Summary struct {
 	// PerSlot is the mean per-slot tracking accuracy over the covered

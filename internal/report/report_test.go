@@ -204,6 +204,100 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestExtendRoundsEqualsWhole is the report-level resume guarantee:
+// extending a round's report with later rounds — serialized and reloaded
+// between rounds, as checkpoint/restore would — reproduces the whole
+// run's report bit-for-bit, even when the rounds disagreed on TotalRuns
+// (an adaptive driver stamps its cap until it knows the final count).
+func TestExtendRoundsEqualsWhole(t *testing.T) {
+	const total = 23
+	whole := buildPart(t, 0, total, total)
+	acc := buildPart(t, 0, 9, 64) // round cap, not the final count
+	for _, cut := range [][2]int{{9, 16}, {16, total}} {
+		next := buildPart(t, cut[0], cut[1], 64)
+		// JSON round trip: rounds cross a process/host boundary.
+		blob, err := json.Marshal(acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Report
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		acc = &back
+		if err := acc.Extend(next); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.RunStart != 0 || acc.RunCount != total {
+		t.Fatalf("extended coverage [%d,%d)", acc.RunStart, acc.RunStart+acc.RunCount)
+	}
+	acc.TotalRuns = total // the adaptive driver's final stamp
+	acc.ElapsedMS = whole.ElapsedMS
+	a, _ := json.Marshal(whole)
+	b, _ := json.Marshal(acc)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("extended report differs from whole:\n%s\n%s", b, a)
+	}
+}
+
+func TestExtendValidation(t *testing.T) {
+	acc := buildPart(t, 0, 5, 10)
+	if err := acc.Extend(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := json.Marshal(acc)
+	if err := acc.Extend(buildPart(t, 7, 10, 10)); err == nil {
+		t.Fatal("gap accepted")
+	}
+	after, _ := json.Marshal(acc)
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed Extend mutated the receiver")
+	}
+	next := buildPart(t, 5, 10, 10)
+	nextBefore, _ := json.Marshal(next)
+	if err := acc.Extend(next); err != nil {
+		t.Fatal(err)
+	}
+	if nextAfter, _ := json.Marshal(next); !bytes.Equal(nextBefore, nextAfter) {
+		t.Fatal("Extend mutated its argument")
+	}
+	if !acc.Complete() {
+		t.Fatal("extended report incomplete")
+	}
+}
+
+func TestTargetSE(t *testing.T) {
+	rep := buildPart(t, 0, 9, 9)
+	// Series target: the worst per-slot SE. Runs r contribute [r, 2r], so
+	// slot 1 has twice slot 0's spread.
+	track, err := rep.SeriesStats(SeriesTracking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := track.StdErr()[1]
+	if got, err := rep.TargetSE(engine.Target{Series: SeriesTracking, SE: 1}); err != nil || got != worst {
+		t.Fatalf("series TargetSE = %v, %v; want %v", got, err, worst)
+	}
+	// Both names empty defaults to the tracking series.
+	if got, err := rep.TargetSE(engine.Target{SE: 1}); err != nil || got != worst {
+		t.Fatalf("default TargetSE = %v, %v; want %v", got, err, worst)
+	}
+	sq, err := rep.ScalarStats("sq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := rep.TargetSE(engine.Target{Scalar: "sq", SE: 1}); err != nil || got != sq.StdErr() {
+		t.Fatalf("scalar TargetSE = %v, %v; want %v", got, err, sq.StdErr())
+	}
+	if _, err := rep.TargetSE(engine.Target{Series: "nope", SE: 1}); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+	if _, err := rep.TargetSE(engine.Target{Scalar: "nope", SE: 1}); err == nil {
+		t.Fatal("unknown scalar accepted")
+	}
+}
+
 // TestMergeEmptyShardAnyOrder reproduces the Runs < shard-count case: an
 // empty shard [s,s) shares its RunStart with the nonempty shard starting
 // at s, and Merge must accept the parts in ANY order (the documented

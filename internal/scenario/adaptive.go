@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"chaffmec/internal/engine"
+	"chaffmec/internal/report"
+)
+
+// Round describes one completed round of adaptive (or resumed)
+// execution — the progress unit long jobs report.
+type Round struct {
+	// Start and End delimit the run range the round executed.
+	Start, End int
+	// Covered is the total covered run count after the round.
+	Covered int
+	// SE is the tracked standard error after the round (NaN when the
+	// job has no precision target), Target the goal (0 when disabled).
+	SE, Target float64
+	// Done reports whether this was the final round.
+	Done bool
+}
+
+// Progress observes completed rounds. It runs on the driving goroutine
+// between rounds; a slow callback delays the next round, nothing else.
+type Progress func(Round)
+
+// RunAdaptive executes one whole job in rounds. With a precision target
+// (Spec.Precision) the schedule is SE-driven: rounds extend the covered
+// run range [0,n₁) → [n₁,n₂) → … until the tracked standard error
+// reaches the target (stopping somewhere in [MinRuns, MaxRuns]) or
+// MaxRuns is exhausted, and the final report's TotalRuns is the
+// adaptively chosen count. Without one it degenerates to a single round
+// covering the spec's fixed Runs.
+//
+// On error — including ctx cancellation mid-round — the partial report
+// accumulated from the COMPLETED rounds is returned alongside the
+// error: a well-formed checkpoint whose coverage reflects only finished
+// rounds, resumable with ResumeJob. Because both the round schedule and
+// the per-run streams are pure functions of the (serialized) report
+// state, a resumed job reproduces the uninterrupted one bit-for-bit.
+func RunAdaptive(ctx context.Context, job Job, progress Progress) (*report.Report, error) {
+	return extendJob(ctx, job, nil, progress)
+}
+
+// ResumeJob continues a checkpointed job from a previously emitted
+// (partial) report: it validates that the report belongs to this job
+// (name, kind, seed, stream, spec — the precision block may differ; the
+// runs already executed do not depend on it), then extends coverage with
+// the rounds the uninterrupted job would have executed next. Like
+// RunAdaptive it returns the accumulated partial alongside any error.
+// from is not modified; a nil from runs the job from scratch.
+func ResumeJob(ctx context.Context, job Job, from *report.Report, progress Progress) (*report.Report, error) {
+	if from == nil {
+		return RunAdaptive(ctx, job, progress)
+	}
+	sp := job.Spec.withDefaults()
+	if from.RunStart != 0 {
+		return nil, fmt.Errorf("scenario: resuming %q: checkpoint covers [%d,%d), want coverage from run 0",
+			from.Name, from.RunStart, from.RunStart+from.RunCount)
+	}
+	if from.Name != sp.Name || from.Kind != sp.Kind || from.Seed != sp.Seed {
+		return nil, fmt.Errorf("scenario: resuming %q/%s (seed %d) with checkpoint %q/%s (seed %d): different experiments",
+			sp.Name, sp.Kind, sp.Seed, from.Name, from.Kind, from.Seed)
+	}
+	if err := sameSpecModuloPrecision(sp, from.Spec); err != nil {
+		return nil, err
+	}
+	// Re-stamp the mutable header fields the driver owns: the spec echo
+	// (the checkpoint may have been taken under a different precision
+	// block) and TotalRuns (extendJob re-stamps it per round anyway).
+	// Work on a clone — the caller's checkpoint stays intact.
+	cl := *from
+	if spec, err := json.Marshal(sp); err == nil {
+		cl.Spec = spec
+	}
+	return extendJob(ctx, job, &cl, progress)
+}
+
+// sameSpecModuloPrecision verifies a checkpoint's spec echo matches the
+// resuming spec on every field that influences the runs themselves. The
+// precision block only decides HOW MANY runs execute — never what any
+// run computes — so resuming under a tightened or loosened target is
+// legal and explicitly supported.
+func sameSpecModuloPrecision(sp Spec, echo json.RawMessage) error {
+	if len(echo) == 0 {
+		return nil // pre-envelope checkpoints carry no echo to check
+	}
+	strip := func(raw []byte) ([]byte, error) {
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, err
+		}
+		delete(m, "precision")
+		return json.Marshal(m)
+	}
+	mine, err := json.Marshal(sp)
+	if err != nil {
+		return err
+	}
+	a, err := strip(mine)
+	if err != nil {
+		return err
+	}
+	b, err := strip(echo)
+	if err != nil {
+		return fmt.Errorf("scenario: resuming %q: parsing checkpoint spec echo: %w", sp.Name, err)
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("scenario: resuming %q: checkpoint was produced by a different spec (only the precision block may change)", sp.Name)
+	}
+	return nil
+}
+
+// extendJob is the round loop shared by adaptive execution and resume:
+// starting from an optional accumulated partial (owned by the caller of
+// ResumeJob, already validated and re-stamped), execute rounds until the
+// precision target stops the job — or, without a target, until the
+// spec's fixed Runs are covered — extending the report after each round.
+func extendJob(ctx context.Context, job Job, acc *report.Report, progress Progress) (*report.Report, error) {
+	sp := job.Spec.withDefaults()
+	if !job.Shard.IsWhole() {
+		return nil, fmt.Errorf("scenario: adaptive/resumed execution covers the whole run range, got shard %s", job.Shard)
+	}
+	t, err := sp.target()
+	if err != nil {
+		return nil, err
+	}
+	fixed := sp.options(engine.Shard{}).Normalized().Runs
+	n := 0
+	if acc != nil {
+		n = acc.RunCount
+		if !t.Enabled() && n > fixed {
+			return nil, fmt.Errorf("scenario: resuming %q: checkpoint covers %d runs, spec declares %d", sp.Name, n, fixed)
+		}
+	}
+	se := math.NaN()
+	if acc != nil && t.Enabled() && n > 0 {
+		if se, err = acc.TargetSE(t); err != nil {
+			return nil, fmt.Errorf("scenario: resuming %q: %w", sp.Name, err)
+		}
+	}
+	for {
+		var end int
+		if t.Enabled() {
+			if n > 0 && t.Done(n, se) {
+				break
+			}
+			end = t.NextEnd(n, se)
+		} else {
+			if n >= fixed {
+				break
+			}
+			end = fixed // no target: one catch-up round to the declared count
+		}
+		rep, err := runJobShard(ctx, Job{Spec: job.Spec, Shard: engine.Span(n, end)})
+		if err != nil {
+			return acc, err // acc: the well-formed partial of completed rounds
+		}
+		if t.Enabled() {
+			// Rounds cannot know the final adaptive count; stamp the cap
+			// so successive partials agree until the loop stops.
+			rep.TotalRuns = t.MaxRuns
+		}
+		if acc == nil {
+			acc = rep
+		} else if err := acc.Extend(rep); err != nil {
+			return acc, fmt.Errorf("scenario: extending %q after round [%d,%d): %w", sp.Name, n, end, err)
+		}
+		n = end
+		if t.Enabled() {
+			if se, err = acc.TargetSE(t); err != nil {
+				return acc, fmt.Errorf("scenario: %q: %w", sp.Name, err)
+			}
+		}
+		if progress != nil {
+			done := n >= fixed
+			if t.Enabled() {
+				done = t.Done(n, se)
+			}
+			progress(Round{Start: rep.RunStart, End: n, Covered: acc.RunCount, SE: se, Target: t.SE, Done: done})
+		}
+	}
+	if acc != nil {
+		if t.Enabled() {
+			// The experiment's run count is now known: the report covers
+			// the whole adaptively chosen range.
+			acc.TotalRuns = n
+		} else {
+			acc.TotalRuns = fixed
+		}
+	}
+	return acc, nil
+}
+
+// JobFromReport reconstructs the Job a report was produced by, from its
+// spec echo — enough to resume a checkpoint on a host that only received
+// the report file.
+func JobFromReport(rep *report.Report) (Job, error) {
+	if len(rep.Spec) == 0 {
+		return Job{}, fmt.Errorf("scenario: report %q carries no spec echo", rep.Name)
+	}
+	var sp Spec
+	dec := json.NewDecoder(bytes.NewReader(rep.Spec))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return Job{}, fmt.Errorf("scenario: parsing %q spec echo: %w", rep.Name, err)
+	}
+	return Job{Spec: sp}, nil
+}

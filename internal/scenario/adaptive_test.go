@@ -1,0 +1,312 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"chaffmec/internal/engine"
+	"chaffmec/internal/report"
+)
+
+// adaptiveSpec is the shared adaptive test scenario: small enough to
+// iterate fast, noisy enough that its tracking SE decays smoothly.
+func adaptiveSpec(p *Precision) Spec {
+	return Spec{
+		Name: "adapt", Kind: "single", Strategy: "MO", NumChaffs: 1,
+		Horizon: 10, Runs: 64, Seed: 11, Precision: p,
+	}
+}
+
+// roundTrip pushes a report through its JSON serialization — the
+// checkpoint file a resumed process would read back.
+func roundTrip(t *testing.T, rep *report.Report) *report.Report {
+	t.Helper()
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report.Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	return &back
+}
+
+// TestAdaptiveStopBounds is the acceptance criterion on stopping: an
+// attainable SE target stops with MinRuns <= n < MaxRuns, an
+// unattainable one exactly at MaxRuns, and the final report is complete
+// with TotalRuns equal to the adaptively chosen count.
+func TestAdaptiveStopBounds(t *testing.T) {
+	// Calibrate an attainable goal: the SE a mid-size fixed run reaches.
+	probe, err := RunJob(context.Background(), Job{Spec: adaptiveSpec(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se64, err := probe.TargetSE(engine.Target{SE: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se64 <= 0 {
+		t.Fatalf("probe SE %v — scenario too deterministic for this test", se64)
+	}
+
+	attainable := &Precision{TargetSE: se64 * 1.05, MinRuns: 8, MaxRuns: 4096}
+	rep, err := RunAdaptive(context.Background(), Job{Spec: adaptiveSpec(attainable)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := rep.RunCount
+	if n < attainable.MinRuns || n >= attainable.MaxRuns {
+		t.Fatalf("attainable target stopped at %d runs, want [%d,%d)", n, attainable.MinRuns, attainable.MaxRuns)
+	}
+	if rep.TotalRuns != n || !rep.Complete() {
+		t.Fatalf("final report covers [%d,%d) of %d — not finalized", rep.RunStart, rep.RunStart+rep.RunCount, rep.TotalRuns)
+	}
+	if se, err := rep.TargetSE(engine.Target{SE: 1}); err != nil || se > attainable.TargetSE {
+		t.Fatalf("stopped at SE %v (err %v), target %v", se, err, attainable.TargetSE)
+	}
+
+	unattainable := &Precision{TargetSE: 1e-9, MinRuns: 8, MaxRuns: 96}
+	rep, err = RunAdaptive(context.Background(), Job{Spec: adaptiveSpec(unattainable)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RunCount != unattainable.MaxRuns || rep.TotalRuns != unattainable.MaxRuns {
+		t.Fatalf("unattainable target stopped at %d runs, want exactly MaxRuns %d", rep.RunCount, unattainable.MaxRuns)
+	}
+}
+
+// TestRunJobDispatchesAdaptive: a precision-carrying spec runs
+// adaptively through the plain RunJob entry point (the one code path
+// every kind shares), while a sharded job of the same spec executes its
+// fixed slice.
+func TestRunJobDispatchesAdaptive(t *testing.T) {
+	p := &Precision{TargetSE: 1e-9, MinRuns: 4, MaxRuns: 12}
+	rep, err := RunJob(context.Background(), Job{Spec: adaptiveSpec(p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adaptive finalization: TotalRuns is the adaptively chosen count
+	// inside [MinRuns, MaxRuns], not the spec's fixed Runs (64).
+	if !rep.Complete() || rep.TotalRuns != rep.RunCount ||
+		rep.TotalRuns < p.MinRuns || rep.TotalRuns > p.MaxRuns {
+		t.Fatalf("RunJob did not adapt: %d of %d", rep.RunCount, rep.TotalRuns)
+	}
+	shard, err := RunJob(context.Background(), Job{Spec: adaptiveSpec(p), Shard: engine.Shard{Index: 0, Count: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.RunStart != 0 || shard.RunCount != 32 { // half of the fixed Runs 64
+		t.Fatalf("sharded precision job covers [%d,%d)", shard.RunStart, shard.RunStart+shard.RunCount)
+	}
+}
+
+// TestRoundResumeEqualsWholeBitwise is the scenario-layer resume
+// guarantee: a fixed job executed as explicit-range rounds through a
+// serialized checkpoint equals the one-shot run bit-for-bit.
+func TestRoundResumeEqualsWholeBitwise(t *testing.T) {
+	sp := adaptiveSpec(nil)
+	whole, err := RunJob(context.Background(), Job{Spec: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 in "another process": an explicit-range shard job.
+	part, err := RunJob(context.Background(), Job{Spec: sp, Shard: engine.Span(0, 13)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeJob(context.Background(), Job{Spec: sp}, roundTrip(t, part), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshalStable(t, resumed), marshalStable(t, whole); !json.Valid(got) || string(got) != string(want) {
+		t.Fatalf("resumed fixed job differs from one-shot run:\n%s\n%s", got, want)
+	}
+}
+
+// TestAdaptiveCancelYieldsPartialAndResumesBitwise covers the
+// cancellation contract: a context cancelled mid-round yields a
+// well-formed partial whose coverage reflects only completed rounds, and
+// resuming that partial (through JSON) reproduces the uninterrupted
+// adaptive run bit-for-bit.
+func TestAdaptiveCancelYieldsPartialAndResumesBitwise(t *testing.T) {
+	p := &Precision{TargetSE: 1e-9, MinRuns: 8, MaxRuns: 48} // 3+ rounds: 8, 16, 32, 48
+	job := Job{Spec: adaptiveSpec(p)}
+
+	uninterrupted, err := RunAdaptive(context.Background(), job, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var rounds []Round
+	partial, err := RunAdaptive(ctx, job, func(r Round) {
+		rounds = append(rounds, r)
+		if len(rounds) == 2 {
+			cancel() // the third round dies mid-flight
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if partial == nil {
+		t.Fatal("cancelled adaptive job returned no partial")
+	}
+	if partial.RunStart != 0 || partial.RunCount != rounds[1].Covered {
+		t.Fatalf("partial covers [%d,%d), want the %d runs of the completed rounds",
+			partial.RunStart, partial.RunStart+partial.RunCount, rounds[1].Covered)
+	}
+	if partial.Complete() {
+		t.Fatal("partial claims completeness")
+	}
+	if _, err := partial.Summary(); err != nil {
+		t.Fatalf("partial not well-formed: %v", err)
+	}
+
+	resumed, err := ResumeJob(context.Background(), job, roundTrip(t, partial), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := marshalStable(t, resumed), marshalStable(t, uninterrupted); string(got) != string(want) {
+		t.Fatalf("resumed adaptive job differs from uninterrupted run:\n%s\n%s", got, want)
+	}
+}
+
+// TestAdaptiveProgressRounds checks the progress stream: contiguous
+// ranges, growing coverage, final round flagged Done.
+func TestAdaptiveProgressRounds(t *testing.T) {
+	p := &Precision{TargetSE: 1e-9, MinRuns: 8, MaxRuns: 40}
+	var rounds []Round
+	if _, err := RunAdaptive(context.Background(), Job{Spec: adaptiveSpec(p)}, func(r Round) {
+		rounds = append(rounds, r)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) < 2 {
+		t.Fatalf("only %d rounds", len(rounds))
+	}
+	next := 0
+	for i, r := range rounds {
+		if r.Start != next || r.End <= r.Start || r.Covered != r.End {
+			t.Fatalf("round %d: %+v (want contiguous from %d)", i, r, next)
+		}
+		if math.IsNaN(r.SE) || r.Target != p.TargetSE {
+			t.Fatalf("round %d: SE %v target %v", i, r.SE, r.Target)
+		}
+		if r.Done != (i == len(rounds)-1) {
+			t.Fatalf("round %d: Done = %v", i, r.Done)
+		}
+		next = r.End
+	}
+	if rounds[0].End != p.MinRuns || next != p.MaxRuns {
+		t.Fatalf("schedule opened at %d (want %d), closed at %d (want %d)",
+			rounds[0].End, p.MinRuns, next, p.MaxRuns)
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	sp := adaptiveSpec(nil)
+	part, err := RunJob(context.Background(), Job{Spec: sp, Shard: engine.Span(0, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong experiment: different seed.
+	other := sp
+	other.Seed = 999
+	if _, err := ResumeJob(context.Background(), Job{Spec: other}, part, nil); err == nil {
+		t.Fatal("cross-seed resume accepted")
+	}
+	// Different spec body (strategy) behind the same header.
+	restrat := sp
+	restrat.Strategy = "IM"
+	restrat.Name = "adapt"
+	if _, err := ResumeJob(context.Background(), Job{Spec: restrat}, part, nil); err == nil {
+		t.Fatal("cross-spec resume accepted")
+	}
+	// A checkpoint not starting at run 0 cannot seed a whole-run resume.
+	mid, err := RunJob(context.Background(), Job{Spec: sp, Shard: engine.Span(8, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeJob(context.Background(), Job{Spec: sp}, mid, nil); err == nil {
+		t.Fatal("mid-range checkpoint accepted")
+	}
+	// A changed precision block is explicitly allowed.
+	reprec := sp
+	reprec.Precision = &Precision{TargetSE: 1e-9, MinRuns: 4, MaxRuns: 24}
+	rep, err := ResumeJob(context.Background(), Job{Spec: reprec}, part, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RunCount != 24 {
+		t.Fatalf("retargeted resume covers %d runs, want 24", rep.RunCount)
+	}
+	// The caller's checkpoint must stay intact.
+	if part.RunCount != 8 || part.TotalRuns != 64 {
+		t.Fatalf("ResumeJob mutated its checkpoint: %+v", part)
+	}
+}
+
+func TestJobFromReport(t *testing.T) {
+	sp := adaptiveSpec(nil)
+	rep, err := RunJob(context.Background(), Job{Spec: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := JobFromReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Spec.Kind != "single" || job.Spec.Strategy != "MO" || job.Spec.Seed != 11 || job.Spec.Runs != 64 {
+		t.Fatalf("reconstructed spec: %+v", job.Spec)
+	}
+	if _, err := JobFromReport(&report.Report{Name: "bare"}); err == nil {
+		t.Fatal("echo-less report accepted")
+	}
+}
+
+// TestTraceLabSharedAcrossRounds: the rounds (and repeated jobs) of a
+// "trace" scenario reuse one cached TraceLab instead of rebuilding the
+// trace pipeline per round.
+func TestTraceLabSharedAcrossRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace lab build")
+	}
+	sp := Spec{
+		Name: "trace-cache", Kind: "trace", Nodes: 40, Horizon: 24,
+		Strategy: "IM", NumChaffs: 1, Seed: 5, Runs: 8,
+		Precision: &Precision{TargetSE: 1e-9, MinRuns: 4, MaxRuns: 12},
+	}
+	traceLabCache.Lock()
+	before := traceLabCache.builds
+	traceLabCache.Unlock()
+	// Adaptive: several rounds; then the same job again whole.
+	if _, err := RunJob(context.Background(), Job{Spec: sp}); err != nil {
+		t.Fatal(err)
+	}
+	sp.Precision = nil
+	if _, err := RunJob(context.Background(), Job{Spec: sp}); err != nil {
+		t.Fatal(err)
+	}
+	traceLabCache.Lock()
+	builds := traceLabCache.builds - before
+	traceLabCache.Unlock()
+	if builds != 1 {
+		t.Fatalf("trace lab built %d times across rounds, want 1", builds)
+	}
+	// A different lab parameterisation builds (and caches) its own.
+	sp.Nodes = 42
+	sp.Name = "trace-cache-2"
+	if _, err := RunJob(context.Background(), Job{Spec: sp}); err != nil {
+		t.Fatal(err)
+	}
+	traceLabCache.Lock()
+	builds = traceLabCache.builds - before
+	traceLabCache.Unlock()
+	if builds != 2 {
+		t.Fatalf("distinct lab config reused a mismatched cache entry (%d builds)", builds)
+	}
+}

@@ -22,11 +22,27 @@ type Job struct {
 	Shard engine.Shard `json:"shard"`
 }
 
-// RunJob executes one job through its registered kind and returns the
-// (possibly partial) serializable Report, stamped with provenance (the
-// defaulted spec echo, seed, stream version, covered run range) and
-// wall-clock timing. ctx cancels the underlying engine between runs.
+// RunJob executes one job and returns its serializable Report. A job
+// whose spec carries a Precision block and whose shard selects the whole
+// run range executes adaptively (round-based, precision-targeted — see
+// RunAdaptive); every other job dispatches its selected range through
+// the registered kind directly, so shard workers of an adaptive
+// experiment still execute exactly the range they are handed. The Report
+// is stamped with provenance (the defaulted spec echo, seed, stream
+// version, covered run range) and wall-clock timing. ctx cancels the
+// underlying engine between runs; like RunAdaptive, a cancelled adaptive
+// job returns its partial report alongside the error.
 func RunJob(ctx context.Context, job Job) (*report.Report, error) {
+	if job.Spec.Precision != nil && job.Spec.Precision.TargetSE > 0 && job.Shard.IsWhole() {
+		return RunAdaptive(ctx, job, nil)
+	}
+	return runJobShard(ctx, job)
+}
+
+// runJobShard executes exactly the run range job.Shard selects through
+// the registered kind — one round of an adaptive job, one shard of a
+// distributed one, or the whole range of a fixed one.
+func runJobShard(ctx context.Context, job Job) (*report.Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -7,8 +7,16 @@
 // than a new package. Every kind supports context cancellation and
 // contiguous run-range sharding: complementary shards of one Job, run by
 // different processes and merged with report.Merge, reproduce the
-// single-process Report bit-for-bit. cmd/experiments exposes the layer
-// via -scenario/-shard/-merge; the chaffmec facade via RunJob.
+// single-process Report bit-for-bit.
+//
+// Execution is adaptive and resumable through the same registry path: a
+// Spec carrying a Precision block runs in SE-targeted rounds (RunJob
+// dispatches to RunAdaptive — explicit-range shards [n₁,n₂) extend the
+// covered range until the tracked standard error meets the target), and
+// ResumeJob continues any checkpointed partial Report into the
+// bit-for-bit result of the uninterrupted run. cmd/experiments exposes
+// the layer via -scenario/-shard/-merge/-target-se/-resume; the chaffmec
+// facade via RunJob/RunAdaptiveJob/ResumeJob.
 //
 // Built-in kinds:
 //
@@ -139,6 +147,49 @@ type Spec struct {
 	Runs    int   `json:"runs,omitempty"`
 	Seed    int64 `json:"seed,omitempty"`
 	Workers int   `json:"workers,omitempty"`
+
+	// Precision, when non-nil with a positive target, switches the
+	// scenario to adaptive round-based execution: runs are added in
+	// rounds until the tracked standard error reaches the target (or
+	// MaxRuns), instead of executing a fixed Runs count. Every kind runs
+	// adaptively through the same dispatch (RunJob).
+	Precision *Precision `json:"precision,omitempty"`
+}
+
+// Precision is a Spec's adaptive-execution block: the standard-error
+// goal and run-count bounds of the precision target (engine.Target in
+// declarative form).
+type Precision struct {
+	// TargetSE is the standard-error goal the adaptive rounds chase.
+	TargetSE float64 `json:"target_se"`
+	// Series names the tracked series (its worst per-slot standard error
+	// is compared against TargetSE); Scalar instead names a scalar
+	// aggregate, e.g. a "mecbatch" cost counter. Both empty tracks the
+	// canonical "tracking" series.
+	Series string `json:"series,omitempty"`
+	Scalar string `json:"scalar,omitempty"`
+	// MinRuns (default 32) floors the run count before the goal may
+	// stop the experiment; MaxRuns (default: the spec's Runs) caps it.
+	MinRuns int `json:"min_runs,omitempty"`
+	MaxRuns int `json:"max_runs,omitempty"`
+}
+
+// target resolves the spec's precision block into a normalized
+// engine.Target; the zero Target (disabled) when the spec has none.
+func (sp Spec) target() (engine.Target, error) {
+	p := sp.Precision
+	if p == nil {
+		return engine.Target{}, nil
+	}
+	t := engine.Target{
+		Series: p.Series, Scalar: p.Scalar,
+		SE: p.TargetSE, MinRuns: p.MinRuns, MaxRuns: p.MaxRuns,
+	}
+	t = t.Normalized(sp.options(engine.Shard{}).Normalized().Runs)
+	if err := t.Validate(); err != nil {
+		return engine.Target{}, err
+	}
+	return t, nil
 }
 
 func (sp Spec) withDefaults() Spec {

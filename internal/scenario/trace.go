@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"chaffmec/internal/chaff"
 	"chaffmec/internal/detect"
@@ -13,6 +14,79 @@ import (
 	"chaffmec/internal/markov"
 	"chaffmec/internal/report"
 )
+
+// traceLabCache shares built TraceLabs across the rounds and in-process
+// shards of "trace" jobs: a lab depends only on its generation
+// parameters (TraceConfig is comparable), and building one — trace
+// generation, tower field, regularisation, quantisation, chain fitting —
+// dwarfs the per-round evaluation, so an adaptive trace job must not pay
+// it once per round. Labs are immutable after construction (the chain's
+// lazy alias tables are internally synchronized), so sharing is safe; a
+// small LRU bounds the footprint when configs churn. Builds run outside
+// the cache lock behind a per-entry Once: concurrent jobs wanting the
+// SAME lab block on one build, while lookups of other configs proceed.
+type traceLabEntry struct {
+	once sync.Once
+	lab  *figures.TraceLab
+	err  error
+}
+
+var traceLabCache = struct {
+	sync.Mutex
+	labs   map[figures.TraceConfig]*traceLabEntry
+	order  []figures.TraceConfig // oldest first
+	builds int                   // observability for tests
+}{labs: map[figures.TraceConfig]*traceLabEntry{}}
+
+const traceLabCacheCap = 4
+
+func sharedTraceLab(cfg figures.TraceConfig) (*figures.TraceLab, error) {
+	c := &traceLabCache
+	c.Lock()
+	e, ok := c.labs[cfg]
+	if ok {
+		for i, k := range c.order { // refresh LRU position
+			if k == cfg {
+				c.order = append(append(c.order[:i:i], c.order[i+1:]...), cfg)
+				break
+			}
+		}
+	} else {
+		e = &traceLabEntry{}
+		c.labs[cfg] = e
+		c.order = append(c.order, cfg)
+		if len(c.order) > traceLabCacheCap {
+			// An evicted entry may still be mid-build; its waiters hold
+			// the pointer and finish unaffected.
+			delete(c.labs, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.Unlock()
+	e.once.Do(func() {
+		e.lab, e.err = figures.BuildTraceLab(cfg)
+		if e.err == nil {
+			c.Lock()
+			c.builds++
+			c.Unlock()
+		}
+	})
+	if e.err != nil {
+		// Do not cache failures: drop the entry so a later call retries.
+		c.Lock()
+		if c.labs[cfg] == e {
+			delete(c.labs, cfg)
+			for i, k := range c.order {
+				if k == cfg {
+					c.order = append(c.order[:i:i], c.order[i+1:]...)
+					break
+				}
+			}
+		}
+		c.Unlock()
+	}
+	return e.lab, e.err
+}
 
 // runTrace is the trace-driven population kind (Section VII-B): a
 // TraceLab fleet — synthetic taxi traces regularised, inactivity
@@ -40,7 +114,7 @@ func runTrace(ctx context.Context, sp Spec, shard engine.Shard) (*report.Report,
 	if labSeed == 0 {
 		labSeed = sp.Seed
 	}
-	lab, err := figures.BuildTraceLab(figures.TraceConfig{
+	lab, err := sharedTraceLab(figures.TraceConfig{
 		Seed:    labSeed,
 		Nodes:   sp.Nodes,
 		Minutes: sp.Horizon,
