@@ -75,6 +75,14 @@
 //	parts, _ := chaffmec.ReadReports("ckpt.json")
 //	rep, _ = chaffmec.ResumeJob(ctx, chaffmec.Job{Spec: spec}, parts[0])
 //
+// Or fan the job out over a worker fleet — the coordinator shards each
+// round, retries failures and stragglers, and merges back the
+// bit-identical Report (see cmd/experiments -workers/-serve/-connect
+// for the process-level fleets):
+//
+//	rep, _ := chaffmec.RunDistributedJob(ctx, chaffmec.Job{Spec: spec},
+//		chaffmec.FanOutOptions{Workers: chaffmec.HTTPWorkers("http://a:8080", "http://b:8080")})
+//
 // Evaluate remains the one-call convenience wrapper over the same
 // registry for callers holding a custom Chain. See examples/ for
 // runnable programs, cmd/experiments for the figure/scenario/shard CLI,
@@ -90,6 +98,7 @@ import (
 
 	"chaffmec/internal/analysis"
 	"chaffmec/internal/chaff"
+	"chaffmec/internal/coordinator"
 	"chaffmec/internal/detect"
 	"chaffmec/internal/engine"
 	"chaffmec/internal/figures"
@@ -381,6 +390,47 @@ func MergeReports(parts ...*Report) (*Report, error) { return report.Merge(parts
 // cmd/experiments -shard/-merge).
 func ReadReports(path string) ([]*Report, error)     { return report.ReadFile(path) }
 func WriteReports(path string, reps []*Report) error { return report.WriteFile(path, reps) }
+
+// Distributed fan-out re-exports: one Job spread over a fleet of
+// workers, merged back bit-for-bit (internal/coordinator).
+type (
+	// WorkerTransport hands shard jobs to one worker: in-process,
+	// subprocess (`experiments -worker`) or HTTP (`experiments -serve`).
+	WorkerTransport = coordinator.Transport
+	// FanOutOptions tunes one distributed run: the fleet, shard
+	// granularity, retry budgets, straggler speculation, progress.
+	FanOutOptions = coordinator.Options
+	// FanOutEvent is one coordinator progress observation (dispatches,
+	// results, retries, dead workers, completed rounds).
+	FanOutEvent = coordinator.Event
+)
+
+// RunDistributedJob fans one whole job out over the fleet in opts:
+// each round is split into contiguous shards dispatched to the
+// workers, failed or straggling shards are retried elsewhere (workers
+// that keep failing leave the fleet), and the partials merge into a
+// Report bit-identical (up to summed wall clock) to RunJob's —
+// SE-targeted adaptive rounds included. Like RunAdaptiveJob it returns
+// the accumulated partial of the completed rounds alongside any error.
+func RunDistributedJob(ctx context.Context, job Job, opts FanOutOptions) (*Report, error) {
+	return coordinator.Run(ctx, job, opts)
+}
+
+// InProcessWorkers returns n workers executing in this process — the
+// zero-infrastructure fleet (parallelism still comes from the engine's
+// worker pool; use it to exercise the fan-out path, not to go faster).
+func InProcessWorkers(n int) []WorkerTransport { return coordinator.InProcessFleet(n) }
+
+// SubprocessWorkers returns n workers exec'ing argv per shard (empty:
+// this binary re-exec'd with -worker — only meaningful for binaries
+// that implement the worker protocol, like cmd/experiments).
+func SubprocessWorkers(n int, argv ...string) []WorkerTransport {
+	return coordinator.SubprocessFleet(n, argv...)
+}
+
+// HTTPWorkers returns one worker per base URL, each a long-lived
+// `experiments -serve` process here or on another host.
+func HTTPWorkers(urls ...string) []WorkerTransport { return coordinator.HTTPFleet(urls...) }
 
 // RunScenario executes one scenario spec whole and digests the report.
 func RunScenario(sp ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(sp) }

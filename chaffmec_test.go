@@ -2,6 +2,7 @@ package chaffmec
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -342,5 +343,45 @@ func TestAdaptiveResumeFacade(t *testing.T) {
 	}
 	if !first.Complete() || first.RunCount != 20 {
 		t.Fatalf("extended report covers [%d,%d) of %d", first.RunStart, first.RunStart+first.RunCount, first.TotalRuns)
+	}
+}
+
+// TestRunDistributedJobFacade: the facade's fan-out produces the
+// bit-identical Report of a single-process RunJob — fixed and
+// adaptive — over an in-process fleet.
+func TestRunDistributedJobFacade(t *testing.T) {
+	ctx := context.Background()
+	norm := func(r *Report) string {
+		cl := *r
+		cl.ElapsedMS = 0
+		blob, err := json.Marshal(&cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	for name, spec := range map[string]ScenarioSpec{
+		"fixed": {Kind: "single", Strategy: "MO", NumChaffs: 1, Horizon: 10, Runs: 40, Seed: 5},
+		"adaptive": {Kind: "single", Strategy: "MO", NumChaffs: 1, Horizon: 10, Runs: 200, Seed: 5,
+			Precision: &ScenarioPrecision{TargetSE: 0.04, MinRuns: 16, MaxRuns: 200}},
+	} {
+		want, err := RunJob(ctx, Job{Spec: spec})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var events []FanOutEvent
+		got, err := RunDistributedJob(ctx, Job{Spec: spec}, FanOutOptions{
+			Workers:  InProcessWorkers(3),
+			Progress: func(e FanOutEvent) { events = append(events, e) },
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if norm(got) != norm(want) {
+			t.Fatalf("%s: distributed report differs from RunJob", name)
+		}
+		if len(events) == 0 {
+			t.Fatalf("%s: no fan-out events observed", name)
+		}
 	}
 }

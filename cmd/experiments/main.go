@@ -50,9 +50,35 @@
 // -fig 9b,10 -target-se 0.01 adapts each grid cell's chaff-stream count
 // and the CSVs gain per-cell error-bar columns.
 //
+// # Distributed fan-out
+//
+// -workers N runs every scenario through the coordinator
+// (internal/coordinator): each round of the job is split into
+// contiguous shards dispatched to N local worker processes (this
+// binary re-exec'd with -worker), failed or straggling shards are
+// retried on other workers, and the partials merge into the
+// bit-for-bit single-process Report — adaptive -target-se rounds
+// included:
+//
+//	experiments -scenario scenarios.json -workers 4 -report out.json
+//
+// To span hosts, start long-lived HTTP workers and point -connect at
+// them:
+//
+//	experiments -serve :8080                  # on each worker host
+//	experiments -scenario scenarios.json -connect http://hostA:8080,http://hostB:8080
+//
+// A worker drains on SIGTERM: it finishes the chunk it is in, responds
+// with (or, for -worker, writes) the checkpointed prefix of its shard,
+// and the coordinator re-dispatches only the remainder. -crash-worker i
+// injects a deterministic mid-shard crash into subprocess worker i —
+// CI's proof that retry keeps the merge byte-identical.
+//
 // -bench-adaptive FILE runs the paper-protocol benchmark (fixed vs
 // adaptive run counts, wall time, allocations) and writes it as JSON —
-// the CI perf artifact.
+// the CI perf artifact. -bench-distributed FILE measures the same
+// protocol's wall time under 1/2/4 subprocess workers (the scaling
+// artifact).
 package main
 
 import (
@@ -67,6 +93,7 @@ import (
 	"strings"
 	"syscall"
 
+	"chaffmec/internal/coordinator"
 	"chaffmec/internal/engine"
 	"chaffmec/internal/figures"
 	"chaffmec/internal/plotter"
@@ -94,18 +121,37 @@ func main() {
 		maxRuns  = flag.Int("max-runs", 0, "adaptive stopping: run cap when -target-se is unattainable (default: the scenario's runs)")
 		resume   = flag.String("resume", "", "resume the checkpointed Report envelopes in this file (with -scenario to validate against the config, else from the spec echoes)")
 		benchOut = flag.String("bench-adaptive", "", "run the adaptive-vs-fixed paper-protocol benchmark and write it as JSON to this file")
+
+		workers   = flag.Int("workers", 0, "distribute -scenario jobs over this many local worker processes (the coordinator execs this binary with -worker)")
+		connect   = flag.String("connect", "", "comma-separated base URLs of -serve workers to distribute -scenario jobs to instead of local subprocesses")
+		workerFlg = flag.Bool("worker", false, "worker mode: read one Job JSON from stdin, write its Report JSON to stdout")
+		serveAddr = flag.String("serve", "", "serve the worker HTTP API (POST /run, GET /healthz) on this address")
+		crashWkr  = flag.Int("crash-worker", -1, "fault injection: subprocess worker i crashes mid-shard on every dispatch (CI retry proof)")
+		benchDist = flag.String("bench-distributed", "", "run the 1/2/4-worker paper-protocol scaling benchmark and write it as JSON to this file")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels between runs; scenario paths then persist
+	// the partial rounds to -report as a resumable checkpoint, and the
+	// worker modes checkpoint the shard chunk they are in.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *workerFlg {
+		workerMain(ctx) // never returns
+	}
+	if *serveAddr != "" {
+		if err := serveMain(ctx, *serveAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-
-	// Ctrl-C / SIGTERM cancels between runs; scenario paths then persist
-	// the partial rounds to -report as a resumable checkpoint.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	var flagPrec *scenario.Precision
 	if *targetSE > 0 {
@@ -114,6 +160,27 @@ func main() {
 
 	if *benchOut != "" {
 		if err := benchAdaptive(ctx, *benchOut, *runs, *horizon, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchDist != "" {
+		if err := benchDistributed(ctx, *benchDist, *runs, *horizon, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *workers > 0 || *connect != "" {
+		err := distributedFlagErr(*workers, *connect, *shardArg, *resume, *merge, *scenFile)
+		if err == nil {
+			var fleet []coordinator.Transport
+			if fleet, err = buildFleet(*workers, *connect, *crashWkr); err == nil {
+				err = runScenariosDistributed(ctx, *scenFile, *outDir, *repFile, flagPrec, fleet)
+			}
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -332,6 +399,18 @@ func roundProgress(name string) scenario.Progress {
 // scenario's partial rounds, are still written to repFile: a checkpoint
 // -resume continues from.
 func runScenarios(ctx context.Context, path, outDir, repFile string, prec *scenario.Precision) error {
+	return runScenarioEntries(path, outDir, repFile, prec,
+		func(sp scenario.Spec, name string) (*report.Report, error) {
+			return scenario.RunAdaptive(ctx, scenario.Job{Spec: sp}, roundProgress(name))
+		})
+}
+
+// runScenarioEntries is the config-execution loop runScenarios and its
+// distributed variant share: run every entry through runOne, persist
+// the (possibly partial) envelopes to repFile, and render completed
+// results.
+func runScenarioEntries(path, outDir, repFile string, prec *scenario.Precision,
+	runOne func(sp scenario.Spec, name string) (*report.Report, error)) error {
 	specs, err := scenario.LoadFile(path)
 	if err != nil {
 		return err
@@ -344,7 +423,7 @@ func runScenarios(ctx context.Context, path, outDir, repFile string, prec *scena
 		if name == "" {
 			name = sp.Kind
 		}
-		rep, err := scenario.RunAdaptive(ctx, scenario.Job{Spec: sp}, roundProgress(name))
+		rep, err := runOne(sp, name)
 		if rep != nil {
 			reps = append(reps, rep)
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"chaffmec/internal/coordinator"
 	"chaffmec/internal/engine"
 	"chaffmec/internal/figures"
 	"chaffmec/internal/report"
@@ -434,5 +435,112 @@ func TestBenchAdaptiveArtifact(t *testing.T) {
 	}
 	if out.TargetSE <= 0 {
 		t.Fatalf("target se %v", out.TargetSE)
+	}
+}
+
+// TestDistributedFlagValidation: the coordinator flags reject the
+// combinations distribution cannot honor, loudly.
+func TestDistributedFlagValidation(t *testing.T) {
+	cases := []struct {
+		name           string
+		workers        int
+		connect, shard string
+		resume         string
+		merge          bool
+		scen           string
+	}{
+		{name: "both fleets", workers: 2, connect: "http://x", scen: "s.json"},
+		{name: "no scenario", workers: 2},
+		{name: "with shard", workers: 2, scen: "s.json", shard: "0/2"},
+		{name: "with resume", workers: 2, scen: "s.json", resume: "c.json"},
+		{name: "with merge", workers: 2, scen: "s.json", merge: true},
+	}
+	for _, tc := range cases {
+		if err := distributedFlagErr(tc.workers, tc.connect, tc.shard, tc.resume, tc.merge, tc.scen); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	if err := distributedFlagErr(4, "", "", "", false, "s.json"); err != nil {
+		t.Fatalf("valid -workers rejected: %v", err)
+	}
+	if err := distributedFlagErr(0, "http://a,http://b", "", "", false, "s.json"); err != nil {
+		t.Fatalf("valid -connect rejected: %v", err)
+	}
+}
+
+// TestBuildFleet: fleet construction honors -workers/-connect and the
+// -crash-worker fault injection lands on exactly one subprocess.
+func TestBuildFleet(t *testing.T) {
+	fleet, err := buildFleet(3, "", -1)
+	if err != nil || len(fleet) != 3 {
+		t.Fatalf("subprocess fleet = %d transports, %v", len(fleet), err)
+	}
+	fleet, err = buildFleet(4, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range fleet {
+		sub, ok := tr.(*coordinator.Subprocess)
+		if !ok {
+			t.Fatalf("worker %d: %T", i, tr)
+		}
+		crashed := len(sub.Env) == 1 && strings.HasPrefix(sub.Env[0], coordinator.EnvCrash+"=")
+		if crashed != (i == 2) {
+			t.Fatalf("worker %d env = %v", i, sub.Env)
+		}
+	}
+	fleet, err = buildFleet(0, " http://a:1 ,, http://b:2 ", -1)
+	if err != nil || len(fleet) != 2 {
+		t.Fatalf("http fleet = %d transports, %v", len(fleet), err)
+	}
+	if _, err := buildFleet(0, "", -1); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := buildFleet(2, "", 5); err == nil {
+		t.Fatal("crash-worker outside fleet accepted")
+	}
+	if _, err := buildFleet(0, "http://a", 0); err == nil {
+		t.Fatal("crash-worker with -connect accepted")
+	}
+}
+
+// TestRunScenariosDistributed drives the CLI's coordinator path with an
+// in-process fleet and checks the merged envelopes equal the
+// single-process runScenarios output bit-for-bit (modulo wall clock).
+func TestRunScenariosDistributed(t *testing.T) {
+	dir := t.TempDir()
+	cfg := filepath.Join(dir, "scen.json")
+	config := `{
+	  "defaults": {"runs": 40, "horizon": 10, "seed": 3},
+	  "scenarios": [{"name": "d1", "kind": "single", "strategy": "MO"}]
+	}`
+	if err := os.WriteFile(cfg, []byte(config), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	whole := filepath.Join(dir, "whole.json")
+	if err := runScenarios(context.Background(), cfg, t.TempDir(), whole, nil); err != nil {
+		t.Fatal(err)
+	}
+	dist := filepath.Join(dir, "dist.json")
+	if err := runScenariosDistributed(context.Background(), cfg, t.TempDir(), dist,
+		nil, coordinator.InProcessFleet(3)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := report.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := report.ReadFile(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("envelope counts %d vs %d", len(a), len(b))
+	}
+	a[0].ElapsedMS, b[0].ElapsedMS = 0, 0
+	ja, _ := json.Marshal(a[0])
+	jb, _ := json.Marshal(b[0])
+	if string(ja) != string(jb) {
+		t.Fatal("distributed envelopes differ from single-process run")
 	}
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"chaffmec/internal/coordinator"
+	"chaffmec/internal/report"
+	"chaffmec/internal/scenario"
+)
+
+// workerMain is `experiments -worker`: one Job JSON on stdin, its
+// Report JSON on stdout (the Subprocess transport's wire protocol).
+// Malformed input exits ExitBadJob with the named error on stderr; a
+// SIGTERM/SIGINT mid-shard writes the resumable prefix checkpoint and
+// exits ExitPartial. Never returns.
+func workerMain(ctx context.Context) {
+	err := coordinator.RunWorker(ctx, os.Stdin, os.Stdout)
+	if err == nil {
+		os.Exit(0)
+	}
+	fmt.Fprintln(os.Stderr, "experiments: worker:", err)
+	switch {
+	case errors.Is(err, coordinator.ErrBadJob):
+		os.Exit(coordinator.ExitBadJob)
+	case errors.Is(err, coordinator.ErrPartial):
+		os.Exit(coordinator.ExitPartial)
+	default:
+		os.Exit(1)
+	}
+}
+
+// serveMain is `experiments -serve ADDR`: a long-lived HTTP worker
+// (POST /run, GET /healthz). SIGTERM drains it: in-flight shards abort
+// at the next chunk boundary and respond with their checkpointed
+// prefix (206), then the server shuts down.
+func serveMain(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: coordinator.Handler(ctx)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "experiments: worker serving on %s\n", addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+		defer stop()
+		return srv.Shutdown(sctx)
+	}
+}
+
+// buildFleet resolves the CLI's fleet selection: -connect URLs (HTTP
+// workers elsewhere) or -workers N local subprocess workers, with
+// -crash-worker injecting a deterministic mid-shard crash into one of
+// them (the CI retry proof).
+func buildFleet(workers int, connect string, crashWorker int) ([]coordinator.Transport, error) {
+	if connect != "" {
+		if crashWorker >= 0 {
+			return nil, fmt.Errorf("-crash-worker injects into local subprocess workers; it cannot combine with -connect")
+		}
+		var urls []string
+		for _, u := range strings.Split(connect, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("-connect %q names no worker URLs", connect)
+		}
+		return coordinator.HTTPFleet(urls...), nil
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("-workers %d: need at least one", workers)
+	}
+	fleet := coordinator.SubprocessFleet(workers)
+	if crashWorker >= 0 {
+		if crashWorker >= workers {
+			return nil, fmt.Errorf("-crash-worker %d: fleet has %d workers", crashWorker, workers)
+		}
+		fleet[crashWorker].(*coordinator.Subprocess).Env = []string{coordinator.EnvCrash + "=exit"}
+	}
+	return fleet, nil
+}
+
+// distributedFlagErr rejects the flag combinations distribution cannot
+// honor: the coordinator owns shard planning and whole-job resumption.
+func distributedFlagErr(workers int, connect, shardArg, resume string, merge bool, scenFile string) error {
+	switch {
+	case workers > 0 && connect != "":
+		return fmt.Errorf("-workers starts local subprocess workers, -connect uses remote ones; pick one")
+	case scenFile == "":
+		return fmt.Errorf("-workers/-connect need -scenario")
+	case shardArg != "":
+		return fmt.Errorf("-workers/-connect cannot combine with -shard (the coordinator plans the shards)")
+	case resume != "":
+		return fmt.Errorf("-workers/-connect cannot combine with -resume (finish the checkpoint single-process, or rerun the job distributed)")
+	case merge:
+		return fmt.Errorf("-workers/-connect cannot combine with -merge (the coordinator merges its own partials)")
+	}
+	return nil
+}
+
+// fleetProgress logs coordinator events on stderr, one scenario at a
+// time — dispatches stay quiet, everything an operator acts on
+// (retries, dead workers, completed rounds) is printed.
+func fleetProgress(name string) func(coordinator.Event) {
+	rounds := roundProgress(name)
+	return func(e coordinator.Event) {
+		switch e.Kind {
+		case coordinator.EventRound:
+			rounds(e.Round)
+		case coordinator.EventPartial:
+			fmt.Fprintf(os.Stderr, "%-30s shard %s: %s died mid-shard, banked its prefix (%v)\n",
+				name, e.Shard, e.Worker, e.Err)
+		case coordinator.EventFailure:
+			fmt.Fprintf(os.Stderr, "%-30s shard %s: %s failed, retrying elsewhere (%v)\n",
+				name, e.Shard, e.Worker, e.Err)
+		case coordinator.EventWorkerDead:
+			fmt.Fprintf(os.Stderr, "%-30s worker %s removed from the fleet (%v)\n", name, e.Worker, e.Err)
+		}
+	}
+}
+
+// runScenariosDistributed executes a JSON scenario config like
+// runScenarios, but fans every entry out over the fleet — fixed jobs
+// as one sharded round, precision-targeted ones as SE-driven extension
+// rounds — and renders the merged (bit-identical) reports.
+func runScenariosDistributed(ctx context.Context, path, outDir, repFile string, prec *scenario.Precision, fleet []coordinator.Transport) error {
+	fmt.Fprintf(os.Stderr, "experiments: distributing over %d workers\n", len(fleet))
+	return runScenarioEntries(path, outDir, repFile, prec,
+		func(sp scenario.Spec, name string) (*report.Report, error) {
+			return coordinator.Run(ctx, scenario.Job{Spec: sp},
+				coordinator.Options{Workers: fleet, Progress: fleetProgress(name)})
+		})
+}

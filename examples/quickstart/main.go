@@ -3,13 +3,20 @@
 // one experiment API: submit a Job (a declarative scenario spec plus an
 // optional shard selector), receive a serializable Report.
 //
-// The walkthrough covers the three execution shapes: a whole fixed job,
-// the same job split into shards and merged (bit-for-bit identical), and
-// an ADAPTIVE job that picks its own run count — runs are added in
-// rounds until the tracking series' standard error reaches a target —
-// together with checkpoint/resume: any partial Report (here: the job
-// interrupted mid-flight) resumes into the exact Report the
-// uninterrupted run produces.
+// The walkthrough covers the execution shapes: a whole fixed job, the
+// same job split into shards and merged (bit-for-bit identical), an
+// ADAPTIVE job that picks its own run count — runs are added in rounds
+// until the tracking series' standard error reaches a target —
+// checkpoint/resume (any partial Report resumes into the exact Report
+// the uninterrupted run produces), and finally the DISTRIBUTED
+// coordinator: the same job fanned out over a worker fleet, shards
+// retried around failures, merged back bit-identical. The in-process
+// fleet below exercises the real coordinator; to put processes or
+// hosts behind it instead, see cmd/experiments:
+//
+//	experiments -scenario scenarios.json -workers 4        # local subprocesses
+//	experiments -serve :8080                               # on worker hosts...
+//	experiments -scenario scenarios.json -connect http://a:8080,http://b:8080
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -131,4 +138,21 @@ func main() {
 	}
 	fmt.Printf("resumed:   tracking accuracy %.6f over %d runs (uninterrupted: %.6f over %d)\n",
 		resSum.Overall, resSum.Runs, adSum.Overall, adSum.Runs)
+
+	// Distributed fan-out: the coordinator splits every round of the
+	// same adaptive job into shards, dispatches them over a fleet of
+	// workers, retries failures and stragglers on other workers, and
+	// merges — the Report is bit-identical to the single-process one
+	// (only the wall-clock field, which sums the parts, differs).
+	dist, err := chaffmec.RunDistributedJob(ctx, chaffmec.Job{Spec: adaptive},
+		chaffmec.FanOutOptions{Workers: chaffmec.InProcessWorkers(4)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	distSum, err := dist.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4 workers: tracking accuracy %.6f over %d runs (single-process: %.6f over %d)\n",
+		distSum.Overall, distSum.Runs, adSum.Overall, adSum.Runs)
 }

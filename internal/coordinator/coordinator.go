@@ -1,0 +1,401 @@
+// Package coordinator is the distributed fan-out layer of the one
+// experiment API: it takes one precision-carrying Job, splits each
+// round of its Plan into contiguous engine.Span shards, dispatches them
+// to a fleet of workers over pluggable Transports (in-process,
+// subprocess, HTTP), banks the Report partials that come back, retries
+// failed shards on other workers (excluding the ones that failed them,
+// removing workers that keep failing), speculatively re-dispatches
+// stragglers to idle workers, and merges — producing a Report provably
+// bit-identical to the single-process run of the same Job.
+//
+// The exactness argument stacks three established guarantees: every
+// run's streams are pure functions of (seed, run index) (internal/rng),
+// the aggregates are position-aware dyadic reducers so any contiguous
+// decomposition merges bit-for-bit (internal/engine), and the round
+// boundaries come from the same scenario.Plan a single process would
+// follow — including SE-targeted adaptive extension, where each round's
+// schedule depends only on the (deterministic) accumulated report. A
+// retried or duplicated shard therefore returns the identical bytes,
+// which is what makes retry-until-merged safe rather than approximate.
+package coordinator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"chaffmec/internal/engine"
+	"chaffmec/internal/report"
+	"chaffmec/internal/scenario"
+)
+
+// Options tunes one fan-out.
+type Options struct {
+	// Workers is the fleet. At least one transport is required; the
+	// coordinator survives len(Workers)-1 of them failing.
+	Workers []Transport
+	// ShardsPerWorker oversplits each round into this many shards per
+	// alive worker (default 2), so a retry or straggler re-dispatch
+	// moves a fraction of the round, not all of it.
+	ShardsPerWorker int
+	// MaxAttempts caps FAILED dispatch attempts per shard (default 3);
+	// a shard exhausting it fails the job.
+	MaxAttempts int
+	// WorkerFailLimit removes a worker from the fleet after this many
+	// failed dispatches (default 2).
+	WorkerFailLimit int
+	// NoSpeculation disables straggler re-dispatch (an idle worker
+	// picking up a shard that is still in flight elsewhere; the first
+	// result wins and the loser is cancelled). On by default because
+	// shard results are bit-deterministic, so duplicates are exact.
+	NoSpeculation bool
+	// DispatchTimeout bounds one dispatch attempt; a dispatch
+	// exceeding it is cancelled, counted as that worker's failure and
+	// retried elsewhere — the escape hatch from a worker that hangs
+	// without dying when no idle worker is left to speculate. 0 (the
+	// default) disables it: shard durations are workload-dependent and
+	// a too-tight bound would fail healthy slow shards.
+	DispatchTimeout time.Duration
+	// Progress observes coordinator events (dispatches, results,
+	// retries, dead workers, completed rounds). Runs on the driving
+	// goroutine.
+	Progress func(Event)
+}
+
+func (o Options) normalized() Options {
+	if o.ShardsPerWorker <= 0 {
+		o.ShardsPerWorker = 2
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.WorkerFailLimit <= 0 {
+		o.WorkerFailLimit = 2
+	}
+	return o
+}
+
+// EventKind classifies coordinator progress events.
+type EventKind string
+
+// The coordinator's event stream.
+const (
+	// EventDispatch: a shard was handed to a worker.
+	EventDispatch EventKind = "dispatch"
+	// EventResult: a worker returned its full shard.
+	EventResult EventKind = "result"
+	// EventPartial: a worker died mid-shard but checkpointed a prefix;
+	// the remainder is requeued.
+	EventPartial EventKind = "partial"
+	// EventFailure: a dispatch failed; the shard is requeued excluding
+	// the worker.
+	EventFailure EventKind = "failure"
+	// EventWorkerDead: a worker exceeded WorkerFailLimit and left the
+	// fleet.
+	EventWorkerDead EventKind = "worker-dead"
+	// EventRound: an adaptive (or the single fixed) round completed and
+	// was merged into the accumulated report.
+	EventRound EventKind = "round"
+)
+
+// Event is one coordinator progress observation.
+type Event struct {
+	Kind   EventKind
+	Worker string       // the transport's Name (shard events)
+	Shard  engine.Shard // the affected run range (shard events)
+	Round  scenario.Round
+	Err    error // EventFailure / EventWorkerDead cause
+}
+
+type workerState struct {
+	t        Transport
+	busy     bool
+	dead     bool
+	failures int
+}
+
+type shardState struct {
+	span      engine.Shard
+	resolved  bool
+	inflight  int
+	failures  int
+	attempted map[int]bool // worker idx ever handed this shard
+	failed    map[int]bool // worker idx that failed it (never retried there)
+}
+
+func newShardState(span engine.Shard) *shardState {
+	return &shardState{span: span, attempted: map[int]bool{}, failed: map[int]bool{}}
+}
+
+type result struct {
+	wi  int
+	s   *shardState
+	rep *report.Report
+	err error
+}
+
+// Run fans one whole Job out over the fleet and returns the merged
+// Report — bit-identical (up to summed ElapsedMS) to the single-process
+// run of the same Job, fixed or adaptive. Like the scenario layer's
+// drivers it returns the accumulated partial of the COMPLETED rounds
+// alongside any error (cancellation included): a well-formed checkpoint
+// scenario.ResumeJob — or another coordinator Run — continues from.
+func Run(ctx context.Context, job scenario.Job, opts Options) (*report.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("coordinator: no workers")
+	}
+	if !job.Shard.IsWhole() {
+		return nil, fmt.Errorf("coordinator: job already selects shard %s; the coordinator owns the whole range", job.Shard)
+	}
+	plan, err := scenario.NewPlan(job.Spec)
+	if err != nil {
+		return nil, err
+	}
+	c := &run{job: job, opts: opts.normalized()}
+	for _, t := range c.opts.Workers {
+		c.workers = append(c.workers, &workerState{t: t})
+	}
+	var acc *report.Report
+	for {
+		rp, err := plan.Next(acc)
+		if err != nil {
+			return acc, err
+		}
+		if rp.Done {
+			break
+		}
+		round, err := c.round(ctx, rp.Start, rp.End)
+		if err != nil {
+			return acc, err
+		}
+		plan.Stamp(round)
+		if acc == nil {
+			acc = round
+		} else if err := acc.Extend(round); err != nil {
+			return acc, fmt.Errorf("coordinator: extending after round [%d,%d): %w", rp.Start, rp.End, err)
+		}
+		if c.opts.Progress != nil {
+			peek, err := plan.Next(acc)
+			if err != nil {
+				return acc, err
+			}
+			c.event(Event{Kind: EventRound, Round: scenario.Round{
+				Start: rp.Start, End: rp.End, Covered: acc.RunCount,
+				SE: peek.SE, Target: plan.Target().SE, Done: peek.Done,
+			}})
+		}
+	}
+	plan.Finalize(acc)
+	return acc, nil
+}
+
+type run struct {
+	job     scenario.Job
+	opts    Options
+	workers []*workerState
+}
+
+func (c *run) event(e Event) {
+	if c.opts.Progress != nil {
+		c.opts.Progress(e)
+	}
+}
+
+func (c *run) alive() int {
+	n := 0
+	for _, w := range c.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// round executes the run range [start, end) across the fleet and
+// returns it merged into one report.
+func (c *run) round(ctx context.Context, start, end int) (*report.Report, error) {
+	alive := c.alive()
+	if alive == 0 {
+		return nil, errors.New("coordinator: all workers dead")
+	}
+	rctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	var shards []*shardState
+	for _, span := range scenario.SplitSpan(start, end, alive*c.opts.ShardsPerWorker) {
+		shards = append(shards, newShardState(span))
+	}
+	cov := report.NewCoverage()
+	remaining := len(shards)
+	inflight := 0
+	// Each worker has at most one outstanding dispatch, so this buffer
+	// guarantees result sends never block and draining cannot deadlock.
+	results := make(chan result, len(c.workers))
+	cancels := map[*shardState]map[int]context.CancelFunc{}
+
+	dispatch := func(wi int, s *shardState) {
+		w := c.workers[wi]
+		w.busy = true
+		s.inflight++
+		s.attempted[wi] = true
+		inflight++
+		dctx, dcancel := context.WithCancel(rctx)
+		if c.opts.DispatchTimeout > 0 {
+			dctx, dcancel = context.WithTimeout(rctx, c.opts.DispatchTimeout)
+		}
+		if cancels[s] == nil {
+			cancels[s] = map[int]context.CancelFunc{}
+		}
+		cancels[s][wi] = dcancel
+		c.event(Event{Kind: EventDispatch, Worker: w.t.Name(), Shard: s.span})
+		go func() {
+			rep, err := w.t.Run(dctx, scenario.Job{Spec: c.job.Spec, Shard: s.span})
+			results <- result{wi: wi, s: s, rep: rep, err: err}
+		}()
+	}
+	resolve := func(s *shardState) {
+		s.resolved = true
+		remaining--
+		for _, dc := range cancels[s] {
+			dc() // cancel straggling duplicates; their results are discarded
+		}
+		delete(cancels, s)
+	}
+	drain := func() {
+		cancelAll()
+		for inflight > 0 {
+			r := <-results
+			inflight--
+			c.workers[r.wi].busy = false
+		}
+	}
+	defer drain()
+
+	for remaining > 0 {
+		for wi, w := range c.workers {
+			if w.dead || w.busy {
+				continue
+			}
+			if s := c.pickShard(shards, wi); s != nil {
+				dispatch(wi, s)
+			}
+		}
+		if inflight == 0 {
+			for _, s := range shards {
+				if !s.resolved {
+					return nil, fmt.Errorf("coordinator: shard %s: no worker left to run it (%d failures, %d alive workers; round still missing runs %s)",
+						s.span, s.failures, c.alive(), gapList(cov.Gaps(start, end)))
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case r := <-results:
+			inflight--
+			w := c.workers[r.wi]
+			w.busy = false
+			r.s.inflight--
+			if dc := cancels[r.s][r.wi]; dc != nil {
+				dc()
+				delete(cancels[r.s], r.wi)
+			}
+			if r.s.resolved {
+				continue // a replacement already resolved this shard
+			}
+			full := r.s.span.End - r.s.span.Start
+			switch {
+			case r.err == nil && prefixOf(r.rep, r.s.span) && r.rep.RunCount == full:
+				if _, err := cov.Add(r.rep); err != nil {
+					return nil, err
+				}
+				resolve(r.s)
+				c.event(Event{Kind: EventResult, Worker: w.t.Name(), Shard: r.s.span})
+			case r.err != nil && prefixOf(r.rep, r.s.span) && r.rep.RunCount > 0 && r.rep.RunCount < full:
+				// The worker died mid-shard but checkpointed a prefix:
+				// bank it, requeue only the remainder — elsewhere.
+				if _, err := cov.Add(r.rep); err != nil {
+					return nil, err
+				}
+				resolve(r.s)
+				rest := newShardState(engine.Span(r.s.span.Start+r.rep.RunCount, r.s.span.End))
+				rest.failed[r.wi] = true
+				shards = append(shards, rest)
+				remaining++
+				c.workerFailed(r.wi, r.err)
+				c.event(Event{Kind: EventPartial, Worker: w.t.Name(), Shard: r.s.span, Err: r.err})
+			default:
+				err := r.err
+				if err == nil && r.rep == nil {
+					err = fmt.Errorf("coordinator: %s returned no report for shard %s", w.t.Name(), r.s.span)
+				} else if err == nil {
+					err = fmt.Errorf("coordinator: %s returned runs [%d,%d) for shard %s",
+						w.t.Name(), r.rep.RunStart, r.rep.RunStart+r.rep.RunCount, r.s.span)
+				}
+				r.s.failures++
+				r.s.failed[r.wi] = true
+				c.workerFailed(r.wi, err)
+				if r.s.failures >= c.opts.MaxAttempts {
+					return nil, fmt.Errorf("coordinator: shard %s failed %d times, giving up: %w",
+						r.s.span, r.s.failures, err)
+				}
+				c.event(Event{Kind: EventFailure, Worker: w.t.Name(), Shard: r.s.span, Err: err})
+			}
+		}
+	}
+	return cov.Merged()
+}
+
+// pickShard chooses work for an idle worker: first a queued shard the
+// worker has not failed, then — unless speculation is off — a straggling
+// in-flight shard the worker has not yet attempted.
+func (c *run) pickShard(shards []*shardState, wi int) *shardState {
+	for _, s := range shards {
+		if !s.resolved && s.inflight == 0 && !s.failed[wi] {
+			return s
+		}
+	}
+	if c.opts.NoSpeculation {
+		return nil
+	}
+	for _, s := range shards {
+		if !s.resolved && s.inflight == 1 && !s.attempted[wi] {
+			return s
+		}
+	}
+	return nil
+}
+
+// workerFailed books one failed dispatch against a worker, removing it
+// from the fleet at WorkerFailLimit.
+func (c *run) workerFailed(wi int, cause error) {
+	w := c.workers[wi]
+	w.failures++
+	if !w.dead && w.failures >= c.opts.WorkerFailLimit {
+		w.dead = true
+		c.event(Event{Kind: EventWorkerDead, Worker: w.t.Name(), Err: cause})
+	}
+}
+
+// prefixOf reports whether rep covers a (possibly complete) prefix of
+// the dispatched span — the only shapes a worker may legally return.
+func prefixOf(rep *report.Report, span engine.Shard) bool {
+	return rep != nil && rep.RunStart == span.Start && rep.RunCount <= span.End-span.Start
+}
+
+// gapList formats uncovered run ranges for failure messages.
+func gapList(gaps [][2]int) string {
+	if len(gaps) == 0 {
+		return "none"
+	}
+	parts := make([]string, 0, len(gaps))
+	for _, g := range gaps {
+		parts = append(parts, fmt.Sprintf("[%d,%d)", g[0], g[1]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,251 @@
+package coordinator
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+
+	"chaffmec/internal/report"
+	"chaffmec/internal/scenario"
+)
+
+// Transport hands one shard Job to a worker and returns its Report. The
+// three implementations cover the deployment ladder: InProcess (tests
+// and single-binary fleets), Subprocess (one `experiments -worker` exec
+// per dispatch) and HTTP (a long-lived `experiments -serve` worker on
+// this or another host).
+//
+// A Transport must honor ctx: the coordinator cancels dispatches whose
+// shard was resolved by another worker (straggler replacement) and
+// expects Run to return promptly. Run may return a non-nil PREFIX
+// report together with an error wrapping ErrPartial when the worker
+// died mid-shard but checkpointed the chunks it completed — the
+// coordinator banks the prefix and re-dispatches only the remainder.
+type Transport interface {
+	// Name labels the worker in events and logs.
+	Name() string
+	// Run executes the job's shard and returns its (possibly partial)
+	// report.
+	Run(ctx context.Context, job scenario.Job) (*report.Report, error)
+}
+
+// ErrPartial marks a transport result that covers only a prefix of the
+// requested shard: the worker was terminated (or crashed politely)
+// after checkpointing some chunks. The accompanying report is valid —
+// only incomplete.
+var ErrPartial = errors.New("coordinator: worker finished only part of its shard")
+
+// ErrBadJob marks worker input that never was a runnable Job: malformed
+// JSON, an unknown scenario kind, an invalid shard selector. A worker
+// process exits with ExitBadJob on it.
+var ErrBadJob = errors.New("coordinator: malformed worker job")
+
+// Worker process exit codes (cmd/experiments -worker).
+const (
+	// ExitBadJob is the exit code for ErrBadJob input.
+	ExitBadJob = 2
+	// ExitPartial is the exit code after a SIGTERM (or injected crash)
+	// mid-shard when the resumable partial WAS written to stdout.
+	ExitPartial = 3
+)
+
+// InProcess executes jobs on this process's scenario registry — the
+// zero-infrastructure fleet for tests and single-binary runs.
+type InProcess struct {
+	// Label names the worker (default "inprocess").
+	Label string
+}
+
+// Name implements Transport.
+func (t *InProcess) Name() string {
+	if t.Label == "" {
+		return "inprocess"
+	}
+	return t.Label
+}
+
+// Run implements Transport.
+func (t *InProcess) Run(ctx context.Context, job scenario.Job) (*report.Report, error) {
+	return scenario.RunJob(ctx, job)
+}
+
+// InProcessFleet returns n in-process workers.
+func InProcessFleet(n int) []Transport {
+	out := make([]Transport, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, &InProcess{Label: fmt.Sprintf("inprocess-%d", i)})
+	}
+	return out
+}
+
+// Subprocess execs a worker-mode binary once per dispatch: the Job is
+// written to the child's stdin as JSON and the Report read back from
+// its stdout (see RunWorker for the contract). Exit code ExitPartial
+// yields the checkpointed prefix report alongside ErrPartial.
+type Subprocess struct {
+	// Label names the worker (default "subprocess").
+	Label string
+	// Argv is the worker command line; empty defaults to re-executing
+	// this binary with the single argument -worker.
+	Argv []string
+	// Env entries are appended to the child's environment. CI's fault
+	// injection (EnvCrash) rides here.
+	Env []string
+}
+
+// Name implements Transport.
+func (t *Subprocess) Name() string {
+	if t.Label == "" {
+		return "subprocess"
+	}
+	return t.Label
+}
+
+// Run implements Transport.
+func (t *Subprocess) Run(ctx context.Context, job scenario.Job) (*report.Report, error) {
+	argv := t.Argv
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: %s: resolving worker binary: %w", t.Name(), err)
+		}
+		argv = []string{exe, "-worker"}
+	}
+	blob, err := json.Marshal(job)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Stdin = bytes.NewReader(blob)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if len(t.Env) > 0 {
+		cmd.Env = append(os.Environ(), t.Env...)
+	}
+	runErr := cmd.Run()
+	if runErr == nil {
+		return decodeReport(stdout.Bytes())
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err() // cancelled dispatch, not a worker fault
+	}
+	var xe *exec.ExitError
+	if errors.As(runErr, &xe) && xe.ExitCode() == ExitPartial {
+		rep, derr := decodeReport(stdout.Bytes())
+		if derr == nil {
+			return rep, fmt.Errorf("%w: %s: %s", ErrPartial, t.Name(), stderrTail(stderr.String()))
+		}
+	}
+	return nil, fmt.Errorf("coordinator: %s: %v: %s", t.Name(), runErr, stderrTail(stderr.String()))
+}
+
+// SubprocessFleet returns n subprocess workers sharing one worker
+// command line (empty argv: this binary with -worker).
+func SubprocessFleet(n int, argv ...string) []Transport {
+	out := make([]Transport, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, &Subprocess{Label: fmt.Sprintf("subprocess-%d", i), Argv: argv})
+	}
+	return out
+}
+
+// stderrTail keeps a worker failure's stderr actionable without pasting
+// a whole log into one error.
+func stderrTail(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return "(no stderr)"
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines) > 3 {
+		lines = lines[len(lines)-3:]
+	}
+	return strings.Join(lines, " | ")
+}
+
+func decodeReport(blob []byte) (*report.Report, error) {
+	var rep report.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("coordinator: parsing worker report: %w", err)
+	}
+	return &rep, nil
+}
+
+// HTTP dispatches to a long-lived worker serving the Handler API
+// (`experiments -serve`): POST {URL}/run with the Job JSON. Status 200
+// carries the full report, 206 a checkpointed prefix (ErrPartial).
+type HTTP struct {
+	// Label names the worker (default: the URL).
+	Label string
+	// URL is the worker's base URL, e.g. http://host:8080.
+	URL string
+	// Client overrides http.DefaultClient.
+	Client *http.Client
+}
+
+// Name implements Transport.
+func (t *HTTP) Name() string {
+	if t.Label == "" {
+		return t.URL
+	}
+	return t.Label
+}
+
+// Run implements Transport.
+func (t *HTTP) Run(ctx context.Context, job scenario.Job) (*report.Report, error) {
+	blob, err := json.Marshal(job)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(t.URL, "/")+"/run", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("coordinator: %s: %w", t.Name(), err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: %s: reading response: %w", t.Name(), err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return decodeReport(body)
+	case http.StatusPartialContent:
+		rep, derr := decodeReport(body)
+		if derr != nil {
+			return nil, derr
+		}
+		return rep, fmt.Errorf("%w: %s", ErrPartial, t.Name())
+	default:
+		return nil, fmt.Errorf("coordinator: %s: HTTP %d: %s", t.Name(), resp.StatusCode, stderrTail(string(body)))
+	}
+}
+
+// HTTPFleet returns one HTTP worker per base URL.
+func HTTPFleet(urls ...string) []Transport {
+	out := make([]Transport, 0, len(urls))
+	for _, u := range urls {
+		out = append(out, &HTTP{URL: u})
+	}
+	return out
+}

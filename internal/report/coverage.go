@@ -1,0 +1,117 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Coverage is the coordinator-side bookkeeping of a fanned-out
+// experiment: it records which contiguous sub-ranges of the global run
+// range have come back from workers, drops the duplicates that retried
+// or speculatively re-executed shards produce, and rejects the partial
+// overlaps that would corrupt a merge. Shard results are pure functions
+// of (seed, run range), so a duplicate of an already-recorded range is
+// bit-identical and carries no new information — dropping it is exact,
+// not an approximation.
+type Coverage struct {
+	parts []*Report // disjoint, sorted by RunStart
+}
+
+// NewCoverage returns empty bookkeeping.
+func NewCoverage() *Coverage { return &Coverage{} }
+
+// Add records one shard partial. A partial whose whole range is already
+// recorded — a retry or straggler whose replacement landed first — is
+// dropped and Add returns false. A range that overlaps recorded
+// coverage without being contained by it is an error naming both
+// ranges; so is an empty partial.
+func (c *Coverage) Add(rep *Report) (bool, error) {
+	if rep == nil {
+		return false, errors.New("report: coverage: nil partial")
+	}
+	a, b := rep.RunStart, rep.RunStart+rep.RunCount
+	if rep.RunCount <= 0 {
+		return false, fmt.Errorf("report: coverage: %q shard covers empty run range [%d,%d)", rep.Name, a, b)
+	}
+	// Walk the recorded parts overlapping [a, b): either they tile it
+	// completely (duplicate — drop) or any overlap is an error.
+	overlap := false
+	at := a
+	for _, p := range c.parts {
+		pa, pb := p.RunStart, p.RunStart+p.RunCount
+		if pb <= a || pa >= b {
+			continue
+		}
+		overlap = true
+		if pa > at {
+			break // hole before this part: not fully recorded
+		}
+		if pb > at {
+			at = pb
+		}
+		if at >= b {
+			break
+		}
+	}
+	if overlap {
+		if at >= b {
+			return false, nil // fully recorded already: exact duplicate
+		}
+		return false, fmt.Errorf("report: coverage: shard runs [%d,%d) overlaps recorded coverage without matching it", a, b)
+	}
+	i := sort.Search(len(c.parts), func(i int) bool { return c.parts[i].RunStart >= a })
+	c.parts = append(c.parts, nil)
+	copy(c.parts[i+1:], c.parts[i:])
+	c.parts[i] = rep
+	return true, nil
+}
+
+// Covered returns the total recorded run count.
+func (c *Coverage) Covered() int {
+	n := 0
+	for _, p := range c.parts {
+		n += p.RunCount
+	}
+	return n
+}
+
+// Parts returns the recorded partials in run order (shared, not
+// copied).
+func (c *Coverage) Parts() []*Report { return c.parts }
+
+// Gaps returns the sub-ranges of [start, end) no recorded partial
+// covers — the shards a coordinator still has to (re)dispatch.
+func (c *Coverage) Gaps(start, end int) [][2]int {
+	var out [][2]int
+	at := start
+	for _, p := range c.parts {
+		pa, pb := p.RunStart, p.RunStart+p.RunCount
+		if pb <= at || pa >= end {
+			continue
+		}
+		if pa > at {
+			out = append(out, [2]int{at, pa})
+		}
+		if pb > at {
+			at = pb
+		}
+	}
+	if at < end {
+		out = append(out, [2]int{at, end})
+	}
+	return out
+}
+
+// Complete reports whether the recorded parts tile [start, end) with no
+// gaps.
+func (c *Coverage) Complete(start, end int) bool {
+	return len(c.Gaps(start, end)) == 0
+}
+
+// Merged merges the recorded partials into one report (Merge's header,
+// stream, spec and contiguity validation applies — a gap surfaces as
+// Merge's range-naming error).
+func (c *Coverage) Merged() (*Report, error) {
+	return Merge(c.parts...)
+}

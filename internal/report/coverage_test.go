@@ -1,0 +1,125 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"chaffmec/internal/engine"
+)
+
+// part fabricates a bare partial covering [start, start+count) — enough
+// for Coverage's range bookkeeping, which never looks at aggregates.
+func part(start, count int) *Report {
+	return &Report{Name: "cov", Kind: "single", TotalRuns: 100, RunStart: start, RunCount: count}
+}
+
+func TestCoverageAddAndGaps(t *testing.T) {
+	c := NewCoverage()
+	for _, p := range []*Report{part(50, 25), part(0, 25)} {
+		ok, err := c.Add(p)
+		if err != nil || !ok {
+			t.Fatalf("Add([%d,%d)) = %v, %v", p.RunStart, p.RunStart+p.RunCount, ok, err)
+		}
+	}
+	if got := c.Covered(); got != 50 {
+		t.Fatalf("Covered = %d, want 50", got)
+	}
+	if c.Complete(0, 100) {
+		t.Fatal("Complete with two gaps")
+	}
+	gaps := c.Gaps(0, 100)
+	want := [][2]int{{25, 50}, {75, 100}}
+	if len(gaps) != len(want) || gaps[0] != want[0] || gaps[1] != want[1] {
+		t.Fatalf("Gaps = %v, want %v", gaps, want)
+	}
+	for _, g := range gaps {
+		if ok, err := c.Add(part(g[0], g[1]-g[0])); err != nil || !ok {
+			t.Fatalf("filling gap %v: %v, %v", g, ok, err)
+		}
+	}
+	if !c.Complete(0, 100) {
+		t.Fatalf("still gapped: %v", c.Gaps(0, 100))
+	}
+}
+
+func TestCoverageDropsExactDuplicates(t *testing.T) {
+	c := NewCoverage()
+	if _, err := c.Add(part(0, 25)); err != nil {
+		t.Fatal(err)
+	}
+	// A retried shard returning the identical range is dropped, not an
+	// error — shard results are pure functions of their range.
+	ok, err := c.Add(part(0, 25))
+	if err != nil || ok {
+		t.Fatalf("duplicate Add = %v, %v; want dropped", ok, err)
+	}
+	// A sub-range of recorded coverage is equally redundant.
+	ok, err = c.Add(part(5, 10))
+	if err != nil || ok {
+		t.Fatalf("contained Add = %v, %v; want dropped", ok, err)
+	}
+	// A late straggler spanning two recorded parts is redundant too.
+	if _, err := c.Add(part(25, 25)); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = c.Add(part(10, 30))
+	if err != nil || ok {
+		t.Fatalf("spanning duplicate Add = %v, %v; want dropped", ok, err)
+	}
+	if got := c.Covered(); got != 50 {
+		t.Fatalf("Covered = %d, want 50", got)
+	}
+}
+
+func TestCoverageRejectsPartialOverlap(t *testing.T) {
+	c := NewCoverage()
+	if _, err := c.Add(part(10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Report{part(5, 10), part(15, 10), part(5, 20)} {
+		_, err := c.Add(p)
+		if err == nil {
+			t.Fatalf("Add([%d,%d)) accepted an overlap", p.RunStart, p.RunStart+p.RunCount)
+		}
+		if !strings.Contains(err.Error(), "overlaps") {
+			t.Fatalf("overlap error %q does not say so", err)
+		}
+	}
+	if _, err := c.Add(part(0, 0)); err == nil {
+		t.Fatal("empty partial accepted")
+	}
+}
+
+// TestMergeErrorsNameShardRange pins the satellite fix: rejections from
+// Merge name the offending shard's run range so coordinator retry logs
+// are actionable.
+func TestMergeErrorsNameShardRange(t *testing.T) {
+	mk := func(start, count int, mutate func(*Report)) *Report {
+		r := &Report{Name: "exp", Kind: "single", Seed: 1, Horizon: 4,
+			TotalRuns: 20, RunStart: start, RunCount: count, Stream: "v1"}
+		if mutate != nil {
+			mutate(r)
+		}
+		return r
+	}
+	cases := []struct {
+		name string
+		a, b *Report
+		want string
+	}{
+		{"stream", mk(0, 10, nil), mk(10, 10, func(r *Report) { r.Stream = "v2" }), "shard [10,20)"},
+		{"spec", mk(0, 10, func(r *Report) { r.Spec = []byte(`{"a":1}`) }),
+			mk(10, 10, func(r *Report) { r.Spec = []byte(`{"a":2}`) }), "shard [10,20)"},
+		{"gap", mk(0, 10, nil), mk(12, 8, nil), "[12,20)"},
+		{"keys", mk(0, 10, nil), mk(10, 10, func(r *Report) { r.Scalars = map[string]engine.ScalarSnapshot{"x": {}} }), "shard [10,20)"},
+	}
+	for _, tc := range cases {
+		_, err := Merge(tc.a, tc.b)
+		if err == nil {
+			t.Fatalf("%s: merge accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+}

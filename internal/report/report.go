@@ -248,25 +248,29 @@ func Merge(parts ...*Report) (*Report, error) {
 	out.ElapsedMS = first.ElapsedMS
 
 	for _, p := range sorted[1:] {
+		// Every rejection names the offending shard's run range: a
+		// coordinator retrying fanned-out shards logs these errors, and
+		// "which shard" is the actionable part.
+		shard := fmt.Sprintf("shard [%d,%d)", p.RunStart, p.RunStart+p.RunCount)
 		if p.header() != first.header() {
-			return nil, fmt.Errorf("report: cannot merge %q (%s, seed %d) with %q (%s, seed %d): different experiments",
-				first.Name, first.Kind, first.Seed, p.Name, p.Kind, p.Seed)
+			return nil, fmt.Errorf("report: cannot merge %q (%s, seed %d) with %s of %q (%s, seed %d): different experiments",
+				first.Name, first.Kind, first.Seed, shard, p.Name, p.Kind, p.Seed)
 		}
 		if p.Stream != first.Stream {
-			return nil, fmt.Errorf("report: cannot merge stream %q with %q: partials drew from different generators",
-				first.Stream, p.Stream)
+			return nil, fmt.Errorf("report: cannot merge %s of %q: stream %q vs %q — partials drew from different generators",
+				shard, p.Name, p.Stream, first.Stream)
 		}
 		if len(first.Spec) > 0 && len(p.Spec) > 0 && !bytes.Equal(compactJSON(first.Spec), compactJSON(p.Spec)) {
-			return nil, fmt.Errorf("report: cannot merge %q: partials declare different specs", first.Name)
+			return nil, fmt.Errorf("report: cannot merge %q: partials declare different specs (offending %s)", first.Name, shard)
 		}
 		if want := out.RunStart + out.RunCount; p.RunStart != want {
 			return nil, fmt.Errorf("report: %q covers runs [%d,%d), want a shard starting at %d (gap or overlap)",
 				p.Name, p.RunStart, p.RunStart+p.RunCount, want)
 		}
-		if err := sameKeys("series", keys(first.Series), keys(p.Series)); err != nil {
+		if err := sameKeys(shard, "series", keys(first.Series), keys(p.Series)); err != nil {
 			return nil, err
 		}
-		if err := sameKeys("scalars", keys(first.Scalars), keys(p.Scalars)); err != nil {
+		if err := sameKeys(shard, "scalars", keys(first.Scalars), keys(p.Scalars)); err != nil {
 			return nil, err
 		}
 		for name, acc := range series {
@@ -275,7 +279,7 @@ func Merge(parts ...*Report) (*Report, error) {
 				return nil, err
 			}
 			if err := acc.Merge(s); err != nil {
-				return nil, fmt.Errorf("report: merging series %q: %w", name, err)
+				return nil, fmt.Errorf("report: merging series %q of %s: %w", name, shard, err)
 			}
 		}
 		for name := range scalars {
@@ -285,7 +289,7 @@ func Merge(parts ...*Report) (*Report, error) {
 			}
 			acc := scalars[name]
 			if err := acc.Merge(s); err != nil {
-				return nil, fmt.Errorf("report: merging scalar %q: %w", name, err)
+				return nil, fmt.Errorf("report: merging scalar %q of %s: %w", name, shard, err)
 			}
 			scalars[name] = acc
 		}
@@ -325,13 +329,13 @@ func keys[V any](m map[string]V) []string {
 	return out
 }
 
-func sameKeys(what string, a, b []string) error {
+func sameKeys(shard, what string, a, b []string) error {
 	if len(a) != len(b) {
-		return fmt.Errorf("report: partials publish different %s (%v vs %v)", what, a, b)
+		return fmt.Errorf("report: %s publishes different %s (%v vs %v)", shard, what, b, a)
 	}
 	for i := range a {
 		if a[i] != b[i] {
-			return fmt.Errorf("report: partials publish different %s (%v vs %v)", what, a, b)
+			return fmt.Errorf("report: %s publishes different %s (%v vs %v)", shard, what, b, a)
 		}
 	}
 	return nil

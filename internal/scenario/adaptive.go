@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"math"
 
 	"chaffmec/internal/engine"
 	"chaffmec/internal/report"
@@ -118,82 +117,52 @@ func sameSpecModuloPrecision(sp Spec, echo json.RawMessage) error {
 
 // extendJob is the round loop shared by adaptive execution and resume:
 // starting from an optional accumulated partial (owned by the caller of
-// ResumeJob, already validated and re-stamped), execute rounds until the
-// precision target stops the job — or, without a target, until the
-// spec's fixed Runs are covered — extending the report after each round.
+// ResumeJob, already validated and re-stamped), execute the rounds the
+// job's Plan schedules — extending the report after each — until the
+// precision target stops the job or the spec's fixed Runs are covered.
 func extendJob(ctx context.Context, job Job, acc *report.Report, progress Progress) (*report.Report, error) {
 	sp := job.Spec.withDefaults()
 	if !job.Shard.IsWhole() {
 		return nil, fmt.Errorf("scenario: adaptive/resumed execution covers the whole run range, got shard %s", job.Shard)
 	}
-	t, err := sp.target()
+	plan, err := NewPlan(job.Spec)
 	if err != nil {
 		return nil, err
 	}
-	fixed := sp.options(engine.Shard{}).Normalized().Runs
-	n := 0
-	if acc != nil {
-		n = acc.RunCount
-		if !t.Enabled() && n > fixed {
-			return nil, fmt.Errorf("scenario: resuming %q: checkpoint covers %d runs, spec declares %d", sp.Name, n, fixed)
-		}
-	}
-	se := math.NaN()
-	if acc != nil && t.Enabled() && n > 0 {
-		if se, err = acc.TargetSE(t); err != nil {
-			return nil, fmt.Errorf("scenario: resuming %q: %w", sp.Name, err)
-		}
+	if acc != nil && !plan.Adaptive() && acc.RunCount > plan.FixedRuns() {
+		return nil, fmt.Errorf("scenario: resuming %q: checkpoint covers %d runs, spec declares %d", sp.Name, acc.RunCount, plan.FixedRuns())
 	}
 	for {
-		var end int
-		if t.Enabled() {
-			if n > 0 && t.Done(n, se) {
-				break
-			}
-			end = t.NextEnd(n, se)
-		} else {
-			if n >= fixed {
-				break
-			}
-			end = fixed // no target: one catch-up round to the declared count
+		rp, err := plan.Next(acc)
+		if err != nil {
+			return acc, fmt.Errorf("scenario: %q: %w", sp.Name, err)
 		}
-		rep, err := runJobShard(ctx, Job{Spec: job.Spec, Shard: engine.Span(n, end)})
+		if rp.Done {
+			break
+		}
+		rep, err := runJobShard(ctx, Job{Spec: job.Spec, Shard: engine.Span(rp.Start, rp.End)})
 		if err != nil {
 			return acc, err // acc: the well-formed partial of completed rounds
 		}
-		if t.Enabled() {
-			// Rounds cannot know the final adaptive count; stamp the cap
-			// so successive partials agree until the loop stops.
-			rep.TotalRuns = t.MaxRuns
-		}
+		// Rounds cannot know an adaptive job's final count; stamp the cap
+		// so successive partials agree until the loop stops.
+		plan.Stamp(rep)
 		if acc == nil {
 			acc = rep
 		} else if err := acc.Extend(rep); err != nil {
-			return acc, fmt.Errorf("scenario: extending %q after round [%d,%d): %w", sp.Name, n, end, err)
-		}
-		n = end
-		if t.Enabled() {
-			if se, err = acc.TargetSE(t); err != nil {
-				return acc, fmt.Errorf("scenario: %q: %w", sp.Name, err)
-			}
+			return acc, fmt.Errorf("scenario: extending %q after round [%d,%d): %w", sp.Name, rp.Start, rp.End, err)
 		}
 		if progress != nil {
-			done := n >= fixed
-			if t.Enabled() {
-				done = t.Done(n, se)
+			peek, err := plan.Next(acc)
+			if err != nil {
+				return acc, fmt.Errorf("scenario: %q: %w", sp.Name, err)
 			}
-			progress(Round{Start: rep.RunStart, End: n, Covered: acc.RunCount, SE: se, Target: t.SE, Done: done})
+			progress(Round{Start: rp.Start, End: rp.End, Covered: acc.RunCount, SE: peek.SE, Target: plan.Target().SE, Done: peek.Done})
 		}
 	}
-	if acc != nil {
-		if t.Enabled() {
-			// The experiment's run count is now known: the report covers
-			// the whole adaptively chosen range.
-			acc.TotalRuns = n
-		} else {
-			acc.TotalRuns = fixed
-		}
-	}
+	// The experiment's run count is now known; the report covers the
+	// whole adaptively chosen (or declared fixed) range.
+	plan.Finalize(acc)
 	return acc, nil
 }
 

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"chaffmec/internal/engine"
+	"chaffmec/internal/report"
+)
+
+func TestSplitSpanTiles(t *testing.T) {
+	cases := []struct{ start, end, parts int }{
+		{0, 100, 4}, {17, 94, 5}, {0, 3, 8}, {5, 6, 3}, {0, 7, 1},
+	}
+	for _, tc := range cases {
+		spans := SplitSpan(tc.start, tc.end, tc.parts)
+		if len(spans) == 0 {
+			t.Fatalf("SplitSpan(%d,%d,%d) empty", tc.start, tc.end, tc.parts)
+		}
+		want := tc.parts
+		if n := tc.end - tc.start; want > n {
+			want = n
+		}
+		if len(spans) != want {
+			t.Fatalf("SplitSpan(%d,%d,%d) = %d spans, want %d", tc.start, tc.end, tc.parts, len(spans), want)
+		}
+		at := tc.start
+		lo, hi := tc.end, 0
+		for _, s := range spans {
+			if s.Start != at || s.End <= s.Start {
+				t.Fatalf("SplitSpan(%d,%d,%d): span %s breaks the tiling at %d", tc.start, tc.end, tc.parts, s, at)
+			}
+			if n := s.End - s.Start; n < lo {
+				lo = n
+			} else if n > hi {
+				hi = n
+			}
+			at = s.End
+		}
+		if at != tc.end {
+			t.Fatalf("SplitSpan(%d,%d,%d) ends at %d", tc.start, tc.end, tc.parts, at)
+		}
+	}
+	if got := SplitSpan(5, 5, 3); got != nil {
+		t.Fatalf("empty range split = %v", got)
+	}
+	// Balanced: sizes differ by at most one run.
+	for _, s := range SplitSpan(17, 94, 5) {
+		if n := s.End - s.Start; n < (94-17)/5 || n > (94-17)/5+1 {
+			t.Fatalf("unbalanced span %s", s)
+		}
+	}
+}
+
+// TestPlanReplaysAdaptiveRounds pins the contract the coordinator
+// depends on: driving Plan.Next by hand over the accumulating report
+// yields exactly the rounds RunAdaptive executes — same boundaries,
+// same SE decisions, same final stamp.
+func TestPlanReplaysAdaptiveRounds(t *testing.T) {
+	sp := Spec{
+		Kind: "single", Strategy: "MO", Runs: 300, Horizon: 8, Seed: 11,
+		Precision: &Precision{TargetSE: 0.05, MinRuns: 16, MaxRuns: 300},
+	}
+	var rounds []Round
+	want, err := RunAdaptive(context.Background(), Job{Spec: sp}, func(r Round) { rounds = append(rounds, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) < 2 {
+		t.Fatalf("adaptive job ran %d rounds; the replay test needs >= 2", len(rounds))
+	}
+
+	plan, err := NewPlan(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Adaptive() {
+		t.Fatal("plan not adaptive")
+	}
+	var acc *report.Report
+	for i := 0; ; i++ {
+		rp, err := plan.Next(acc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Done {
+			if i != len(rounds) {
+				t.Fatalf("plan stopped after %d rounds, RunAdaptive ran %d", i, len(rounds))
+			}
+			break
+		}
+		if i >= len(rounds) || rp.Start != rounds[i].Start || rp.End != rounds[i].End {
+			t.Fatalf("round %d: plan schedules [%d,%d), RunAdaptive ran %+v", i, rp.Start, rp.End, rounds[i])
+		}
+		rep, err := RunJob(context.Background(), Job{Spec: sp, Shard: engine.Span(rp.Start, rp.End)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan.Stamp(rep)
+		if acc == nil {
+			acc = rep
+		} else if err := acc.Extend(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan.Finalize(acc)
+	if acc.TotalRuns != want.TotalRuns || acc.RunCount != want.RunCount {
+		t.Fatalf("replay covers %d/%d runs, RunAdaptive %d/%d",
+			acc.RunCount, acc.TotalRuns, want.RunCount, want.TotalRuns)
+	}
+}
+
+func TestPlanFixedSchedule(t *testing.T) {
+	plan, err := NewPlan(Spec{Kind: "single", Strategy: "MO", Runs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Adaptive() {
+		t.Fatal("fixed spec produced an adaptive plan")
+	}
+	rp, err := plan.Next(nil)
+	if err != nil || rp.Done || rp.Start != 0 || rp.End != 40 || !math.IsNaN(rp.SE) {
+		t.Fatalf("first fixed round = %+v, %v", rp, err)
+	}
+	done, err := plan.Next(&report.Report{RunCount: 40})
+	if err != nil || !done.Done {
+		t.Fatalf("fixed plan not done after full coverage: %+v, %v", done, err)
+	}
+}
