@@ -89,6 +89,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -101,7 +103,12 @@ import (
 	"chaffmec/internal/scenario"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain is the program body behind main. It returns the process exit
+// code instead of calling os.Exit directly so deferred cleanup — in
+// particular the -cpuprofile/-memprofile writers — runs on every path.
+func realMain() int {
 	var (
 		fig      = flag.String("fig", "all", "comma-separated figure ids: 4,kl,5,6,7,8,9a,9b,10,eq11,thm or all")
 		outDir   = flag.String("out", "out", "output directory for CSV artifacts")
@@ -128,8 +135,46 @@ func main() {
 		serveAddr = flag.String("serve", "", "serve the worker HTTP API (POST /run, GET /healthz) on this address")
 		crashWkr  = flag.Int("crash-worker", -1, "fault injection: subprocess worker i crashes mid-shard on every dispatch (CI retry proof)")
 		benchDist = flag.String("bench-distributed", "", "run the 1/2/4-worker paper-protocol scaling benchmark and write it as JSON to this file")
+
+		benchKern  = flag.String("bench-kernels", "", "run the hot-kernel benchmark suite (scalar vs batch sampling/scoring, paper protocol) and write it as JSON to this file")
+		benchBase  = flag.String("bench-baseline", "", "with -bench-kernels: compare against this committed baseline JSON and fail on regression")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of this invocation to the given file (pprof format)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to the given file on exit (pprof format)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		// Deferred so it captures the heap after the selected workload,
+		// whatever exit path it takes. (The -worker mode execs its own
+		// loop and never returns; profiles do not apply there.)
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
+	}
 
 	// Ctrl-C / SIGTERM cancels between runs; scenario paths then persist
 	// the partial rounds to -report as a resumable checkpoint, and the
@@ -143,14 +188,14 @@ func main() {
 	if *serveAddr != "" {
 		if err := serveMain(ctx, *serveAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	var flagPrec *scenario.Precision
@@ -158,19 +203,26 @@ func main() {
 		flagPrec = &scenario.Precision{TargetSE: *targetSE, MinRuns: *minRuns, MaxRuns: *maxRuns}
 	}
 
+	if *benchKern != "" {
+		if err := benchKernels(*benchKern, *benchBase, *runs, *horizon, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		return 0
+	}
 	if *benchOut != "" {
 		if err := benchAdaptive(ctx, *benchOut, *runs, *horizon, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *benchDist != "" {
 		if err := benchDistributed(ctx, *benchDist, *runs, *horizon, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *workers > 0 || *connect != "" {
 		err := distributedFlagErr(*workers, *connect, *shardArg, *resume, *merge, *scenFile)
@@ -182,16 +234,16 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *merge {
 		if err := mergeReports(flag.Args(), *repFile, *outDir); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *resume != "" {
 		err := fmt.Errorf("-resume cannot combine with -shard (a resumed job extends its whole run range)")
@@ -200,9 +252,9 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *shardArg != "" {
 		shard, err := parseShard(*shardArg)
@@ -223,16 +275,16 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *scenFile != "" {
 		if err := runScenarios(ctx, *scenFile, *outDir, *repFile, flagPrec); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	cfg := figures.Config{Runs: *runs, Horizon: *horizon, Cells: *cells, Seed: *seed}
 	r := &runner{cfg: cfg, outDir: *outDir, nodes: *nodes, topK: *topK, seed: *seed,
@@ -263,13 +315,14 @@ func main() {
 		fmt.Printf("\n===== experiment %s =====\n", s.id)
 		if err := s.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", s.id, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if !ranAny {
 		fmt.Fprintf(os.Stderr, "experiments: no known figure in %q\n", *fig)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // parseShard parses an "i/n" selector; the whole string must match (a

@@ -18,6 +18,18 @@
 //	experiments -serve :8080                               # on worker hosts...
 //	experiments -scenario scenarios.json -connect http://a:8080,http://b:8080
 //
+// Performance: everything below runs on the batched hot path — each
+// engine worker samples and scores a whole block of runs at once over
+// flat structure-of-arrays layouts, reusing a preallocated arena
+// (detect.Workspace) so warm per-run allocations are ≈ 0. That is an
+// implementation detail you never see in the results: run r's
+// randomness is a pure function of (seed, r) and batching never
+// changes per-run draw order, so batch and scalar paths are
+// bit-for-bit identical (differential tests hold the line). See the
+// README's Performance section and BENCH_kernels.json:
+//
+//	experiments -bench-kernels BENCH_kernels.json -bench-baseline BENCH_kernels.baseline.json
+//
 // Run with: go run ./examples/quickstart
 package main
 

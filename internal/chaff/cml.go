@@ -38,22 +38,31 @@ func (s *CML) Name() string { return "CML" }
 // Gamma implements TrajectoryMapper: the CML chaff is a deterministic
 // function of the user's trajectory (ties break to the lowest cell index).
 func (s *CML) Gamma(user markov.Trajectory) (markov.Trajectory, error) {
+	tr := make(markov.Trajectory, len(user))
+	if err := s.gammaInto(user, tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// gammaInto designs the CML trajectory into tr (len(tr) == len(user)),
+// allocation-free on a warm chain.
+func (s *CML) gammaInto(user, tr markov.Trajectory) error {
 	if len(user) == 0 {
-		return nil, fmt.Errorf("chaff: empty user trajectory")
+		return fmt.Errorf("chaff: empty user trajectory")
 	}
 	if err := user.Validate(s.chain.NumStates()); err != nil {
-		return nil, err
+		return err
 	}
 	pi, err := s.chain.SteadyState()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	tr := make(markov.Trajectory, len(user))
 	tr[0] = cmlFirst(pi, user[0])
 	for t := 1; t < len(user); t++ {
 		tr[t] = cmlNext(s.chain, tr[t-1], user[t])
 	}
-	return tr, nil
+	return nil
 }
 
 // GenerateChaffs implements Strategy; extra chaffs duplicate the

@@ -114,24 +114,33 @@ func safeLogAt(pi []float64, x int) float64 {
 // Gamma implements TrajectoryMapper: MO's chaff is a deterministic causal
 // function of the user's trajectory.
 func (s *MO) Gamma(user markov.Trajectory) (markov.Trajectory, error) {
+	tr := make(markov.Trajectory, len(user))
+	if err := s.gammaInto(user, tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// gammaInto designs the MO trajectory into tr (len(tr) == len(user)),
+// allocation-free on a warm chain.
+func (s *MO) gammaInto(user, tr markov.Trajectory) error {
 	if len(user) == 0 {
-		return nil, fmt.Errorf("chaff: empty user trajectory")
+		return fmt.Errorf("chaff: empty user trajectory")
 	}
 	if err := user.Validate(s.chain.NumStates()); err != nil {
-		return nil, err
+		return err
 	}
 	pi, err := s.chain.SteadyState()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	tr := make(markov.Trajectory, len(user))
 	gamma := 0.0
 	chaffPrev, userPrev := -1, -1
 	for t, u := range user {
 		tr[t], gamma = moStep(s.chain, pi, gamma, userPrev, u, chaffPrev, nil)
 		chaffPrev, userPrev = tr[t], u
 	}
-	return tr, nil
+	return nil
 }
 
 // GenerateChaffs implements Strategy; extra chaffs duplicate the

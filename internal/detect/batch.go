@@ -1,0 +1,310 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"chaffmec/internal/markov"
+)
+
+// Block is the structure-of-arrays batch-scoring arena: B Monte-Carlo
+// runs in flight, each observing U trajectories of T slots. Trajectories
+// live in one flat int32 array laid out slot-major — slot t of run r,
+// trajectory u sits at (t*B+r)*U+u — so the scoring kernel streams each
+// slot's B*U states contiguously. The running log-likelihood matrix, the
+// advanced detector's survivor bitmap and the per-run output series are
+// preallocated alongside, which is what takes the steady-state per-run
+// allocations of the hot path to ~0.
+//
+// A Block is owned by its Workspace (Workspace.Block reshapes and
+// returns the same arena) and, like the Workspace, is not safe for
+// concurrent use. Series returned by Tracking/Detection alias the arena
+// and stay valid only until the next Block or Score call.
+type Block struct {
+	b, u, t int
+
+	traj    []int32   // (t*B+r)*U+u → state
+	ll      []float64 // r*U+u → running prefix log-likelihood
+	include []bool    // r*U+u → advanced-detector survivor mask
+	track   []float64 // r*T+t → per-slot tracking accuracy
+	det     []float64 // r*T+t → per-slot detection accuracy
+
+	// Scratch for the advanced detector's per-run Γ evaluation (it needs
+	// array-of-trajectories views of one run's block column).
+	gatherTrs []markov.Trajectory
+	gatherBuf []int
+}
+
+// Block reshapes the workspace's batch arena to B runs × U trajectories
+// × T slots and returns it. Backing arrays grow on demand and are
+// reused across calls; previously returned series are invalidated.
+func (ws *Workspace) Block(B, U, T int) *Block {
+	if ws.block == nil {
+		ws.block = &Block{}
+	}
+	blk := ws.block
+	blk.b, blk.u, blk.t = B, U, T
+	blk.traj = growInt32(blk.traj, B*U*T)
+	blk.ll = growFloats(blk.ll, B*U)
+	blk.include = growBools(blk.include, B*U)
+	blk.track = growFloats(blk.track, B*T)
+	blk.det = growFloats(blk.det, B*T)
+	return blk
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// Runs returns B, the number of runs in flight.
+func (blk *Block) Runs() int { return blk.b }
+
+// Trajectories returns U, the trajectories observed per run.
+func (blk *Block) Trajectories() int { return blk.u }
+
+// Slots returns T, the horizon.
+func (blk *Block) Slots() int { return blk.t }
+
+// SetTrajectory scatters trajectory u of run r into the block. tr must
+// have exactly T entries; state validity is checked once per block by
+// the scorers.
+func (blk *Block) SetTrajectory(r, u int, tr markov.Trajectory) error {
+	if len(tr) != blk.t {
+		return fmt.Errorf("detect: trajectory %d has length %d, want %d", u, len(tr), blk.t)
+	}
+	stride := blk.b * blk.u
+	base := r*blk.u + u
+	for t, v := range tr {
+		blk.traj[t*stride+base] = int32(v)
+	}
+	return nil
+}
+
+// SetColumn scatters trajectory u of run r from a structure-of-arrays
+// sample block (markov.SampleBatch layout: src[t*B+r] with the given B
+// and the run index col within it). It is the no-gather bridge from the
+// sampling kernel into the scoring block.
+func (blk *Block) SetColumn(r, u int, src []int32, srcB, col int) {
+	stride := blk.b * blk.u
+	base := r*blk.u + u
+	for t := 0; t < blk.t; t++ {
+		blk.traj[t*stride+base] = src[t*srcB+col]
+	}
+}
+
+// Gather copies trajectory u of run r out of the block into dst,
+// growing it as needed, and returns it.
+func (blk *Block) Gather(r, u int, dst markov.Trajectory) markov.Trajectory {
+	if cap(dst) < blk.t {
+		dst = make(markov.Trajectory, blk.t)
+	}
+	dst = dst[:blk.t]
+	stride := blk.b * blk.u
+	base := r*blk.u + u
+	for t := range dst {
+		dst[t] = int(blk.traj[t*stride+base])
+	}
+	return dst
+}
+
+// Tracking returns run r's per-slot tracking-accuracy series, valid
+// until the arena is reshaped or rescored. The values are bit-identical
+// to TrackingAccuracySeries over the scalar detector's tie sets.
+func (blk *Block) Tracking(r int) []float64 { return blk.track[r*blk.t : (r+1)*blk.t] }
+
+// Detection returns run r's per-slot detection-accuracy series, valid
+// until the arena is reshaped or rescored; bit-identical to
+// DetectionAccuracySeries over the scalar tie sets.
+func (blk *Block) Detection(r int) []float64 { return blk.det[r*blk.t : (r+1)*blk.t] }
+
+// BlockScorer is the batch counterpart of PrefixDetector: score a whole
+// Block of runs in flight, filling its Tracking/Detection series for
+// the trajectory column user. Both eavesdroppers implement it.
+type BlockScorer interface {
+	PrefixDetector
+	ScoreBlock(blk *Block, user int) error
+}
+
+var (
+	_ BlockScorer = (*MLDetector)(nil)
+	_ BlockScorer = (*AdvancedDetector)(nil)
+)
+
+// ScoreBlock runs the ML detector (Eq. 1) over every run of the block in
+// one slot-major sweep: the prefix log-likelihoods of all B*U
+// trajectories advance together through the flat log-prob matrix, and
+// each run's argmax/tie statistics are reduced per slot directly into
+// its tracking/detection series. Results are bit-identical to the
+// scalar PrefixDetectionsWith + metrics pipeline run per run.
+func (d *MLDetector) ScoreBlock(blk *Block, user int) error {
+	return d.scoreBlock(blk, user, false)
+}
+
+func (d *MLDetector) scoreBlock(blk *Block, user int, filtered bool) error {
+	B, U, T := blk.b, blk.u, blk.t
+	if B < 1 || T < 1 {
+		return errors.New("detect: empty block")
+	}
+	if U < 1 {
+		return errors.New("detect: no trajectories")
+	}
+	if user < 0 || user >= U {
+		return fmt.Errorf("detect: user index %d outside [0,%d)", user, U)
+	}
+	n := d.chain.NumStates()
+	for i, v := range blk.traj[:B*U*T] {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("detect: state %d at block index %d outside [0,%d)", v, i, n)
+		}
+	}
+	logPi, err := d.chain.LogSteadyState()
+	if err != nil {
+		return err
+	}
+	logp := d.chain.LogProbs()
+
+	// Initialize the running log-likelihoods from log π on the t=0 plane.
+	ll := blk.ll
+	for i, v := range blk.traj[:B*U] {
+		ll[i] = logPi[v]
+	}
+
+	stride := B * U
+	for t := 0; t < T; t++ {
+		cur := blk.traj[t*stride : (t+1)*stride]
+		if t > 0 {
+			// Branch-free accumulation across all runs in flight: one
+			// fused pass over the slot plane.
+			prev := blk.traj[(t-1)*stride : t*stride]
+			for i, c := range cur {
+				ll[i] += logp[int(prev[i])*n+int(c)]
+			}
+		}
+		for r := 0; r < B; r++ {
+			row := ll[r*U : (r+1)*U]
+			states := cur[r*U : (r+1)*U]
+			var inc []bool
+			if filtered {
+				inc = blk.include[r*U : (r+1)*U]
+			}
+			track, det := reduceSlot(row, states, inc, user)
+			blk.track[r*T+t] = track
+			blk.det[r*T+t] = det
+		}
+	}
+	return nil
+}
+
+// reduceSlot computes one run's slot metrics from its log-likelihood row
+// without materializing the tie set, replicating appendArgmaxSet's
+// semantics exactly: an empty include set yields a uniform guess over
+// all trajectories, an all-(-Inf) row over the included ones, and
+// otherwise members within llTieTol of the maximum. The returned values
+// match float64(hits)/float64(|set|) and 1/float64(|set|) bit for bit.
+func reduceSlot(row []float64, states []int32, include []bool, user int) (track, det float64) {
+	best := math.Inf(-1)
+	n := 0
+	for u, v := range row {
+		if include != nil && !include[u] {
+			continue
+		}
+		n++
+		if v > best {
+			best = v
+		}
+	}
+	userState := states[user]
+	ties, hits := 0, 0
+	userIn := false
+	switch {
+	case n == 0:
+		// Everything filtered out: uniform guess over all trajectories.
+		ties = len(row)
+		for u := range row {
+			if states[u] == userState {
+				hits++
+			}
+		}
+		userIn = true
+	case math.IsInf(best, -1):
+		for u := range row {
+			if include != nil && !include[u] {
+				continue
+			}
+			ties++
+			if states[u] == userState {
+				hits++
+			}
+			if u == user {
+				userIn = true
+			}
+		}
+	default:
+		for u, v := range row {
+			if include != nil && !include[u] {
+				continue
+			}
+			if best-v <= llTieTol {
+				ties++
+				if states[u] == userState {
+					hits++
+				}
+				if u == user {
+					userIn = true
+				}
+			}
+		}
+	}
+	track = float64(hits) / float64(ties)
+	if userIn {
+		det = 1 / float64(ties)
+	}
+	return track, det
+}
+
+// ScoreBlock runs the strategy-aware eavesdropper over every run of the
+// block: per run, the Γ-based survivor filter of Section VI-A is
+// evaluated on the run's trajectories (gathered from the block), then
+// the shared ML sweep scores all runs among their survivors. Bit-
+// identical to the scalar PrefixDetectionsWith + metrics pipeline.
+func (d *AdvancedDetector) ScoreBlock(blk *Block, user int) error {
+	B, U, T := blk.b, blk.u, blk.t
+	if B < 1 || U < 1 || T < 1 {
+		return errors.New("detect: empty block")
+	}
+	if cap(blk.gatherBuf) < U*T {
+		blk.gatherBuf = make([]int, U*T)
+	}
+	if cap(blk.gatherTrs) < U {
+		blk.gatherTrs = make([]markov.Trajectory, U)
+	}
+	buf := blk.gatherBuf[:U*T]
+	trs := blk.gatherTrs[:U]
+	for r := 0; r < B; r++ {
+		for u := 0; u < U; u++ {
+			trs[u] = blk.Gather(r, u, buf[u*T:u*T:(u+1)*T])
+		}
+		if _, err := d.survivorsInto(blk.include[r*U:(r+1)*U], trs); err != nil {
+			return err
+		}
+	}
+	return d.ml.scoreBlock(blk, user, true)
+}

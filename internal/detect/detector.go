@@ -72,6 +72,10 @@ type Workspace struct {
 	sets    [][]int
 	setBuf  []int
 	include []bool
+
+	// block is the batch-scoring arena handed out by Workspace.Block;
+	// see batch.go.
+	block *Block
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.

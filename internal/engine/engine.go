@@ -209,6 +209,20 @@ type Config[W, R any] struct {
 	// (seed, run)-only determinism contract. Every other rand.Rand
 	// method is stateless over the source and safe.
 	Run func(w W, run int, rng *rand.Rand) (R, error)
+	// RunBlock, when set instead of Run, executes a whole dispatch chunk
+	// of runs at once — the batch-kernel hot path. The engine hands the
+	// worker the contiguous global run range [start, start+len(out)):
+	// rngs[i] is run start+i's private stream (the same stream Run would
+	// receive, so batch and scalar configs draw identically), and the
+	// callback must fill out[i] with run start+i's result. The rng bank
+	// is per-worker scratch repositioned before every block; results
+	// must not alias it or any other scratch the next block overwrites.
+	//
+	// Exactly one of Run and RunBlock must be set. With RunBlock the
+	// cancellation latency is one block (up to 256 runs) instead of one
+	// run, and a block error is attributed to the block's first run.
+	// The rng.Read prohibition of Run applies to every rng in the bank.
+	RunBlock func(w W, start int, rngs []*rand.Rand, out []R) error
 	// Accumulate folds one run's result into the experiment aggregate. It
 	// is called on a single goroutine in strict run order (ascending
 	// global indices), making reductions independent of scheduling and
@@ -255,8 +269,8 @@ func Run[W, R any](ctx context.Context, opts Options, cfg Config[W, R]) error {
 	if err := o.Shard.Validate(); err != nil {
 		return err
 	}
-	if cfg.Run == nil {
-		return fmt.Errorf("engine: Config.Run is nil")
+	if (cfg.Run == nil) == (cfg.RunBlock == nil) {
+		return fmt.Errorf("engine: exactly one of Config.Run and Config.RunBlock must be set")
 	}
 	if cfg.Accumulate == nil {
 		return fmt.Errorf("engine: Config.Accumulate is nil")
@@ -307,11 +321,21 @@ func Run[W, R any](ctx context.Context, opts Options, cfg Config[W, R]) error {
 		go func(worker int) {
 			defer wg.Done()
 			state := states[worker]
-			// One reseedable source per worker: repositioning it with
-			// Reseed is an 8-byte write, so deriving a run's private
-			// stream costs no allocation regardless of the run count.
+			// One reseedable source per worker (a bank of them for block
+			// configs): repositioning with Reseed is an 8-byte write, so
+			// deriving a run's private stream costs no allocation
+			// regardless of the run count.
 			src := rng.NewSource(0)
 			workerRNG := rand.New(src)
+			var srcs []rng.Source
+			var bank []*rand.Rand
+			if cfg.RunBlock != nil {
+				srcs = make([]rng.Source, chunk)
+				bank = make([]*rand.Rand, chunk)
+				for i := range srcs {
+					bank[i] = rand.New(&srcs[i])
+				}
+			}
 			for {
 				select {
 				case <-cancel:
@@ -320,7 +344,26 @@ func Run[W, R any](ctx context.Context, opts Options, cfg Config[W, R]) error {
 					if !ok {
 						return
 					}
-					out := outcome{start: job[0], res: make([]R, 0, job[1]-job[0])}
+					out := outcome{start: job[0]}
+					if cfg.RunBlock != nil {
+						n := job[1] - job[0]
+						for i := 0; i < n; i++ {
+							srcs[i].Reseed(o.Seed, job[0]+i)
+						}
+						res := make([]R, n)
+						if err := cfg.RunBlock(state, job[0], bank[:n], res); err != nil {
+							out.err, out.errRun = err, job[0]
+						} else {
+							out.res = res
+						}
+						select {
+						case results <- out:
+						case <-cancel:
+							return
+						}
+						continue
+					}
+					out.res = make([]R, 0, job[1]-job[0])
 					for run := job[0]; run < job[1]; run++ {
 						// Keep the documented one-run cancellation
 						// latency even for large chunks: once the

@@ -112,11 +112,29 @@ func BuildTraceLab(cfg TraceConfig) (*TraceLab, error) {
 	}
 
 	set := trace.NewSet(records)
-	nodes, tracks, err := set.RegularizeSet(trace.RegularizeOptions{
+	// Stream the fleet through the pipeline node by node: each active
+	// node's resampled points (a reused buffer) are quantised and folded
+	// into the chain estimator immediately, so the raw position tracks
+	// are never all materialized at once.
+	est, err := trace.NewChainEstimator(quant.NumCells())
+	if err != nil {
+		return nil, err
+	}
+	var nodes []string
+	var trajs []markov.Trajectory
+	err = set.StreamRegularize(trace.RegularizeOptions{
 		StartMinute: 0,
 		Slots:       cfg.Minutes,
 		IntervalMin: 1, // the paper's one-minute updates
 		MaxGapMin:   5, // the paper's inactivity threshold
+	}, func(node string, points []geo.Point) error {
+		traj := markov.Trajectory(quant.QuantizeAll(points))
+		if err := est.Add(traj); err != nil {
+			return fmt.Errorf("figures: fitting empirical chain: %w", err)
+		}
+		nodes = append(nodes, node)
+		trajs = append(trajs, traj)
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -124,8 +142,7 @@ func BuildTraceLab(cfg TraceConfig) (*TraceLab, error) {
 	if len(nodes) < 2 {
 		return nil, errors.New("figures: fewer than two active nodes; cannot run multi-user experiments")
 	}
-	trajs := trace.QuantizeTracks(tracks, quant)
-	chain, err := trace.EstimateChain(trajs, quant.NumCells())
+	chain, err := est.Chain()
 	if err != nil {
 		return nil, fmt.Errorf("figures: fitting empirical chain: %w", err)
 	}

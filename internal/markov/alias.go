@@ -120,30 +120,76 @@ func (a *AliasTable) Draw(rng *rand.Rand) int {
 	return j
 }
 
-// rowAliasTables lazily builds one alias table per transition-matrix row
-// (over the row's successor list) and caches them on the immutable
-// chain, shared by all samplers. Construction cannot fail: New already
-// validated every row as a probability distribution with at least one
-// positive entry.
-func (c *Chain) rowAliasTables() []*AliasTable {
+// flatAlias packs the per-row alias tables of a chain into contiguous
+// backing arrays: row i's table lives at [off[i], off[i+1]) of prob /
+// alias / item. One flat encoding replaces n separate AliasTable
+// allocations, so a Step walks two cache lines instead of chasing a
+// table pointer per row, and a whole-chain table fits in a handful of
+// allocations regardless of the state count.
+type flatAlias struct {
+	off   []int32   // n+1 row offsets into the backing arrays
+	prob  []float64 // per-column acceptance thresholds
+	alias []int32   // per-column overflow column (within the row)
+	item  []int32   // per-column outcome state id
+}
+
+// draw samples a successor of state from. The arithmetic is exactly
+// AliasTable.Draw over the row's table (one uniform variate, identical
+// rounding), so flat encoding never changes the values drawn from a
+// stream — the bitwise stream-stability contract of internal/rng extends
+// through here.
+func (fa *flatAlias) draw(rng *rand.Rand, from int) int {
+	o := int(fa.off[from])
+	w := int(fa.off[from+1]) - o
+	u := rng.Float64() * float64(w)
+	i := int(u)
+	if i >= w { // guards the u == w edge after float rounding
+		i = w - 1
+	}
+	j := i
+	if u-float64(i) >= fa.prob[o+i] {
+		j = int(fa.alias[o+i])
+	}
+	return int(fa.item[o+j])
+}
+
+// rowAliasFlat lazily builds the flat-encoded per-row alias tables and
+// caches them on the immutable chain, shared by all samplers. Each row's
+// table is constructed by the same Vose routine as NewAliasTable (over
+// the row's successor list) and copied into the flat arrays, so the
+// encoding is bit-identical to per-row tables. Construction cannot fail:
+// New already validated every row as a probability distribution with at
+// least one positive entry.
+func (c *Chain) rowAliasFlat() *flatAlias {
 	c.aliasOnce.Do(func() {
-		tables := make([]*AliasTable, c.n)
+		total := c.NumTransitions()
+		fa := flatAlias{
+			off:   make([]int32, c.n+1),
+			prob:  make([]float64, 0, total),
+			alias: make([]int32, 0, total),
+			item:  make([]int32, 0, total),
+		}
+		weights := make([]float64, 0, c.n)
 		for i, succ := range c.succ {
-			weights := make([]float64, len(succ))
-			items := make([]int32, len(succ))
-			for k, j := range succ {
-				weights[k] = c.p[i][j]
-				items[k] = int32(j)
+			weights = weights[:0]
+			row := c.row(i)
+			for _, j := range succ {
+				weights = append(weights, row[j])
 			}
-			t, err := newAliasTable(weights, items)
+			t, err := newAliasTable(weights, nil)
 			if err != nil {
 				panic(fmt.Sprintf("markov: alias table for validated row %d: %v", i, err))
 			}
-			tables[i] = t
+			fa.prob = append(fa.prob, t.prob...)
+			fa.alias = append(fa.alias, t.alias...)
+			for _, j := range succ {
+				fa.item = append(fa.item, int32(j))
+			}
+			fa.off[i+1] = int32(len(fa.prob))
 		}
-		c.rowAlias = tables
+		c.rowAlias = fa
 	})
-	return c.rowAlias
+	return &c.rowAlias
 }
 
 // steadyAliasTable lazily builds the alias table of the stationary

@@ -1,0 +1,48 @@
+package markov
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SampleBatch draws one stationary-start trajectory of length T per rng,
+// writing them into the structure-of-arrays block dst: run r's state at
+// slot t lands in dst[t*B+r] with B = len(rngs), so a slot's states are
+// contiguous across the runs in flight. Each run consumes its own rng
+// exactly as Sample would — same number of uniforms, same alias
+// arithmetic — so batching a run never changes the states it draws; the
+// engine's (seed, run) stream-stability contract holds bit-for-bit on
+// the batch path. dst must have at least B*T entries.
+//
+// The slot-major loop walks the flat alias encoding with all B runs'
+// predecessor states hot in cache, which is what makes this the sampling
+// kernel of the Monte-Carlo hot path.
+func (c *Chain) SampleBatch(rngs []*rand.Rand, T int, dst []int32) error {
+	B := len(rngs)
+	if B == 0 {
+		return fmt.Errorf("markov: SampleBatch needs at least one rng")
+	}
+	if T <= 0 {
+		return fmt.Errorf("markov: trajectory length %d must be positive", T)
+	}
+	if len(dst) < B*T {
+		return fmt.Errorf("markov: SampleBatch block has %d entries, want %d", len(dst), B*T)
+	}
+	start, err := c.steadyAliasTable()
+	if err != nil {
+		return err
+	}
+	fa := c.rowAliasFlat()
+	first := dst[:B]
+	for r, rng := range rngs {
+		first[r] = int32(start.Draw(rng))
+	}
+	for t := 1; t < T; t++ {
+		prev := dst[(t-1)*B : t*B]
+		cur := dst[t*B : (t+1)*B]
+		for r, rng := range rngs {
+			cur[r] = int32(fa.draw(rng, int(prev[r])))
+		}
+	}
+	return nil
+}

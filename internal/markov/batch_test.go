@@ -1,0 +1,186 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/rng"
+)
+
+// batchTestChains covers the row shapes the flat alias encoding and the
+// batch sampler must handle: dense rows, sparse rows, single-successor
+// (deterministic) rows and a mix of all three.
+func batchTestChains(t *testing.T) map[string]*Chain {
+	t.Helper()
+	return map[string]*Chain{
+		"dense": MustNew([][]float64{
+			{0.25, 0.25, 0.25, 0.25},
+			{0.1, 0.2, 0.3, 0.4},
+			{0.4, 0.3, 0.2, 0.1},
+			{0.25, 0.25, 0.25, 0.25},
+		}),
+		"sparse": MustNew([][]float64{
+			{0, 0.5, 0.5, 0},
+			{0.9, 0, 0, 0.1},
+			{0, 1, 0, 0},
+			{0.2, 0, 0.8, 0},
+		}),
+		"single-successor": MustNew([][]float64{
+			{0, 1, 0},
+			{0, 0, 1},
+			{1, 0, 0},
+		}),
+		"two-state": MustNew([][]float64{
+			{0.7, 0.3},
+			{0.4, 0.6},
+		}),
+	}
+}
+
+// TestSampleBatchMatchesSample is the kernel differential test: a batch
+// over B streams must reproduce, bit for bit, the trajectory Sample
+// draws from each stream sequentially.
+func TestSampleBatchMatchesSample(t *testing.T) {
+	const (
+		B    = 7
+		T    = 33
+		seed = 42
+	)
+	for name, c := range batchTestChains(t) {
+		t.Run(name, func(t *testing.T) {
+			// Batch path.
+			streams := make([]*rand.Rand, B)
+			for r := range streams {
+				streams[r] = rng.NewRun(seed, r)
+			}
+			dst := make([]int32, B*T)
+			if err := c.SampleBatch(streams, T, dst); err != nil {
+				t.Fatalf("SampleBatch: %v", err)
+			}
+			// Scalar reference on fresh copies of the same streams.
+			for r := 0; r < B; r++ {
+				want, err := c.Sample(rng.NewRun(seed, r), T)
+				if err != nil {
+					t.Fatalf("Sample run %d: %v", r, err)
+				}
+				for tt := 0; tt < T; tt++ {
+					if got := int(dst[tt*B+r]); got != want[tt] {
+						t.Fatalf("run %d slot %d: batch %d, scalar %d", r, tt, got, want[tt])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSampleIntoMatchesSample(t *testing.T) {
+	for name, c := range batchTestChains(t) {
+		want, err := c.Sample(rng.New(9), 25)
+		if err != nil {
+			t.Fatalf("%s: Sample: %v", name, err)
+		}
+		got := make(Trajectory, 25)
+		if err := c.SampleInto(rng.New(9), got); err != nil {
+			t.Fatalf("%s: SampleInto: %v", name, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: SampleInto %v != Sample %v", name, got, want)
+		}
+	}
+}
+
+func TestSampleBatchValidates(t *testing.T) {
+	c := batchTestChains(t)["two-state"]
+	streams := []*rand.Rand{rng.New(1)}
+	if err := c.SampleBatch(nil, 5, make([]int32, 5)); err == nil {
+		t.Fatal("no rngs accepted")
+	}
+	if err := c.SampleBatch(streams, 0, nil); err == nil {
+		t.Fatal("T=0 accepted")
+	}
+	if err := c.SampleBatch(streams, 5, make([]int32, 4)); err == nil {
+		t.Fatal("short block accepted")
+	}
+}
+
+// TestSampleBatchAllocs pins the warm sampling kernel at zero
+// allocations per block.
+func TestSampleBatchAllocs(t *testing.T) {
+	c := batchTestChains(t)["sparse"]
+	const B, T = 16, 50
+	streams := make([]*rand.Rand, B)
+	for r := range streams {
+		streams[r] = rng.NewRun(3, r)
+	}
+	dst := make([]int32, B*T)
+	if err := c.SampleBatch(streams, T, dst); err != nil { // warm the alias tables
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := c.SampleBatch(streams, T, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm SampleBatch allocates %v per block, want 0", allocs)
+	}
+}
+
+// TestLogSteadyStateMatchesSafeLog pins the cached log π against the
+// values LogLikelihood historically computed per call.
+func TestLogSteadyStateMatchesSafeLog(t *testing.T) {
+	chains := batchTestChains(t)
+	// A pinned stationary distribution with a zero entry exercises the
+	// -Inf element.
+	pinned, err := NewWithStationary([][]float64{
+		{0.5, 0.5, 0},
+		{0.5, 0.5, 0},
+		{1, 0, 0},
+	}, []float64{0.5, 0.5, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains["pinned-zero-mass"] = pinned
+	for name, c := range chains {
+		pi, err := c.SteadyState()
+		if err != nil {
+			t.Fatalf("%s: SteadyState: %v", name, err)
+		}
+		logPi, err := c.LogSteadyState()
+		if err != nil {
+			t.Fatalf("%s: LogSteadyState: %v", name, err)
+		}
+		for i, v := range pi {
+			want := math.Inf(-1)
+			if v > 0 {
+				want = math.Log(v)
+			}
+			if logPi[i] != want {
+				t.Fatalf("%s: log π[%d] = %v, want %v", name, i, logPi[i], want)
+			}
+		}
+	}
+}
+
+// TestLogLikelihoodUsesCachedLogPi checks the satellite fix: repeated
+// LogLikelihood calls on a warm chain allocate nothing (the old code
+// copied the steady state per call).
+func TestLogLikelihoodAllocs(t *testing.T) {
+	c := batchTestChains(t)["dense"]
+	tr, err := c.Sample(rng.New(5), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LogLikelihood(tr); err != nil { // warm the cache
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := c.LogLikelihood(tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm LogLikelihood allocates %v per call, want 0", allocs)
+	}
+}

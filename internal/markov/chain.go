@@ -23,21 +23,31 @@ const ProbTolerance = 1e-9
 
 // Chain is an immutable discrete-time Markov chain over states 0..N-1.
 // The zero value is not usable; construct chains with New.
+//
+// The transition matrix and its log live in flat row-major arrays
+// (index from*n+to): the sampling and scoring hot paths walk contiguous
+// memory instead of chasing per-row slice headers.
 type Chain struct {
 	n    int
-	p    [][]float64 // row-stochastic transition matrix
-	logp [][]float64 // log(p), with log(0) = -Inf
-	succ [][]int     // successor lists: states with positive probability
+	p    []float64 // row-stochastic transition matrix, row-major n*n
+	logp []float64 // log(p), with log(0) = -Inf, row-major n*n
+	succ [][]int   // successor lists: states with positive probability
 
 	steadyOnce sync.Once
 	steady     []float64
 	steadyErr  error
 
-	// Alias tables for O(1) sampling, built lazily and shared: one per
-	// row (over the successor list) plus one for the stationary
-	// distribution. See alias.go.
+	// log π, cached element-wise so the per-run likelihood hot paths never
+	// re-copy the steady state or re-take logs. See steady.go.
+	logSteadyOnce sync.Once
+	logSteady     []float64
+	logSteadyErr  error
+
+	// Alias tables for O(1) sampling, built lazily and shared: the rows
+	// flat-encoded into one contiguous backing array, plus one table for
+	// the stationary distribution. See alias.go.
 	aliasOnce       sync.Once
-	rowAlias        []*AliasTable
+	rowAlias        flatAlias
 	steadyAliasOnce sync.Once
 	steadyAlias     *AliasTable
 	steadyAliasErr  error
@@ -52,8 +62,8 @@ func New(p [][]float64) (*Chain, error) {
 	}
 	c := &Chain{
 		n:    n,
-		p:    make([][]float64, n),
-		logp: make([][]float64, n),
+		p:    make([]float64, n*n),
+		logp: make([]float64, n*n),
 		succ: make([][]int, n),
 	}
 	for i, row := range p {
@@ -61,8 +71,8 @@ func New(p [][]float64) (*Chain, error) {
 			return nil, fmt.Errorf("markov: row %d has %d entries, want %d", i, len(row), n)
 		}
 		sum := 0.0
-		cp := make([]float64, n)
-		lg := make([]float64, n)
+		cp := c.p[i*n : (i+1)*n]
+		lg := c.logp[i*n : (i+1)*n]
 		var succ []int
 		for j, v := range row {
 			if math.IsNaN(v) || v < 0 || v > 1+ProbTolerance {
@@ -83,8 +93,6 @@ func New(p [][]float64) (*Chain, error) {
 		if len(succ) == 0 {
 			return nil, fmt.Errorf("markov: row %d has no positive transition", i)
 		}
-		c.p[i] = cp
-		c.logp[i] = lg
 		c.succ[i] = succ
 	}
 	return c, nil
@@ -135,17 +143,27 @@ func NewWithStationary(p [][]float64, pi []float64) (*Chain, error) {
 func (c *Chain) NumStates() int { return c.n }
 
 // Prob returns P(to|from).
-func (c *Chain) Prob(from, to int) float64 { return c.p[from][to] }
+func (c *Chain) Prob(from, to int) float64 { return c.p[from*c.n+to] }
 
 // LogProb returns log P(to|from), -Inf when the transition is impossible.
-func (c *Chain) LogProb(from, to int) float64 { return c.logp[from][to] }
+func (c *Chain) LogProb(from, to int) float64 { return c.logp[from*c.n+to] }
+
+// row returns the outgoing distribution of state from as a view into the
+// flat matrix.
+func (c *Chain) row(from int) []float64 { return c.p[from*c.n : (from+1)*c.n] }
 
 // Row returns a copy of the outgoing distribution of state from.
 func (c *Chain) Row(from int) []float64 {
 	out := make([]float64, c.n)
-	copy(out, c.p[from])
+	copy(out, c.row(from))
 	return out
 }
+
+// LogProbs returns the flat row-major log-transition matrix (n*n entries,
+// index from*n+to, impossible transitions -Inf) backing LogProb. It is
+// the chain's shared storage and must not be modified; batch scoring
+// kernels read it directly to avoid a method call per transition.
+func (c *Chain) LogProbs() []float64 { return c.logp }
 
 // Successors returns the states reachable from `from` in one step with
 // positive probability. The returned slice must not be modified.
@@ -163,9 +181,9 @@ func (c *Chain) NumTransitions() int {
 // Matrix returns a deep copy of the transition matrix.
 func (c *Chain) Matrix() [][]float64 {
 	out := make([][]float64, c.n)
-	for i := range c.p {
+	for i := range out {
 		out[i] = make([]float64, c.n)
-		copy(out[i], c.p[i])
+		copy(out[i], c.row(i))
 	}
 	return out
 }
@@ -182,10 +200,11 @@ func (c *Chain) String() string {
 // the advanced eavesdropper of Section VI-A reproduces chaff trajectories
 // and must agree with the user's computation.
 func (c *Chain) MaxProbSuccessor(from int) int {
+	row := c.row(from)
 	best, bestP := -1, math.Inf(-1)
 	for _, j := range c.succ[from] {
-		if c.p[from][j] > bestP {
-			best, bestP = j, c.p[from][j]
+		if row[j] > bestP {
+			best, bestP = j, row[j]
 		}
 	}
 	return best
@@ -195,13 +214,14 @@ func (c *Chain) MaxProbSuccessor(from int) int {
 // is not in the excluded set, -1 if every successor is excluded. Ties break
 // to the lowest state index.
 func (c *Chain) MaxProbSuccessorExcluding(from int, excluded func(int) bool) int {
+	row := c.row(from)
 	best, bestP := -1, math.Inf(-1)
 	for _, j := range c.succ[from] {
 		if excluded != nil && excluded(j) {
 			continue
 		}
-		if c.p[from][j] > bestP {
-			best, bestP = j, c.p[from][j]
+		if row[j] > bestP {
+			best, bestP = j, row[j]
 		}
 	}
 	return best

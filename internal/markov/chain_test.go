@@ -117,7 +117,7 @@ func TestSteadyDirectMatchesPower(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		n := 2 + rng.Intn(15)
 		c := randomChain(rng, n)
-		direct, err := steadyDirect(c.p)
+		direct, err := steadyDirect(c.n, c.p)
 		if err != nil {
 			t.Fatalf("direct solve: %v", err)
 		}

@@ -15,7 +15,7 @@ func (c *Chain) EntropyRate() (float64, error) {
 		if pi[i] == 0 {
 			continue
 		}
-		h += pi[i] * RowEntropy(c.p[i])
+		h += pi[i] * RowEntropy(c.row(i))
 	}
 	return h, nil
 }
@@ -66,7 +66,7 @@ func (c *Chain) AvgPairwiseRowKL() float64 {
 			if i == j {
 				continue
 			}
-			sum += KL(c.p[i], c.p[j])
+			sum += KL(c.row(i), c.row(j))
 			cnt++
 		}
 	}
@@ -84,9 +84,10 @@ func (c *Chain) AvgPairwiseRowKLSmoothed(eps float64) float64 {
 	rows := make([][]float64, c.n)
 	denom := 1 + eps*float64(c.n)
 	for i := range rows {
+		src := c.row(i)
 		row := make([]float64, c.n)
 		for j := range row {
-			row[j] = (c.p[i][j] + eps) / denom
+			row[j] = (src[j] + eps) / denom
 		}
 		rows[i] = row
 	}

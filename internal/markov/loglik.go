@@ -7,7 +7,9 @@ import (
 
 // LogLikelihood returns log p(x) = log π(x₁) + Σ_{t≥2} log P(x_t|x_{t−1}),
 // the quantity maximised by the eavesdropper's detector (Eq. 1 of the
-// paper). Impossible trajectories return -Inf.
+// paper). Impossible trajectories return -Inf. The initial term comes
+// from the chain's cached log π (LogSteadyState), so repeated calls pay
+// neither the SteadyState copy nor a log per call.
 func (c *Chain) LogLikelihood(tr Trajectory) (float64, error) {
 	if len(tr) == 0 {
 		return 0, fmt.Errorf("markov: empty trajectory")
@@ -15,13 +17,13 @@ func (c *Chain) LogLikelihood(tr Trajectory) (float64, error) {
 	if err := tr.Validate(c.n); err != nil {
 		return 0, err
 	}
-	pi, err := c.SteadyState()
+	logPi, err := c.LogSteadyState()
 	if err != nil {
 		return 0, err
 	}
-	ll := safeLog(pi[tr[0]])
+	ll := logPi[tr[0]]
 	for t := 1; t < len(tr); t++ {
-		ll += c.logp[tr[t-1]][tr[t]]
+		ll += c.logp[tr[t-1]*c.n+tr[t]]
 		if math.IsInf(ll, -1) {
 			return ll, nil
 		}
@@ -37,7 +39,7 @@ func (c *Chain) TransitionLogLikelihood(tr Trajectory) (float64, error) {
 	}
 	ll := 0.0
 	for t := 1; t < len(tr); t++ {
-		ll += c.logp[tr[t-1]][tr[t]]
+		ll += c.logp[tr[t-1]*c.n+tr[t]]
 	}
 	return ll, nil
 }

@@ -36,7 +36,7 @@ func (c *Chain) MixingTime(eps float64, maxT int) (int, error) {
 	next := make([][]float64, c.n)
 	for i := range rows {
 		rows[i] = make([]float64, c.n)
-		copy(rows[i], c.p[i])
+		copy(rows[i], c.row(i))
 		next[i] = make([]float64, c.n)
 	}
 	for t := 1; t <= maxT; t++ {
@@ -66,8 +66,9 @@ func propagate(c *Chain, src, dst []float64) {
 		if v == 0 {
 			continue
 		}
+		row := c.row(i)
 		for _, j := range c.succ[i] {
-			dst[j] += v * c.p[i][j]
+			dst[j] += v * row[j]
 		}
 	}
 }

@@ -29,7 +29,7 @@ func SampleDist(rng *rand.Rand, dist []float64) int {
 // cumulative scan, so the two draw different (identically distributed)
 // values from the same stream.
 func (c *Chain) Step(rng *rand.Rand, from int) int {
-	return c.rowAliasTables()[from].Draw(rng)
+	return c.rowAliasFlat().draw(rng, from)
 }
 
 // StepLinear samples the successor of state from with the O(successors)
@@ -38,9 +38,10 @@ func (c *Chain) Step(rng *rand.Rand, from int) int {
 func (c *Chain) StepLinear(rng *rand.Rand, from int) int {
 	u := rng.Float64()
 	acc := 0.0
+	row := c.row(from)
 	succ := c.succ[from]
 	for _, j := range succ {
-		acc += c.p[from][j]
+		acc += row[j]
 		if u < acc {
 			return j
 		}
@@ -55,16 +56,30 @@ func (c *Chain) Sample(rng *rand.Rand, T int) (Trajectory, error) {
 	if T <= 0 {
 		return nil, fmt.Errorf("markov: trajectory length %d must be positive", T)
 	}
-	start, err := c.steadyAliasTable()
-	if err != nil {
+	tr := make(Trajectory, T)
+	if err := c.SampleInto(rng, tr); err != nil {
 		return nil, err
 	}
-	tr := make(Trajectory, T)
-	tr[0] = start.Draw(rng)
-	for t := 1; t < T; t++ {
-		tr[t] = c.Step(rng, tr[t-1])
-	}
 	return tr, nil
+}
+
+// SampleInto is Sample into a caller-owned trajectory of the desired
+// length, drawing exactly the same states from the stream. It keeps
+// batch harnesses allocation-free on their warm path.
+func (c *Chain) SampleInto(rng *rand.Rand, tr Trajectory) error {
+	if len(tr) == 0 {
+		return fmt.Errorf("markov: trajectory length %d must be positive", len(tr))
+	}
+	start, err := c.steadyAliasTable()
+	if err != nil {
+		return err
+	}
+	fa := c.rowAliasFlat()
+	tr[0] = start.Draw(rng)
+	for t := 1; t < len(tr); t++ {
+		tr[t] = fa.draw(rng, tr[t-1])
+	}
+	return nil
 }
 
 // SampleLinear is Sample on the linear-scan reference path (SampleDist +

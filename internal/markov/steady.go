@@ -21,7 +21,7 @@ const steadyTol = 1e-13
 func (c *Chain) SteadyState() ([]float64, error) {
 	c.steadyOnce.Do(func() {
 		if c.n <= 512 {
-			pi, err := steadyDirect(c.p)
+			pi, err := steadyDirect(c.n, c.p)
 			if err == nil {
 				c.steady = pi
 				return
@@ -38,6 +38,27 @@ func (c *Chain) SteadyState() ([]float64, error) {
 	return out, nil
 }
 
+// LogSteadyState returns log π element-wise, with log 0 = -Inf, cached on
+// the chain: likelihood hot paths (LogLikelihood, the detect batch
+// scorers) read it without re-copying the steady state or re-taking logs
+// per call. The returned slice is the chain's shared storage and must
+// not be modified.
+func (c *Chain) LogSteadyState() ([]float64, error) {
+	c.logSteadyOnce.Do(func() {
+		pi, err := c.SteadyState()
+		if err != nil {
+			c.logSteadyErr = err
+			return
+		}
+		lp := make([]float64, len(pi))
+		for i, v := range pi {
+			lp[i] = safeLog(v)
+		}
+		c.logSteady = lp
+	})
+	return c.logSteady, c.logSteadyErr
+}
+
 // MustSteadyState is SteadyState for chains known to be ergodic.
 func (c *Chain) MustSteadyState() []float64 {
 	pi, err := c.SteadyState()
@@ -49,16 +70,16 @@ func (c *Chain) MustSteadyState() []float64 {
 
 // steadyDirect solves π(P−I) = 0, Σπ = 1 by Gaussian elimination with
 // partial pivoting on the transposed system (Pᵀ−I)πᵀ = 0 where the last
-// equation is replaced with the normalization constraint.
-func steadyDirect(p [][]float64) ([]float64, error) {
-	n := len(p)
+// equation is replaced with the normalization constraint. p is the flat
+// row-major n*n transition matrix.
+func steadyDirect(n int, p []float64) ([]float64, error) {
 	// Build A = Pᵀ - I with the last row replaced by ones; b = e_n.
 	a := make([][]float64, n)
 	b := make([]float64, n)
 	for i := 0; i < n; i++ {
 		a[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
-			a[i][j] = p[j][i]
+			a[i][j] = p[j*n+i]
 		}
 		a[i][i] -= 1
 	}
@@ -136,8 +157,9 @@ func steadyPower(c *Chain) ([]float64, error) {
 			if cur[i] == 0 {
 				continue
 			}
+			row := c.row(i)
 			for _, j := range c.succ[i] {
-				next[j] += cur[i] * c.p[i][j]
+				next[j] += cur[i] * row[j]
 			}
 		}
 		diff := 0.0

@@ -1,0 +1,85 @@
+package multiuser
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/detect"
+	"chaffmec/internal/engine"
+	"chaffmec/internal/markov"
+	"chaffmec/internal/mobility"
+)
+
+// runScalar executes the config through the engine on the SCALAR per-run
+// path (runOnce), bypassing Run's batch dispatch.
+func runScalar(t *testing.T, cfg Config, opts engine.Options) *Result {
+	t.Helper()
+	var det detect.PrefixDetector
+	if cfg.Gamma != nil {
+		adv, err := detect.NewAdvancedDetector(cfg.TargetChain, cfg.Gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det = adv
+	} else {
+		det = detect.NewMLDetector(cfg.TargetChain)
+	}
+	o := opts.Normalized()
+	start, _ := o.Range()
+	track := engine.NewSeriesStatsAt(cfg.Horizon, start)
+	err := engine.Run(context.Background(), o, engine.Config[*muWorker, []float64]{
+		NewWorker: func(int) (*muWorker, error) { return newWorker(&cfg), nil },
+		Run: func(w *muWorker, run int, rng *rand.Rand) ([]float64, error) {
+			return runOnce(&cfg, det, w, rng)
+		},
+		Accumulate: func(run int, series []float64) error { return track.Add(series) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Result{PerSlot: track.Mean(), Runs: track.N()}
+}
+
+// TestBatchMatchesScalar: Run's batch dispatch must reproduce the scalar
+// runOnce pipeline bit for bit across the population shapes — bare
+// coexisting users, protected target, heterogeneous protection and the
+// advanced detector.
+func TestBatchMatchesScalar(t *testing.T) {
+	target := modelChain(t, mobility.ModelSpatiallySkewed, 1)
+	other := modelChain(t, mobility.ModelNonSkewed, 2)
+	mo := chaff.NewMO(target)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"bare-others", Config{TargetChain: target, OtherChains: []*markov.Chain{other, other}, Horizon: 20}},
+		{"protected-target", Config{TargetChain: target, OtherChains: []*markov.Chain{other},
+			Strategy: chaff.NewIM(target), NumChaffs: 2, Horizon: 20}},
+		{"hetero", Config{TargetChain: target, OtherChains: []*markov.Chain{other, target},
+			Strategy: mo, NumChaffs: 1, Horizon: 20,
+			OtherStrategies: []chaff.Strategy{chaff.NewIM(other), nil},
+			OtherNumChaffs:  []int{2, 0}}},
+		{"advanced", Config{TargetChain: target, OtherChains: []*markov.Chain{other},
+			Strategy: mo, NumChaffs: 1, Horizon: 20, Gamma: detect.GammaFunc(mo.Gamma)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := engine.Options{Runs: 50, Seed: 23, Workers: 4}
+			want := runScalar(t, tc.cfg, opts)
+			got, err := Run(context.Background(), tc.cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Runs != want.Runs {
+				t.Fatalf("runs: batch %d, scalar %d", got.Runs, want.Runs)
+			}
+			for i := range want.PerSlot {
+				if got.PerSlot[i] != want.PerSlot[i] {
+					t.Fatalf("slot %d: batch %v, scalar %v", i, got.PerSlot[i], want.PerSlot[i])
+				}
+			}
+		})
+	}
+}

@@ -99,11 +99,21 @@ type Result struct {
 	TrackStats *engine.SeriesStats
 }
 
-// muWorker is the per-worker scratch: the detection workspace and the
-// observed-trajectory slice rebuilt in place every run.
+// muWorker is the per-worker scratch: the detection workspace, the
+// observed-trajectory slice rebuilt in place every run on the scalar
+// path, and the batch-path buffers — the SoA target sample block plus
+// reused trajectory buffers for the coexisting users and every chaff
+// group. All of it is reused across the worker's runs, taking the
+// steady-state per-run allocations to ~0.
 type muWorker struct {
 	ws  *detect.Workspace
 	trs []markov.Trajectory
+
+	targets   []int32               // markov.SampleBatch layout: targets[t*B+r]
+	tbuf      markov.Trajectory     // run r's target, gathered for chaff generation
+	obuf      markov.Trajectory     // current other user's trajectory
+	chaffBufs []markov.Trajectory   // target's chaffs
+	otherBufs [][]markov.Trajectory // chaffs of each protected other user
 }
 
 // Run executes the scenario on the shared Monte-Carlo engine (the whole
@@ -131,26 +141,26 @@ func Run(ctx context.Context, cfg Config, opts engine.Options) (*Result, error) 
 	start, _ := o.Range()
 	track := engine.NewSeriesStatsAt(cfg.Horizon, start)
 
-	err := engine.Run(ctx, o, engine.Config[*muWorker, []float64]{
+	ecfg := engine.Config[*muWorker, []float64]{
 		NewWorker: func(int) (*muWorker, error) {
-			cap := 1 + len(cfg.OtherChains) + cfg.NumChaffs
-			for i := range cfg.OtherStrategies {
-				if cfg.OtherStrategies[i] != nil {
-					cap += cfg.OtherNumChaffs[i]
-				}
-			}
-			return &muWorker{
-				ws:  detect.NewWorkspace(),
-				trs: make([]markov.Trajectory, 0, cap),
-			}, nil
-		},
-		Run: func(w *muWorker, run int, rng *rand.Rand) ([]float64, error) {
-			return runOnce(&cfg, det, w, rng)
+			return newWorker(&cfg), nil
 		},
 		Accumulate: func(run int, series []float64) error {
 			return track.Add(series)
 		},
-	})
+	}
+	if scorer, ok := det.(detect.BlockScorer); ok {
+		// Batch path: whole dispatch chunks sampled and scored through the
+		// SoA kernels; bit-identical to the scalar runOnce path.
+		ecfg.RunBlock = func(w *muWorker, start int, rngs []*rand.Rand, out [][]float64) error {
+			return runBlock(&cfg, scorer, w, rngs, out)
+		}
+	} else {
+		ecfg.Run = func(w *muWorker, run int, rng *rand.Rand) ([]float64, error) {
+			return runOnce(&cfg, det, w, rng)
+		}
+	}
+	err := engine.Run(ctx, o, ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -163,6 +173,121 @@ func Run(ctx context.Context, cfg Config, opts engine.Options) (*Result, error) 
 	}
 	res.Overall = detect.TimeAverage(res.PerSlot)
 	return res, nil
+}
+
+// newWorker builds one worker's scratch, pre-sizing every trajectory
+// buffer to the horizon so the hot loop never grows them.
+func newWorker(cfg *Config) *muWorker {
+	capTrs := 1 + len(cfg.OtherChains) + cfg.NumChaffs
+	for i := range cfg.OtherStrategies {
+		if cfg.OtherStrategies[i] != nil {
+			capTrs += cfg.OtherNumChaffs[i]
+		}
+	}
+	w := &muWorker{
+		ws:   detect.NewWorkspace(),
+		trs:  make([]markov.Trajectory, 0, capTrs),
+		tbuf: make(markov.Trajectory, cfg.Horizon),
+		obuf: make(markov.Trajectory, cfg.Horizon),
+	}
+	if cfg.Strategy != nil {
+		w.chaffBufs = make([]markov.Trajectory, cfg.NumChaffs)
+		for i := range w.chaffBufs {
+			w.chaffBufs[i] = make(markov.Trajectory, cfg.Horizon)
+		}
+	}
+	w.otherBufs = make([][]markov.Trajectory, len(cfg.OtherStrategies))
+	for i, s := range cfg.OtherStrategies {
+		if s == nil {
+			continue
+		}
+		w.otherBufs[i] = make([]markov.Trajectory, cfg.OtherNumChaffs[i])
+		for j := range w.otherBufs[i] {
+			w.otherBufs[i][j] = make(markov.Trajectory, cfg.Horizon)
+		}
+	}
+	return w
+}
+
+// numObserved returns U, the trajectories the eavesdropper observes per
+// run — the length of runOnce's trs slice.
+func numObserved(cfg *Config) int {
+	u := 1 + len(cfg.OtherChains)
+	for i := range cfg.OtherStrategies {
+		if cfg.OtherStrategies[i] != nil {
+			u += cfg.OtherNumChaffs[i]
+		}
+	}
+	if cfg.Strategy != nil {
+		u += cfg.NumChaffs
+	}
+	return u
+}
+
+// runBlock executes a whole engine dispatch chunk through the batch
+// kernels, preserving runOnce's per-stream draw order exactly: the
+// target is each run's first sample (SampleBatch), then per run the
+// coexisting users and chaff groups are generated into reused buffers
+// and packed into the scoring block in the same column order the scalar
+// path builds trs.
+func runBlock(cfg *Config, scorer detect.BlockScorer, w *muWorker, rngs []*rand.Rand, out [][]float64) error {
+	B, T := len(rngs), cfg.Horizon
+	if cap(w.targets) < B*T {
+		w.targets = make([]int32, B*T)
+	}
+	targets := w.targets[:B*T]
+	if err := cfg.TargetChain.SampleBatch(rngs, T, targets); err != nil {
+		return err
+	}
+	blk := w.ws.Block(B, numObserved(cfg), T)
+	for r := 0; r < B; r++ {
+		for t := 0; t < T; t++ {
+			w.tbuf[t] = int(targets[t*B+r])
+		}
+		blk.SetColumn(r, 0, targets, B, r)
+		col := 1
+		for i, oc := range cfg.OtherChains {
+			if err := oc.SampleInto(rngs[r], w.obuf); err != nil {
+				return err
+			}
+			if err := blk.SetTrajectory(r, col, w.obuf); err != nil {
+				return err
+			}
+			col++
+			if i < len(cfg.OtherStrategies) && cfg.OtherStrategies[i] != nil {
+				if err := chaff.GenerateInto(cfg.OtherStrategies[i], rngs[r], w.obuf, w.otherBufs[i]); err != nil {
+					return fmt.Errorf("multiuser: chaffs for other user %d: %w", i, err)
+				}
+				for _, ch := range w.otherBufs[i] {
+					if err := blk.SetTrajectory(r, col, ch); err != nil {
+						return err
+					}
+					col++
+				}
+			}
+		}
+		if cfg.Strategy != nil {
+			if err := chaff.GenerateInto(cfg.Strategy, rngs[r], w.tbuf, w.chaffBufs); err != nil {
+				return err
+			}
+			for _, ch := range w.chaffBufs {
+				if err := blk.SetTrajectory(r, col, ch); err != nil {
+					return err
+				}
+				col++
+			}
+		}
+	}
+	if err := scorer.ScoreBlock(blk, 0); err != nil {
+		return err
+	}
+	backing := make([]float64, B*T)
+	for r := range out {
+		series := backing[r*T : (r+1)*T]
+		copy(series, blk.Tracking(r))
+		out[r] = series
+	}
+	return nil
 }
 
 func runOnce(cfg *Config, det detect.PrefixDetector, w *muWorker, rng *rand.Rand) ([]float64, error) {

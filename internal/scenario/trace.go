@@ -154,17 +154,64 @@ func runTrace(ctx context.Context, sp Spec, shard engine.Shard) (*report.Report,
 	track := engine.NewSeriesStatsAt(lab.Horizon, start)
 
 	type traceWorker struct {
-		ws  *detect.Workspace
-		trs []markov.Trajectory
+		ws        *detect.Workspace
+		trs       []markov.Trajectory
+		chaffBufs []markov.Trajectory
 	}
-	err = engine.Run(ctx, o, engine.Config[*traceWorker, []float64]{
+	cfg := engine.Config[*traceWorker, []float64]{
 		NewWorker: func(int) (*traceWorker, error) {
-			return &traceWorker{
-				ws:  detect.NewWorkspace(),
-				trs: make([]markov.Trajectory, 0, len(lab.Trajectories)+numChaffs),
-			}, nil
+			w := &traceWorker{
+				ws:        detect.NewWorkspace(),
+				trs:       make([]markov.Trajectory, 0, len(lab.Trajectories)+numChaffs),
+				chaffBufs: make([]markov.Trajectory, numChaffs),
+			}
+			for i := range w.chaffBufs {
+				w.chaffBufs[i] = make(markov.Trajectory, lab.Horizon)
+			}
+			return w, nil
 		},
-		Run: func(w *traceWorker, run int, rng *rand.Rand) ([]float64, error) {
+		Accumulate: func(run int, series []float64) error {
+			return track.Add(series)
+		},
+	}
+	if scorer, ok := det.(detect.BlockScorer); ok {
+		// Batch path: the fixed fleet plus each run's chaff stream are
+		// packed into the worker's scoring block and swept once per chunk.
+		// Only chaff generation draws from the run streams, exactly as the
+		// scalar path does, so results are bit-identical to it.
+		cfg.RunBlock = func(w *traceWorker, start int, rngs []*rand.Rand, out [][]float64) error {
+			B, T := len(rngs), lab.Horizon
+			blk := w.ws.Block(B, len(lab.Trajectories)+numChaffs, T)
+			for r := range rngs {
+				for u, tr := range lab.Trajectories {
+					if err := blk.SetTrajectory(r, u, tr); err != nil {
+						return err
+					}
+				}
+				if strat != nil {
+					if err := chaff.GenerateInto(strat, rngs[r], lab.Trajectories[user], w.chaffBufs); err != nil {
+						return fmt.Errorf("scenario: trace chaffs: %w", err)
+					}
+					for i, ch := range w.chaffBufs {
+						if err := blk.SetTrajectory(r, len(lab.Trajectories)+i, ch); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			if err := scorer.ScoreBlock(blk, user); err != nil {
+				return err
+			}
+			backing := make([]float64, B*T)
+			for r := range out {
+				series := backing[r*T : (r+1)*T]
+				copy(series, blk.Tracking(r))
+				out[r] = series
+			}
+			return nil
+		}
+	} else {
+		cfg.Run = func(w *traceWorker, run int, rng *rand.Rand) ([]float64, error) {
 			w.trs = append(w.trs[:0], lab.Trajectories...)
 			if strat != nil {
 				chaffs, err := strat.GenerateChaffs(rng, lab.Trajectories[user], numChaffs)
@@ -178,11 +225,9 @@ func runTrace(ctx context.Context, sp Spec, shard engine.Shard) (*report.Report,
 				return nil, err
 			}
 			return detect.TrackingAccuracySeries(dets, w.trs, user)
-		},
-		Accumulate: func(run int, series []float64) error {
-			return track.Add(series)
-		},
-	})
+		}
+	}
+	err = engine.Run(ctx, o, cfg)
 	if err != nil {
 		return nil, err
 	}

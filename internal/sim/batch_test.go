@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/chaff"
+	"chaffmec/internal/detect"
+	"chaffmec/internal/engine"
+	"chaffmec/internal/mobility"
+	"chaffmec/internal/rng"
+)
+
+// runScalar executes the scenario through the engine on the SCALAR
+// per-run path (runOnce), bypassing Run's batch dispatch — the reference
+// the batch path must reproduce bit for bit.
+func runScalar(t *testing.T, sc Scenario, opts engine.Options) *Result {
+	t.Helper()
+	det, err := sc.newDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts.Normalized()
+	start, _ := o.Range()
+	track := engine.NewSeriesStatsAt(sc.Horizon, start)
+	detection := engine.NewSeriesStatsAt(sc.Horizon, start)
+	var cts []float64
+	err = engine.Run(context.Background(), o, engine.Config[*simWorker, runResult]{
+		NewWorker: func(int) (*simWorker, error) { return sc.newWorker(), nil },
+		Run: func(w *simWorker, run int, rng *rand.Rand) (runResult, error) {
+			return sc.runOnce(w, det, rng)
+		},
+		Accumulate: func(run int, r runResult) error {
+			if err := track.Add(r.track); err != nil {
+				return err
+			}
+			if err := detection.Add(r.det); err != nil {
+				return err
+			}
+			cts = append(cts, r.ct...)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Result{
+		PerSlot:   track.Mean(),
+		Detection: detection.Mean(),
+		Runs:      track.N(),
+		CtSamples: cts,
+	}
+}
+
+// TestBatchMatchesScalar is the harness-level differential test: Run
+// (batch dispatch through SampleBatch + ScoreBlock) must reproduce the
+// scalar runOnce pipeline bit for bit — same seeds, same streams, same
+// accumulation — across strategies, detectors and the c_t collector.
+func TestBatchMatchesScalar(t *testing.T) {
+	c := modelChain(t, mobility.ModelSpatiallySkewed)
+	mo := chaff.NewMO(c)
+	cases := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"IM-basic", Scenario{Chain: c, Strategy: chaff.NewIM(c), NumChaffs: 3, Horizon: 25}},
+		{"MO-basic-ct", Scenario{Chain: c, Strategy: mo, NumChaffs: 1, Horizon: 25, CollectCt: true}},
+		{"ML-basic", Scenario{Chain: c, Strategy: chaff.NewML(c), NumChaffs: 2, Horizon: 25}},
+		{"MO-advanced", Scenario{Chain: c, Strategy: mo, NumChaffs: 1, Horizon: 25,
+			Detector: AdvancedDetector, Gamma: detect.GammaFunc(mo.Gamma)}},
+		{"OO-fallback", Scenario{Chain: c, Strategy: chaff.NewOO(c), NumChaffs: 1, Horizon: 15}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := engine.Options{Runs: 60, Seed: 17, Workers: 4}
+			want := runScalar(t, tc.sc, opts)
+			got, err := Run(context.Background(), tc.sc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Runs != want.Runs {
+				t.Fatalf("runs: batch %d, scalar %d", got.Runs, want.Runs)
+			}
+			for i := range want.PerSlot {
+				if got.PerSlot[i] != want.PerSlot[i] {
+					t.Fatalf("slot %d tracking: batch %v, scalar %v", i, got.PerSlot[i], want.PerSlot[i])
+				}
+				if got.Detection[i] != want.Detection[i] {
+					t.Fatalf("slot %d detection: batch %v, scalar %v", i, got.Detection[i], want.Detection[i])
+				}
+			}
+			if len(got.CtSamples) != len(want.CtSamples) {
+				t.Fatalf("ct samples: batch %d, scalar %d", len(got.CtSamples), len(want.CtSamples))
+			}
+			for i := range want.CtSamples {
+				if got.CtSamples[i] != want.CtSamples[i] {
+					t.Fatalf("ct sample %d: batch %v, scalar %v", i, got.CtSamples[i], want.CtSamples[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunBlockAllocs pins the warm batch hot path: one engine chunk of B
+// runs costs O(1) allocations (the per-block result backing), not O(B).
+func TestRunBlockAllocs(t *testing.T) {
+	c := modelChain(t, mobility.ModelNonSkewed)
+	sc := Scenario{Chain: c, Strategy: chaff.NewML(c), NumChaffs: 2, Horizon: 50}
+	det, err := sc.newDetector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorer := det.(detect.BlockScorer)
+	const B = 64
+	w := sc.newWorker()
+	rngs := make([]*rand.Rand, B)
+	srcs := make([]rng.Source, B)
+	for i := range rngs {
+		rngs[i] = rand.New(&srcs[i])
+	}
+	out := make([]runResult, B)
+	reseed := func() {
+		for i := range srcs {
+			srcs[i].Reseed(5, i)
+		}
+	}
+	reseed()
+	if err := sc.runBlock(w, scorer, rngs, out); err != nil { // warm all caches
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		reseed()
+		if err := sc.runBlock(w, scorer, rngs, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One backing allocation for the per-run series (plus its slice
+	// header bookkeeping at most): amortized per run this is ~0.
+	if allocs > 3 {
+		t.Fatalf("warm runBlock allocates %v per %d-run block, want <= 3", allocs, B)
+	}
+	if perRun := allocs / B; perRun > 0.1 {
+		t.Fatalf("warm batch path allocates %v per run, want ~0", perRun)
+	}
+}

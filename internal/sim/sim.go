@@ -109,11 +109,19 @@ func (sc *Scenario) newDetector() (detect.PrefixDetector, error) {
 	}
 }
 
-// simWorker is the per-worker scratch: the reusable detection workspace
-// and the trajectory slice rebuilt (not reallocated) every run.
+// simWorker is the per-worker scratch: the reusable detection workspace,
+// the trajectory slice rebuilt (not reallocated) every run on the scalar
+// path, and the batch-path arena feeds — the SoA user sample block plus
+// the gather/chaff buffers GenerateInto fills in place. Everything here
+// is reused across every run the worker executes, which is what takes
+// the steady-state per-run allocations to ~0.
 type simWorker struct {
 	ws  *detect.Workspace
 	trs []markov.Trajectory
+
+	users     []int32             // markov.SampleBatch layout: users[t*B+r]
+	userBuf   markov.Trajectory   // run r's user, gathered for chaff generation
+	chaffBufs []markov.Trajectory // reused chaff buffers, one per chaff
 }
 
 // runResult is one run's contribution to the aggregate. The series are
@@ -144,15 +152,9 @@ func Run(ctx context.Context, sc Scenario, opts engine.Options) (*Result, error)
 	detection := engine.NewSeriesStatsAt(T, start)
 	var cts []float64
 
-	err = engine.Run(ctx, o, engine.Config[*simWorker, runResult]{
+	cfg := engine.Config[*simWorker, runResult]{
 		NewWorker: func(int) (*simWorker, error) {
-			return &simWorker{
-				ws:  detect.NewWorkspace(),
-				trs: make([]markov.Trajectory, 0, 1+sc.NumChaffs),
-			}, nil
-		},
-		Run: func(w *simWorker, run int, rng *rand.Rand) (runResult, error) {
-			return sc.runOnce(w, det, rng)
+			return sc.newWorker(), nil
 		},
 		Accumulate: func(run int, r runResult) error {
 			if err := track.Add(r.track); err != nil {
@@ -164,7 +166,19 @@ func Run(ctx context.Context, sc Scenario, opts engine.Options) (*Result, error)
 			cts = append(cts, r.ct...)
 			return nil
 		},
-	})
+	}
+	if scorer, ok := det.(detect.BlockScorer); ok {
+		// Batch path: whole dispatch chunks sampled and scored through the
+		// SoA kernels; bit-identical to the scalar path below.
+		cfg.RunBlock = func(w *simWorker, start int, rngs []*rand.Rand, out []runResult) error {
+			return sc.runBlock(w, scorer, rngs, out)
+		}
+	} else {
+		cfg.Run = func(w *simWorker, run int, rng *rand.Rand) (runResult, error) {
+			return sc.runOnce(w, det, rng)
+		}
+	}
+	err = engine.Run(ctx, o, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +194,78 @@ func Run(ctx context.Context, sc Scenario, opts engine.Options) (*Result, error)
 	}
 	res.Overall = detect.TimeAverage(res.PerSlot)
 	return res, nil
+}
+
+// newWorker builds one worker's scratch, pre-sizing the gather and chaff
+// buffers to the horizon so the hot loop never grows them.
+func (sc *Scenario) newWorker() *simWorker {
+	w := &simWorker{
+		ws:        detect.NewWorkspace(),
+		trs:       make([]markov.Trajectory, 0, 1+sc.NumChaffs),
+		userBuf:   make(markov.Trajectory, sc.Horizon),
+		chaffBufs: make([]markov.Trajectory, sc.NumChaffs),
+	}
+	for i := range w.chaffBufs {
+		w.chaffBufs[i] = make(markov.Trajectory, sc.Horizon)
+	}
+	return w
+}
+
+// runBlock executes a whole engine dispatch chunk through the batch
+// kernels: the users of all runs in flight are sampled in one SoA block
+// (rngs[r] draws exactly what runOnce's Sample would), chaffs are
+// generated into reused worker buffers, and the detector scores the
+// whole block in one slot-major sweep. Per-slot series are copied out of
+// the arena into one backing allocation per block (results must outlive
+// the arena's reuse by the next chunk), so steady-state allocations are
+// ~2 per block instead of ~8 per run.
+func (sc *Scenario) runBlock(w *simWorker, scorer detect.BlockScorer, rngs []*rand.Rand, out []runResult) error {
+	B, T := len(rngs), sc.Horizon
+	if cap(w.users) < B*T {
+		w.users = make([]int32, B*T)
+	}
+	users := w.users[:B*T]
+	if err := sc.Chain.SampleBatch(rngs, T, users); err != nil {
+		return fmt.Errorf("sim: sampling user: %w", err)
+	}
+	blk := w.ws.Block(B, 1+sc.NumChaffs, T)
+	for r := 0; r < B; r++ {
+		for t := 0; t < T; t++ {
+			w.userBuf[t] = int(users[t*B+r])
+		}
+		if err := chaff.GenerateInto(sc.Strategy, rngs[r], w.userBuf, w.chaffBufs); err != nil {
+			return fmt.Errorf("sim: generating chaffs: %w", err)
+		}
+		blk.SetColumn(r, 0, users, B, r)
+		for i, ch := range w.chaffBufs {
+			if err := blk.SetTrajectory(r, 1+i, ch); err != nil {
+				return err
+			}
+		}
+		if sc.CollectCt {
+			// c_t needs this run's user and first chaff, both of which the
+			// next iteration overwrites — collect before moving on.
+			ch := w.chaffBufs[0]
+			for t := 1; t < T; t++ {
+				v := sc.Chain.LogProb(w.userBuf[t-1], w.userBuf[t]) - sc.Chain.LogProb(ch[t-1], ch[t])
+				if !math.IsInf(v, 0) && !math.IsNaN(v) {
+					out[r].ct = append(out[r].ct, v)
+				}
+			}
+		}
+	}
+	if err := scorer.ScoreBlock(blk, 0); err != nil {
+		return err
+	}
+	backing := make([]float64, 2*B*T)
+	for r := range out {
+		track := backing[2*r*T : (2*r+1)*T]
+		det := backing[(2*r+1)*T : (2*r+2)*T]
+		copy(track, blk.Tracking(r))
+		copy(det, blk.Detection(r))
+		out[r].track, out[r].det = track, det
+	}
+	return nil
 }
 
 // runOnce executes a single Monte-Carlo run on the worker's scratch state.

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"chaffmec/internal/geo"
+	"chaffmec/internal/markov"
+)
+
+// streamTestSet builds a fleet with a mix of active and inactive nodes.
+func streamTestSet() *Set {
+	r := rand.New(rand.NewSource(7))
+	var recs []Record
+	for n := 0; n < 6; n++ {
+		node := string(rune('a' + n))
+		if n%3 == 2 {
+			// Inactive: a 7-minute mid-window silence.
+			recs = append(recs,
+				Record{Node: node, Minute: 0, Pos: geo.Point{X: float64(n)}},
+				Record{Node: node, Minute: 9, Pos: geo.Point{X: float64(n)}},
+			)
+			continue
+		}
+		for m := 0; m < 10; m++ {
+			recs = append(recs, Record{
+				Node:   node,
+				Minute: float64(m) + 0.3*r.Float64(),
+				Pos:    geo.Point{X: r.Float64() * 100, Y: r.Float64() * 100},
+			})
+		}
+	}
+	return NewSet(recs)
+}
+
+// TestStreamRegularizeMatchesRegularizeSet: the streaming sweep must
+// visit exactly the nodes RegularizeSet keeps, with identical points,
+// despite reusing one buffer.
+func TestStreamRegularizeMatchesRegularizeSet(t *testing.T) {
+	s := streamTestSet()
+	opts := regOpts(10)
+	wantNodes, wantTracks, err := s.RegularizeSet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantNodes) != 4 {
+		t.Fatalf("test fleet kept %d nodes, want 4", len(wantNodes))
+	}
+	i := 0
+	err = s.StreamRegularize(opts, func(node string, points []geo.Point) error {
+		if node != wantNodes[i] {
+			t.Fatalf("stream node %d = %s, want %s", i, node, wantNodes[i])
+		}
+		for tt, p := range points {
+			if p != wantTracks[i][tt] {
+				t.Fatalf("node %s slot %d: stream %v, set %v", node, tt, p, wantTracks[i][tt])
+			}
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(wantNodes) {
+		t.Fatalf("stream visited %d nodes, want %d", i, len(wantNodes))
+	}
+}
+
+func TestStreamRegularizeAbortsOnCallbackError(t *testing.T) {
+	boom := errors.New("stop")
+	calls := 0
+	err := streamTestSet().StreamRegularize(regOpts(10), func(string, []geo.Point) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after error", calls)
+	}
+}
+
+// TestChainEstimatorMatchesEstimateChain: incremental fitting must equal
+// the one-shot fit bit for bit (same counts, same division order).
+func TestChainEstimatorMatchesEstimateChain(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const numCells = 5
+	trajs := make([]markov.Trajectory, 8)
+	for i := range trajs {
+		tr := make(markov.Trajectory, 20)
+		for t := range tr {
+			tr[t] = r.Intn(numCells - 1) // cell 4 never visited: self-loop row
+		}
+		trajs[i] = tr
+	}
+	want, err := EstimateChain(trajs, numCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewChainEstimator(numCells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range trajs {
+		if err := est.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if est.Added() != len(trajs) {
+		t.Fatalf("Added = %d, want %d", est.Added(), len(trajs))
+	}
+	got, err := est.Chain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < numCells; i++ {
+		for j := 0; j < numCells; j++ {
+			if got.Prob(i, j) != want.Prob(i, j) {
+				t.Fatalf("P(%d|%d): estimator %v, one-shot %v", j, i, got.Prob(i, j), want.Prob(i, j))
+			}
+		}
+	}
+	gotPi, wantPi := got.MustSteadyState(), want.MustSteadyState()
+	for i := range wantPi {
+		if gotPi[i] != wantPi[i] {
+			t.Fatalf("π[%d]: estimator %v, one-shot %v", i, gotPi[i], wantPi[i])
+		}
+	}
+}
+
+func TestChainEstimatorValidation(t *testing.T) {
+	if _, err := NewChainEstimator(1); err == nil {
+		t.Fatal("numCells=1 accepted")
+	}
+	est, err := NewChainEstimator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.Add(markov.Trajectory{5}); err == nil {
+		t.Fatal("out-of-range state accepted")
+	}
+	if _, err := est.Chain(); err == nil {
+		t.Fatal("empty estimator fitted")
+	}
+}

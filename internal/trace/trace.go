@@ -87,6 +87,13 @@ func (o RegularizeOptions) validate() error {
 // it has no report within MaxGapMin of the window start or end, or two
 // consecutive reports straddling the window are more than MaxGapMin apart.
 func Regularize(records []Record, opts RegularizeOptions) (points []geo.Point, ok bool, err error) {
+	return regularizeInto(records, opts, nil)
+}
+
+// regularizeInto is Regularize with a caller-owned output buffer (grown
+// as needed, reused when large enough) — the streaming pipeline's way of
+// resampling a whole fleet through one allocation.
+func regularizeInto(records []Record, opts RegularizeOptions, buf []geo.Point) (points []geo.Point, ok bool, err error) {
 	if err := opts.validate(); err != nil {
 		return nil, false, err
 	}
@@ -115,7 +122,10 @@ func Regularize(records []Record, opts RegularizeOptions) (points []geo.Point, o
 		return nil, false, nil // no usable reports / silent at the end
 	}
 
-	points = make([]geo.Point, opts.Slots)
+	if cap(buf) < opts.Slots {
+		buf = make([]geo.Point, opts.Slots)
+	}
+	points = buf[:opts.Slots]
 	j := 0
 	for t := 0; t < opts.Slots; t++ {
 		at := opts.StartMinute + float64(t)*opts.IntervalMin
@@ -142,19 +152,41 @@ func Regularize(records []Record, opts RegularizeOptions) (points []geo.Point, o
 	return points, true, nil
 }
 
-// RegularizeSet applies Regularize to every node and keeps the active
-// ones, returning their resampled position sequences in node order.
-func (s *Set) RegularizeSet(opts RegularizeOptions) (nodes []string, tracks [][]geo.Point, err error) {
+// StreamRegularize resamples every node onto the slot grid and hands
+// each ACTIVE node's points to fn in node order, reusing one internal
+// point buffer across nodes: points is only valid during the call, so fn
+// must consume (quantise, copy) it before returning. This is how the
+// trace-lab build streams a whole fleet through the pipeline without
+// materializing every raw track at once. A non-nil error from fn aborts
+// the sweep.
+func (s *Set) StreamRegularize(opts RegularizeOptions, fn func(node string, points []geo.Point) error) error {
+	var buf []geo.Point
 	for _, n := range s.nodes {
-		pts, ok, err := Regularize(s.records[n], opts)
+		pts, ok, err := regularizeInto(s.records[n], opts, buf)
 		if err != nil {
-			return nil, nil, fmt.Errorf("trace: node %s: %w", n, err)
+			return fmt.Errorf("trace: node %s: %w", n, err)
 		}
 		if !ok {
 			continue
 		}
+		buf = pts
+		if err := fn(n, pts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegularizeSet applies Regularize to every node and keeps the active
+// ones, returning their resampled position sequences in node order.
+func (s *Set) RegularizeSet(opts RegularizeOptions) (nodes []string, tracks [][]geo.Point, err error) {
+	err = s.StreamRegularize(opts, func(n string, pts []geo.Point) error {
 		nodes = append(nodes, n)
-		tracks = append(tracks, pts)
+		tracks = append(tracks, append([]geo.Point(nil), pts...))
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return nodes, tracks, nil
 }
@@ -168,59 +200,104 @@ func QuantizeTracks(tracks [][]geo.Point, q *geo.Quantizer) []markov.Trajectory 
 	return out
 }
 
-// EstimateChain fits the empirical mobility model of Section VII-B.1:
-// transition counts pooled over all trajectories (they are modeled as
-// independent samples of one chain), row-normalised, with the empirical
-// visit frequencies as the stationary distribution. States never left get
-// a self-loop. numCells fixes the state space (cells with no visits keep
-// zero stationary mass).
-func EstimateChain(trajs []markov.Trajectory, numCells int) (*markov.Chain, error) {
-	if len(trajs) == 0 {
-		return nil, errors.New("trace: no trajectories to fit")
-	}
+// ChainEstimator fits the empirical mobility model of Section VII-B.1
+// incrementally: trajectories are Add-ed one at a time (the streaming
+// counterpart of EstimateChain, used by the trace-lab build to fold the
+// fleet in without holding every trajectory's counts twice). Counts live
+// in one flat row-major array, matching the flat layout the fitted chain
+// itself uses.
+type ChainEstimator struct {
+	n      int
+	counts []float64 // from*n+to → pooled transition counts
+	visits []float64
+	total  float64
+	added  int
+}
+
+// NewChainEstimator returns an empty estimator over numCells cells.
+func NewChainEstimator(numCells int) (*ChainEstimator, error) {
 	if numCells < 2 {
 		return nil, fmt.Errorf("trace: numCells %d must be >= 2", numCells)
 	}
-	counts := make([][]float64, numCells)
-	for i := range counts {
-		counts[i] = make([]float64, numCells)
+	return &ChainEstimator{
+		n:      numCells,
+		counts: make([]float64, numCells*numCells),
+		visits: make([]float64, numCells),
+	}, nil
+}
+
+// Add folds one trajectory's visit and transition counts in.
+func (e *ChainEstimator) Add(tr markov.Trajectory) error {
+	if err := tr.Validate(e.n); err != nil {
+		return err
 	}
-	visits := make([]float64, numCells)
-	total := 0.0
-	for _, tr := range trajs {
-		if err := tr.Validate(numCells); err != nil {
-			return nil, err
-		}
-		for t, s := range tr {
-			visits[s]++
-			total++
-			if t > 0 {
-				counts[tr[t-1]][s]++
-			}
+	for t, s := range tr {
+		e.visits[s]++
+		e.total++
+		if t > 0 {
+			e.counts[tr[t-1]*e.n+s]++
 		}
 	}
-	if total == 0 {
+	e.added++
+	return nil
+}
+
+// Added returns the number of trajectories folded in so far.
+func (e *ChainEstimator) Added() int { return e.added }
+
+// Chain builds the estimated chain: pooled transition counts
+// row-normalised, empirical visit frequencies as the stationary
+// distribution, and a self-loop for states never left. Bit-identical to
+// EstimateChain over the same trajectories in the same order.
+func (e *ChainEstimator) Chain() (*markov.Chain, error) {
+	if e.added == 0 {
+		return nil, errors.New("trace: no trajectories to fit")
+	}
+	if e.total == 0 {
 		return nil, errors.New("trace: empty trajectories")
 	}
-	p := make([][]float64, numCells)
-	for i := range counts {
+	p := make([][]float64, e.n)
+	for i := range p {
+		cRow := e.counts[i*e.n : (i+1)*e.n]
 		rowSum := 0.0
-		for _, v := range counts[i] {
+		for _, v := range cRow {
 			rowSum += v
 		}
-		row := make([]float64, numCells)
+		row := make([]float64, e.n)
 		if rowSum == 0 {
 			row[i] = 1 // never-left state: self-loop
 		} else {
-			for j, v := range counts[i] {
+			for j, v := range cRow {
 				row[j] = v / rowSum
 			}
 		}
 		p[i] = row
 	}
-	pi := make([]float64, numCells)
-	for i, v := range visits {
-		pi[i] = v / total
+	pi := make([]float64, e.n)
+	for i, v := range e.visits {
+		pi[i] = v / e.total
 	}
 	return markov.NewWithStationary(p, pi)
+}
+
+// EstimateChain fits the empirical mobility model of Section VII-B.1:
+// transition counts pooled over all trajectories (they are modeled as
+// independent samples of one chain), row-normalised, with the empirical
+// visit frequencies as the stationary distribution. States never left get
+// a self-loop. numCells fixes the state space (cells with no visits keep
+// zero stationary mass). It is the one-shot wrapper over ChainEstimator.
+func EstimateChain(trajs []markov.Trajectory, numCells int) (*markov.Chain, error) {
+	if len(trajs) == 0 {
+		return nil, errors.New("trace: no trajectories to fit")
+	}
+	est, err := NewChainEstimator(numCells)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range trajs {
+		if err := est.Add(tr); err != nil {
+			return nil, err
+		}
+	}
+	return est.Chain()
 }
