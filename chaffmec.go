@@ -108,6 +108,7 @@ import (
 	"chaffmec/internal/report"
 	"chaffmec/internal/rng"
 	"chaffmec/internal/scenario"
+	"chaffmec/internal/store"
 )
 
 // Core types re-exported from the implementation packages.
@@ -385,11 +386,37 @@ func ExtendReport(r *Report, parts ...*Report) error { return r.Extend(parts...)
 // reproduces the unsharded Report bit-for-bit.
 func MergeReports(parts ...*Report) (*Report, error) { return report.Merge(parts...) }
 
-// ReadReports and WriteReports exchange report envelopes with JSON files
-// — the cross-process leg of the shard workflow (see also
-// cmd/experiments -shard/-merge).
+// ReadReports and WriteReports exchange report envelopes with files —
+// the cross-process leg of the shard workflow (see also cmd/experiments
+// -shard/-merge). WriteReports writes the historical JSON array;
+// ReadReports detects the envelope's encoding (JSON, compact binary,
+// gzipped binary) from its leading bytes, so files written by any
+// ReportEncoding read back with the same call.
 func ReadReports(path string) ([]*Report, error)     { return report.ReadFile(path) }
 func WriteReports(path string, reps []*Report) error { return report.WriteFile(path, reps) }
+
+// ReportEncoding names one of the wire formats a Report envelope can
+// travel in. All of them decode back to the bit-identical JSON
+// envelope; they differ only in size and speed.
+type ReportEncoding = report.Encoding
+
+// The report wire formats, from most verbose to most compact.
+const (
+	// EncodingJSON is the historical indented JSON array.
+	EncodingJSON = report.EncodingJSON
+	// EncodingBinary is the compact binary codec: varint/delta-encoded
+	// coverage spines, raw little-endian float64 series blocks.
+	EncodingBinary = report.EncodingBinary
+	// EncodingBinaryGzip is the binary codec behind a gzip frame — the
+	// leanest wire format, and what the fleet transports negotiate.
+	EncodingBinaryGzip = report.EncodingBinaryGzip
+)
+
+// WriteReportsEncoded writes the envelope to path in the chosen
+// encoding (empty: JSON). ReadReports reads any of them back.
+func WriteReportsEncoded(path string, reps []*Report, enc ReportEncoding) error {
+	return report.WriteFileEncoded(path, reps, enc)
+}
 
 // Distributed fan-out re-exports: one Job spread over a fleet of
 // workers, merged back bit-for-bit (internal/coordinator).
@@ -401,8 +428,34 @@ type (
 	// granularity, retry budgets, straggler speculation, progress.
 	FanOutOptions = coordinator.Options
 	// FanOutEvent is one coordinator progress observation (dispatches,
-	// results, retries, dead workers, completed rounds).
+	// results, retries, dead workers, banked shards, completed rounds).
 	FanOutEvent = coordinator.Event
+	// WireStats counts one dispatch's bytes on the wire and the encoding
+	// they traveled in (FanOutEvent.Wire on result/partial events).
+	WireStats = coordinator.WireStats
+	// FanOutEventKind classifies FanOutEvents.
+	FanOutEventKind = coordinator.EventKind
+)
+
+// The coordinator progress event kinds (FanOutEvent.Kind).
+const (
+	// EventDispatch: a shard was handed to a worker.
+	EventDispatch = coordinator.EventDispatch
+	// EventResult: a worker returned a full shard Report.
+	EventResult = coordinator.EventResult
+	// EventPartial: a worker died mid-shard; its checkpointed prefix
+	// was banked and only the remainder is re-dispatched.
+	EventPartial = coordinator.EventPartial
+	// EventFailure: a dispatch failed and the shard retries elsewhere.
+	EventFailure = coordinator.EventFailure
+	// EventWorkerDead: a worker exhausted its failure budget and left
+	// the fleet.
+	EventWorkerDead = coordinator.EventWorkerDead
+	// EventRound: one adaptive round completed and merged.
+	EventRound = coordinator.EventRound
+	// EventBanked: a shard was served from the artifact store instead
+	// of being dispatched at all.
+	EventBanked = coordinator.EventBanked
 )
 
 // RunDistributedJob fans one whole job out over the fleet in opts:
@@ -437,6 +490,29 @@ func RunScenario(sp ScenarioSpec) (*ScenarioResult, error) { return scenario.Run
 
 // RunScenarioFile loads a JSON scenario config and runs every entry.
 func RunScenarioFile(path string) ([]*ScenarioResult, error) { return scenario.RunFile(path) }
+
+// ArtifactStore is the content-addressed on-disk store for derived
+// artifacts: fitted TraceLabs and banked shard Reports, keyed by the
+// canonical hash of what produced them (spec JSON, seed stream
+// version). Re-runs of the same experiment become cache hits.
+type ArtifactStore = store.Store
+
+// EnvStore names the environment variable that, when set to a
+// directory, opens the process-wide default artifact store at startup
+// consumers opt in with (cmd/experiments -store does the same).
+const EnvStore = store.EnvStore
+
+// OpenStore opens (creating if needed) an artifact store rooted at dir.
+func OpenStore(dir string) (*ArtifactStore, error) { return store.Open(dir) }
+
+// DefaultStore returns the process-wide artifact store: the one
+// SetDefaultStore installed, else $CHAFFMEC_STORE opened on first use,
+// else nil (persistence disabled — the hermetic default).
+func DefaultStore() *ArtifactStore { return store.Default() }
+
+// SetDefaultStore installs (or, with nil, disables) the process-wide
+// artifact store consulted by trace-lab fitting and the coordinator.
+func SetDefaultStore(s *ArtifactStore) { store.SetDefault(s) }
 
 // Trace-driven pipeline re-exports.
 type (

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"chaffmec/internal/report"
+	"chaffmec/internal/rng"
+	"chaffmec/internal/scenario"
+	"chaffmec/internal/store"
+)
+
+// wireLeg is one measured Report encoding: the envelope size and the
+// warm encode/decode cost of the paper-protocol report.
+type wireLeg struct {
+	Name     string  `json:"name"`
+	Bytes    int     `json:"bytes"`
+	EncodeNs float64 `json:"encode_ns"`
+	DecodeNs float64 `json:"decode_ns"`
+}
+
+// wireBench is the BENCH_wire.json artifact: the paper-protocol Report
+// through every wire encoding, the compression ratios the compact codec
+// buys, and the artifact store's cold-vs-warm TraceLab build time. The
+// committed BENCH_wire.baseline.json has the same shape; CI fails when
+// an encoding's size or time regresses more than 25% over it, and two
+// properties are asserted absolutely on every run: binary decode is
+// bit-identical to JSON decode, and binary+gzip is at least 5x smaller
+// than JSON.
+type wireBench struct {
+	Stream  string `json:"stream"`
+	Runs    int    `json:"runs"`
+	Horizon int    `json:"horizon"`
+
+	Encodings []wireLeg `json:"encodings"`
+
+	// BinaryRatio / GzipRatio are JSON-over-binary(+gzip) size ratios.
+	BinaryRatio float64 `json:"binary_ratio"`
+	GzipRatio   float64 `json:"gzip_ratio"`
+
+	TraceLab struct {
+		Nodes      int     `json:"nodes"`
+		Minutes    int     `json:"minutes"`
+		ColdMS     float64 `json:"cold_ms"`
+		WarmMS     float64 `json:"warm_ms"`
+		WarmBuilds int     `json:"warm_builds"`
+	} `json:"tracelab"`
+}
+
+func (b *wireBench) leg(name string) *wireLeg {
+	for i := range b.Encodings {
+		if b.Encodings[i].Name == name {
+			return &b.Encodings[i]
+		}
+	}
+	return nil
+}
+
+// benchWire measures the wire suite, writes the JSON artifact and, when
+// basePath names a committed baseline, gates against it.
+func benchWire(ctx context.Context, path, basePath string, runs, horizon int, seed int64) error {
+	out, err := measureWire(ctx, runs, horizon, seed)
+	if err != nil {
+		return fmt.Errorf("bench-wire: %w", err)
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, l := range out.Encodings {
+		fmt.Printf("bench-wire: %-12s %8d bytes %10.0f ns encode %10.0f ns decode\n",
+			l.Name, l.Bytes, l.EncodeNs, l.DecodeNs)
+	}
+	fmt.Printf("bench-wire: json/binary %.2fx, json/binary+gzip %.2fx\n", out.BinaryRatio, out.GzipRatio)
+	fmt.Printf("bench-wire: tracelab (%d nodes × %d min): cold %.0f ms, warm %.0f ms (%d builds)\n",
+		out.TraceLab.Nodes, out.TraceLab.Minutes, out.TraceLab.ColdMS, out.TraceLab.WarmMS, out.TraceLab.WarmBuilds)
+	fmt.Printf("wrote %s\n", path)
+	if basePath == "" {
+		return nil
+	}
+	return compareWire(out, basePath)
+}
+
+// compareWire gates the measured suite against the committed baseline:
+// >25% regression on any encoding's size, encode time or decode time
+// fails the run. (The two absolute properties — bit-identical decode
+// and the >=5x gzip ratio — are already enforced by measureWire on
+// every run, baseline or not.)
+func compareWire(cur *wireBench, basePath string) error {
+	blob, err := os.ReadFile(basePath)
+	if err != nil {
+		return fmt.Errorf("bench-wire baseline: %w", err)
+	}
+	var base wireBench
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("bench-wire baseline %s: %w", basePath, err)
+	}
+	var failures []string
+	for _, bl := range base.Encodings {
+		cl := cur.leg(bl.Name)
+		if cl == nil {
+			failures = append(failures, fmt.Sprintf("encoding %q in baseline but not measured", bl.Name))
+			continue
+		}
+		if limit := float64(bl.Bytes) * 1.25; float64(cl.Bytes) > limit {
+			failures = append(failures, fmt.Sprintf("%s: %d bytes exceeds baseline %d +25%%", bl.Name, cl.Bytes, bl.Bytes))
+		}
+		if limit := bl.EncodeNs * 1.25; cl.EncodeNs > limit {
+			failures = append(failures, fmt.Sprintf("%s: encode %.0f ns exceeds baseline %.0f +25%%", bl.Name, cl.EncodeNs, bl.EncodeNs))
+		}
+		if limit := bl.DecodeNs * 1.25; cl.DecodeNs > limit {
+			failures = append(failures, fmt.Sprintf("%s: decode %.0f ns exceeds baseline %.0f +25%%", bl.Name, cl.DecodeNs, bl.DecodeNs))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "bench-wire: REGRESSION:", f)
+		}
+		return fmt.Errorf("bench-wire: %d regression(s) against %s", len(failures), basePath)
+	}
+	fmt.Printf("bench-wire: within baseline %s\n", basePath)
+	return nil
+}
+
+func measureWire(ctx context.Context, runs, horizon int, seed int64) (*wireBench, error) {
+	// The measured payload is the paper protocol's Report: MO vs the ML
+	// detector, `runs` runs at T=`horizon`, tracking + detection series.
+	sp := scenario.Spec{
+		Name: "bench-wire", Kind: "single", Strategy: "MO", NumChaffs: 1,
+		Horizon: horizon, Runs: runs, Seed: seed,
+	}
+	rep, err := scenario.RunJob(ctx, scenario.Job{Spec: sp})
+	if err != nil {
+		return nil, err
+	}
+	reports := []*report.Report{rep}
+
+	out := &wireBench{Stream: rng.StreamVersion, Runs: runs, Horizon: horizon}
+
+	encode := map[report.Encoding]func(w *bytes.Buffer) error{
+		report.EncodingJSON:       func(w *bytes.Buffer) error { return report.Write(w, reports) },
+		report.EncodingBinary:     func(w *bytes.Buffer) error { return report.WriteReportsBinary(w, reports, false) },
+		report.EncodingBinaryGzip: func(w *bytes.Buffer) error { return report.WriteReportsBinary(w, reports, true) },
+	}
+	wantJSON, err := jsonBytes(reports)
+	if err != nil {
+		return nil, err
+	}
+	for _, enc := range []report.Encoding{report.EncodingJSON, report.EncodingBinary, report.EncodingBinaryGzip} {
+		var buf bytes.Buffer
+		if err := encode[enc](&buf); err != nil {
+			return nil, err
+		}
+		blob := buf.Bytes()
+
+		// The hard correctness gate: whatever the wire format, decoding
+		// it must reproduce the JSON encoding byte for byte.
+		decoded, err := report.ReadReports(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("%s: decoding own envelope: %w", enc, err)
+		}
+		gotJSON, err := jsonBytes(decoded)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			return nil, fmt.Errorf("%s: decode is not bit-identical to the JSON envelope", enc)
+		}
+
+		var benchErr error
+		encRes := testing.Benchmark(func(b *testing.B) {
+			var w bytes.Buffer
+			for i := 0; i < b.N; i++ {
+				w.Reset()
+				if err := encode[enc](&w); err != nil {
+					benchErr = err
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		decRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := report.ReadReports(bytes.NewReader(blob)); err != nil {
+					benchErr = err
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		out.Encodings = append(out.Encodings, wireLeg{
+			Name:     string(enc),
+			Bytes:    len(blob),
+			EncodeNs: float64(encRes.NsPerOp()),
+			DecodeNs: float64(decRes.NsPerOp()),
+		})
+	}
+	jsonLen := out.leg(string(report.EncodingJSON)).Bytes
+	out.BinaryRatio = float64(jsonLen) / float64(out.leg(string(report.EncodingBinary)).Bytes)
+	out.GzipRatio = float64(jsonLen) / float64(out.leg(string(report.EncodingBinaryGzip)).Bytes)
+	if out.GzipRatio < 5 {
+		return nil, fmt.Errorf("binary+gzip is only %.2fx smaller than JSON, want >= 5x", out.GzipRatio)
+	}
+
+	if err := measureTraceLabStore(ctx, out, seed); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// jsonBytes is the canonical JSON envelope of a report list — the
+// byte-identity reference every wire format must decode back to.
+func jsonBytes(reports []*report.Report) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := report.Write(&buf, reports); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// measureTraceLabStore times a reduced trace job cold (full build
+// pipeline, persisting the lab into a throwaway store) and warm (a
+// fresh process's first job against the warm store), asserting the warm
+// pass never runs the build pipeline.
+func measureTraceLabStore(ctx context.Context, out *wireBench, seed int64) error {
+	dir, err := os.MkdirTemp("", "chaffmec-bench-wire-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	prev := store.Default()
+	store.SetDefault(st)
+	defer store.SetDefault(prev)
+
+	sp := scenario.Spec{
+		Name: "bench-wire-trace", Kind: "trace",
+		Nodes: 60, Horizon: 30, Runs: 4, Seed: seed,
+	}
+	out.TraceLab.Nodes, out.TraceLab.Minutes = sp.Nodes, sp.Horizon
+
+	scenario.ResetTraceLabCache()
+	begin := time.Now()
+	if _, err := scenario.RunJob(ctx, scenario.Job{Spec: sp}); err != nil {
+		return fmt.Errorf("cold trace job: %w", err)
+	}
+	out.TraceLab.ColdMS = float64(time.Since(begin)) / float64(time.Millisecond)
+
+	builds := scenario.TraceLabBuilds()
+	scenario.ResetTraceLabCache() // a fresh process, but a warm store
+	begin = time.Now()
+	if _, err := scenario.RunJob(ctx, scenario.Job{Spec: sp}); err != nil {
+		return fmt.Errorf("warm trace job: %w", err)
+	}
+	out.TraceLab.WarmMS = float64(time.Since(begin)) / float64(time.Millisecond)
+	out.TraceLab.WarmBuilds = scenario.TraceLabBuilds() - builds
+	scenario.ResetTraceLabCache() // drop the lab now bound to the removed store
+
+	if out.TraceLab.WarmBuilds != 0 {
+		return fmt.Errorf("warm-store trace job ran %d builds, want 0", out.TraceLab.WarmBuilds)
+	}
+	return nil
+}

@@ -101,6 +101,7 @@ import (
 	"chaffmec/internal/plotter"
 	"chaffmec/internal/report"
 	"chaffmec/internal/scenario"
+	"chaffmec/internal/store"
 )
 
 func main() { os.Exit(realMain()) }
@@ -137,7 +138,9 @@ func realMain() int {
 		benchDist = flag.String("bench-distributed", "", "run the 1/2/4-worker paper-protocol scaling benchmark and write it as JSON to this file")
 
 		benchKern  = flag.String("bench-kernels", "", "run the hot-kernel benchmark suite (scalar vs batch sampling/scoring, paper protocol) and write it as JSON to this file")
-		benchBase  = flag.String("bench-baseline", "", "with -bench-kernels: compare against this committed baseline JSON and fail on regression")
+		benchWireF = flag.String("bench-wire", "", "run the wire-format benchmark suite (Report codecs, TraceLab store warm-start) and write it as JSON to this file")
+		benchBase  = flag.String("bench-baseline", "", "with -bench-kernels/-bench-wire: compare against this committed baseline JSON and fail on regression")
+		storeDir   = flag.String("store", "", "bank artifacts (fitted TraceLabs, full shard Reports) in a content-addressed store rooted at this directory; $"+store.EnvStore+" sets the same default")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of this invocation to the given file (pprof format)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to the given file on exit (pprof format)")
 	)
@@ -176,6 +179,15 @@ func realMain() int {
 		}()
 	}
 
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		store.SetDefault(st)
+	}
+
 	// Ctrl-C / SIGTERM cancels between runs; scenario paths then persist
 	// the partial rounds to -report as a resumable checkpoint, and the
 	// worker modes checkpoint the shard chunk they are in.
@@ -205,6 +217,13 @@ func realMain() int {
 
 	if *benchKern != "" {
 		if err := benchKernels(*benchKern, *benchBase, *runs, *horizon, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		return 0
+	}
+	if *benchWireF != "" {
+		if err := benchWire(ctx, *benchWireF, *benchBase, *runs, *horizon, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return 1
 		}

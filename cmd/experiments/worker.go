@@ -107,23 +107,63 @@ func distributedFlagErr(workers int, connect, shardArg, resume string, merge boo
 
 // fleetProgress logs coordinator events on stderr, one scenario at a
 // time — dispatches stay quiet, everything an operator acts on
-// (retries, dead workers, completed rounds) is printed.
-func fleetProgress(name string) func(coordinator.Event) {
+// (retries, dead workers, store hits, completed rounds) is printed —
+// and returns a wireTally summed over every result for the end-of-job
+// wire summary.
+func fleetProgress(name string) (func(coordinator.Event), *wireTally) {
 	rounds := roundProgress(name)
+	tally := &wireTally{}
 	return func(e coordinator.Event) {
 		switch e.Kind {
 		case coordinator.EventRound:
 			rounds(e.Round)
-		case coordinator.EventPartial:
-			fmt.Fprintf(os.Stderr, "%-30s shard %s: %s died mid-shard, banked its prefix (%v)\n",
-				name, e.Shard, e.Worker, e.Err)
+		case coordinator.EventResult, coordinator.EventPartial:
+			tally.add(e.Wire)
+			if e.Kind == coordinator.EventPartial {
+				fmt.Fprintf(os.Stderr, "%-30s shard %s: %s died mid-shard, banked its prefix (%v)\n",
+					name, e.Shard, e.Worker, e.Err)
+			}
+		case coordinator.EventBanked:
+			tally.banked++
+			fmt.Fprintf(os.Stderr, "%-30s shard %s: served from the artifact store\n", name, e.Shard)
 		case coordinator.EventFailure:
 			fmt.Fprintf(os.Stderr, "%-30s shard %s: %s failed, retrying elsewhere (%v)\n",
 				name, e.Shard, e.Worker, e.Err)
 		case coordinator.EventWorkerDead:
 			fmt.Fprintf(os.Stderr, "%-30s worker %s removed from the fleet (%v)\n", name, e.Worker, e.Err)
 		}
+	}, tally
+}
+
+// wireTally sums the fleet's wire traffic across one job's dispatches.
+type wireTally struct {
+	sent, received int64
+	results        int
+	banked         int
+	encoding       report.Encoding
+}
+
+func (t *wireTally) add(w coordinator.WireStats) {
+	t.sent += w.Sent
+	t.received += w.Received
+	t.results++
+	if w.Encoding != "" {
+		t.encoding = w.Encoding
 	}
+}
+
+// summary renders the job's wire line, e.g.
+// "wire: 12 results over binary+gzip, 18.3 KB sent, 9.1 KB received, 4 shards banked".
+func (t *wireTally) summary(name string) {
+	if t.results == 0 && t.banked == 0 {
+		return
+	}
+	enc := t.encoding
+	if enc == "" {
+		enc = "in-process"
+	}
+	fmt.Fprintf(os.Stderr, "%-30s wire: %d results over %s, %.1f KB sent, %.1f KB received, %d shards banked\n",
+		name, t.results, enc, float64(t.sent)/1024, float64(t.received)/1024, t.banked)
 }
 
 // runScenariosDistributed executes a JSON scenario config like
@@ -134,7 +174,10 @@ func runScenariosDistributed(ctx context.Context, path, outDir, repFile string, 
 	fmt.Fprintf(os.Stderr, "experiments: distributing over %d workers\n", len(fleet))
 	return runScenarioEntries(path, outDir, repFile, prec,
 		func(sp scenario.Spec, name string) (*report.Report, error) {
-			return coordinator.Run(ctx, scenario.Job{Spec: sp},
-				coordinator.Options{Workers: fleet, Progress: fleetProgress(name)})
+			progress, tally := fleetProgress(name)
+			rep, err := coordinator.Run(ctx, scenario.Job{Spec: sp},
+				coordinator.Options{Workers: fleet, Progress: progress})
+			tally.summary(name)
+			return rep, err
 		})
 }

@@ -10,9 +10,12 @@
 // checkpoint/resume (any partial Report resumes into the exact Report
 // the uninterrupted run produces), and finally the DISTRIBUTED
 // coordinator: the same job fanned out over a worker fleet, shards
-// retried around failures, merged back bit-identical. The in-process
-// fleet below exercises the real coordinator; to put processes or
-// hosts behind it instead, see cmd/experiments:
+// retried around failures, merged back bit-identical. It closes with
+// the persistence layer: the wire encodings a Report travels in (JSON,
+// compact binary, binary+gzip — all decoding bit-identical) and the
+// content-addressed artifact store that turns re-runs into cache hits.
+// The in-process fleet below exercises the real coordinator; to put
+// processes or hosts behind it instead, see cmd/experiments:
 //
 //	experiments -scenario scenarios.json -workers 4        # local subprocesses
 //	experiments -serve :8080                               # on worker hosts...
@@ -37,6 +40,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"chaffmec"
 )
@@ -167,4 +172,82 @@ func main() {
 	}
 	fmt.Printf("4 workers: tracking accuracy %.6f over %d runs (single-process: %.6f over %d)\n",
 		distSum.Overall, distSum.Runs, adSum.Overall, adSum.Runs)
+
+	// Wire formats: the same Report travels as readable JSON or as the
+	// compact binary codec (optionally gzip-framed — what the fleet
+	// transports negotiate among themselves). ReadReports sniffs the
+	// leading bytes, so every format reads back with the same call, and
+	// every format decodes to the bit-identical envelope.
+	dir, err := os.MkdirTemp("", "chaffmec-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sizes := map[chaffmec.ReportEncoding]int64{}
+	for _, enc := range []chaffmec.ReportEncoding{
+		chaffmec.EncodingJSON, chaffmec.EncodingBinary, chaffmec.EncodingBinaryGzip,
+	} {
+		path := filepath.Join(dir, "report."+string(enc))
+		if err := chaffmec.WriteReportsEncoded(path, []*chaffmec.Report{dist}, enc); err != nil {
+			log.Fatal(err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sizes[enc] = info.Size()
+		back, err := chaffmec.ReadReports(path) // same call for every format
+		if err != nil {
+			log.Fatal(err)
+		}
+		backSum, err := back[0].Summary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if backSum.Overall != distSum.Overall {
+			log.Fatalf("%s round-trip drifted", enc)
+		}
+	}
+	fmt.Printf("wire:      json %d B, binary %d B, binary+gzip %d B (same report, %.0fx smaller)\n",
+		sizes[chaffmec.EncodingJSON], sizes[chaffmec.EncodingBinary], sizes[chaffmec.EncodingBinaryGzip],
+		float64(sizes[chaffmec.EncodingJSON])/float64(sizes[chaffmec.EncodingBinaryGzip]))
+
+	// The artifact store persists derived results under content
+	// addresses (hash of spec + seed-stream version): with one
+	// installed, the coordinator banks every completed shard, so
+	// re-running the same experiment is served from disk — zero
+	// dispatches, surfaced as "banked" events. Trace-driven scenarios
+	// likewise persist their fitted labs and skip the whole fitting
+	// pipeline on the next process. Point CHAFFMEC_STORE (or
+	// `experiments -store DIR`) at a directory for the same effect.
+	bank, err := chaffmec.OpenStore(filepath.Join(dir, "bank"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed := protected // fixed-count job: shard coverage replays exactly
+	for pass, label := range []string{"cold", "warm"} {
+		banked := 0
+		rerun, err := chaffmec.RunDistributedJob(ctx, chaffmec.Job{Spec: fixed},
+			chaffmec.FanOutOptions{
+				Workers: chaffmec.InProcessWorkers(4),
+				Store:   bank,
+				Progress: func(e chaffmec.FanOutEvent) {
+					if e.Kind == chaffmec.EventBanked {
+						banked++
+					}
+				},
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rerunSum, err := rerun.Summary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rerunSum.Overall != protSum.Overall {
+			log.Fatalf("banked re-run drifted on pass %d", pass)
+		}
+		fmt.Printf("store:     %s run, %d shards served from the store (accuracy %.3f, unchanged)\n",
+			label, banked, rerunSum.Overall)
+	}
 }

@@ -20,15 +20,20 @@
 package coordinator
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
 	"chaffmec/internal/engine"
 	"chaffmec/internal/report"
+	"chaffmec/internal/rng"
 	"chaffmec/internal/scenario"
+	"chaffmec/internal/store"
 )
 
 // Options tunes one fan-out.
@@ -62,6 +67,13 @@ type Options struct {
 	// retries, dead workers, completed rounds). Runs on the driving
 	// goroutine.
 	Progress func(Event)
+	// Store banks full shard Reports in a content-addressed artifact
+	// store: before dispatching a shard the coordinator checks the
+	// store, and a hit resolves the shard without touching a worker —
+	// re-running an interrupted or repeated campaign only computes the
+	// missing pieces. Nil falls back to the process default
+	// (store.Default(); usually nil too, disabling banking).
+	Store *store.Store
 }
 
 func (o Options) normalized() Options {
@@ -98,6 +110,9 @@ const (
 	// EventRound: an adaptive (or the single fixed) round completed and
 	// was merged into the accumulated report.
 	EventRound EventKind = "round"
+	// EventBanked: a shard was satisfied from the artifact store
+	// without dispatching to any worker.
+	EventBanked EventKind = "banked"
 )
 
 // Event is one coordinator progress observation.
@@ -107,6 +122,9 @@ type Event struct {
 	Shard  engine.Shard // the affected run range (shard events)
 	Round  scenario.Round
 	Err    error // EventFailure / EventWorkerDead cause
+	// Wire is the dispatch's wire cost (EventResult / EventPartial,
+	// when the transport reports it — in-process fleets have no wire).
+	Wire WireStats
 }
 
 type workerState struct {
@@ -160,6 +178,16 @@ func Run(ctx context.Context, job scenario.Job, opts Options) (*report.Report, e
 	for _, t := range c.opts.Workers {
 		c.workers = append(c.workers, &workerState{t: t})
 	}
+	c.st = c.opts.Store
+	if c.st == nil {
+		c.st = store.Default()
+	}
+	if c.st != nil {
+		c.specJSON, err = json.Marshal(job.Spec)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var acc *report.Report
 	for {
 		rp, err := plan.Next(acc)
@@ -195,9 +223,52 @@ func Run(ctx context.Context, job scenario.Job, opts Options) (*report.Report, e
 }
 
 type run struct {
-	job     scenario.Job
-	opts    Options
-	workers []*workerState
+	job      scenario.Job
+	opts     Options
+	workers  []*workerState
+	st       *store.Store // nil: no banking
+	specJSON []byte       // canonical spec bytes for shard keys
+}
+
+// storeKindReport namespaces banked shard reports in the artifact
+// store.
+const storeKindReport = "report"
+
+// shardKey is a shard report's content address: the job's canonical
+// spec JSON, the rng stream version the runs draw from, and the exact
+// run range — everything the shard's bits are a pure function of.
+func (c *run) shardKey(span engine.Shard) string {
+	return store.Key(storeKindReport, string(c.specJSON), rng.StreamVersion,
+		strconv.Itoa(span.Start), strconv.Itoa(span.End))
+}
+
+// bankedShard loads a shard's banked full report from the store,
+// re-validating what a corrupted or colliding artifact could break;
+// anything invalid is evicted so the shard just dispatches normally.
+func (c *run) bankedShard(span engine.Shard) *report.Report {
+	key := c.shardKey(span)
+	blob, ok, err := c.st.Get(storeKindReport, key)
+	if err != nil || !ok {
+		return nil
+	}
+	if reps, err := report.ReadReports(bytes.NewReader(blob)); err == nil && len(reps) == 1 {
+		rep := reps[0]
+		if rep.RunStart == span.Start && rep.RunCount == span.End-span.Start && rep.Stream == rng.StreamVersion {
+			return rep
+		}
+	}
+	c.st.Delete(storeKindReport, key) //nolint:errcheck // eviction is best-effort
+	return nil
+}
+
+// bankShard persists one full shard report, best-effort: a failed Put
+// only costs a future cache hit.
+func (c *run) bankShard(span engine.Shard, rep *report.Report) {
+	var buf bytes.Buffer
+	if err := report.WriteReportsBinary(&buf, []*report.Report{rep}, true); err != nil {
+		return
+	}
+	c.st.Put(storeKindReport, c.shardKey(span), buf.Bytes()) //nolint:errcheck // best-effort
 }
 
 func (c *run) event(e Event) {
@@ -232,6 +303,20 @@ func (c *run) round(ctx context.Context, start, end int) (*report.Report, error)
 	}
 	cov := report.NewCoverage()
 	remaining := len(shards)
+	// Banked shards resolve before any dispatch: a re-run of an
+	// interrupted or repeated campaign only computes what is missing.
+	if c.st != nil {
+		for _, s := range shards {
+			if rep := c.bankedShard(s.span); rep != nil {
+				if _, err := cov.Add(rep); err != nil {
+					return nil, err
+				}
+				s.resolved = true
+				remaining--
+				c.event(Event{Kind: EventBanked, Shard: s.span})
+			}
+		}
+	}
 	inflight := 0
 	// Each worker has at most one outstanding dispatch, so this buffer
 	// guarantees result sends never block and draining cannot deadlock.
@@ -314,8 +399,11 @@ func (c *run) round(ctx context.Context, start, end int) (*report.Report, error)
 				if _, err := cov.Add(r.rep); err != nil {
 					return nil, err
 				}
+				if c.st != nil {
+					c.bankShard(r.s.span, r.rep)
+				}
 				resolve(r.s)
-				c.event(Event{Kind: EventResult, Worker: w.t.Name(), Shard: r.s.span})
+				c.event(Event{Kind: EventResult, Worker: w.t.Name(), Shard: r.s.span, Wire: lastWire(w.t)})
 			case r.err != nil && prefixOf(r.rep, r.s.span) && r.rep.RunCount > 0 && r.rep.RunCount < full:
 				// The worker died mid-shard but checkpointed a prefix:
 				// bank it, requeue only the remainder — elsewhere.
@@ -328,7 +416,7 @@ func (c *run) round(ctx context.Context, start, end int) (*report.Report, error)
 				shards = append(shards, rest)
 				remaining++
 				c.workerFailed(r.wi, r.err)
-				c.event(Event{Kind: EventPartial, Worker: w.t.Name(), Shard: r.s.span, Err: r.err})
+				c.event(Event{Kind: EventPartial, Worker: w.t.Name(), Shard: r.s.span, Err: r.err, Wire: lastWire(w.t)})
 			default:
 				err := r.err
 				if err == nil && r.rep == nil {
@@ -380,6 +468,15 @@ func (c *run) workerFailed(wi int, cause error) {
 		w.dead = true
 		c.event(Event{Kind: EventWorkerDead, Worker: w.t.Name(), Err: cause})
 	}
+}
+
+// lastWire reads a transport's wire cost for the dispatch that just
+// returned (zero for transports without a wire, e.g. in-process).
+func lastWire(t Transport) WireStats {
+	if wr, ok := t.(WireReporter); ok {
+		return wr.LastWire()
+	}
+	return WireStats{}
 }
 
 // prefixOf reports whether rep covers a (possibly complete) prefix of

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"syscall"
 	"testing"
+	"time"
 
 	"chaffmec/internal/engine"
 	"chaffmec/internal/report"
@@ -222,6 +223,13 @@ func TestHTTPFanOutBitIdentical(t *testing.T) {
 }
 
 func TestHTTPWorkerDownThenFleetSurvives(t *testing.T) {
+	// The transient-error retry would have the dead worker spend most of
+	// this test in backoff; zero it so its dispatches still fail fast
+	// enough to cross WorkerFailLimit before the round completes (the
+	// retry itself is covered by TestHTTPRetriesTransientErrors).
+	defer func(d time.Duration) { httpBackoff = d }(httpBackoff)
+	httpBackoff = 0
+
 	sp := testSpec()
 	want := single(t, sp)
 	srv := httptest.NewServer(Handler(context.Background()))

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"slices"
+	"strings"
 
 	"chaffmec/internal/engine"
 	"chaffmec/internal/report"
@@ -21,6 +22,24 @@ import (
 // SIGTERM: the prefix checkpoint is written and the worker exits with
 // ExitPartial. Unset (production) does nothing.
 const EnvCrash = "CHAFFMEC_WORKER_CRASH"
+
+// EnvWire is the report-encoding negotiation channel of the Subprocess
+// transport: the parent sets it to a report encoding name ("json",
+// "binary", "binary+gzip") and the worker writes its stdout report in
+// that format. Unset or unknown values fall back to the original JSON
+// contract, so a new worker binary under an old coordinator behaves
+// exactly as before.
+const EnvWire = "CHAFFMEC_WIRE"
+
+// wireFromEnv resolves EnvWire into the stdout report encoding.
+func wireFromEnv() report.Encoding {
+	switch enc := report.Encoding(os.Getenv(EnvWire)); enc {
+	case report.EncodingBinary, report.EncodingBinaryGzip:
+		return enc
+	default:
+		return report.EncodingJSON
+	}
+}
 
 // workerChunks splits a worker's shard into about this many chunks of
 // [minChunk, maxChunk] runs each, so an interrupted worker has
@@ -120,10 +139,11 @@ func RunWorker(ctx context.Context, in io.Reader, out io.Writer) error {
 	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	enc := wireFromEnv()
 	rep, err := runShardChunks(runCtx, job, 0, crashFromEnv(cancel))
 	if err != nil {
 		if rep != nil && rep.RunCount > 0 {
-			if werr := writeReportJSON(out, rep); werr != nil {
+			if werr := writeReportWire(out, rep, enc); werr != nil {
 				return fmt.Errorf("writing partial checkpoint: %w", werr)
 			}
 			return fmt.Errorf("%w: wrote runs [%d,%d): %v",
@@ -131,7 +151,7 @@ func RunWorker(ctx context.Context, in io.Reader, out io.Writer) error {
 		}
 		return err
 	}
-	return writeReportJSON(out, rep)
+	return writeReportWire(out, rep, enc)
 }
 
 // crashFromEnv resolves the EnvCrash fault injection into a chunk
@@ -163,6 +183,28 @@ func writeReportJSON(w io.Writer, rep *report.Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// writeReportWire writes one report in the negotiated wire encoding:
+// the legacy single-object JSON, or a count-1 binary envelope.
+func writeReportWire(w io.Writer, rep *report.Report, enc report.Encoding) error {
+	if enc == report.EncodingJSON || enc == "" {
+		return writeReportJSON(w, rep)
+	}
+	return report.WriteEncoded(w, []*report.Report{rep}, enc)
+}
+
+// negotiateWire picks the response encoding from a request's Accept
+// header; absent or JSON-only keeps the original JSON responses.
+func negotiateWire(accept string) report.Encoding {
+	switch {
+	case strings.Contains(accept, mimeBinaryGzip):
+		return report.EncodingBinaryGzip
+	case strings.Contains(accept, mimeBinary):
+		return report.EncodingBinary
+	default:
+		return report.EncodingJSON
+	}
 }
 
 // Handler serves the worker HTTP API of `experiments -serve`:
@@ -198,19 +240,20 @@ func Handler(ctx context.Context) http.Handler {
 		defer cancel()
 		stop := context.AfterFunc(ctx, cancel)
 		defer stop()
+		enc := negotiateWire(r.Header.Get("Accept"))
 		rep, err := RunShard(runCtx, job, 0)
 		if err != nil {
 			if rep != nil && rep.RunCount > 0 {
-				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("Content-Type", encodingMime(enc))
 				w.WriteHeader(http.StatusPartialContent)
-				writeReportJSON(w, rep) //nolint:errcheck // response already committed
+				writeReportWire(w, rep, enc) //nolint:errcheck // response already committed
 				return
 			}
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		writeReportJSON(w, rep) //nolint:errcheck // response already committed
+		w.Header().Set("Content-Type", encodingMime(enc))
+		writeReportWire(w, rep, enc) //nolint:errcheck // response already committed
 	})
 	return mux
 }

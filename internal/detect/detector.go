@@ -81,6 +81,23 @@ type Workspace struct {
 // NewWorkspace returns an empty workspace; buffers grow on first use.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
+// wsPool recycles workspaces — and the grown batch arenas inside them —
+// across Monte-Carlo invocations, so round-based drivers (one engine run
+// per adaptive round) stop rebuilding their largest allocations every
+// round.
+var wsPool = sync.Pool{New: func() any { return &Workspace{} }}
+
+// GetWorkspace returns a pooled workspace: possibly one whose buffers a
+// previous holder already grew. Callers hand it back with Release when
+// the worker is done; contents are scratch, never results, so no
+// clearing is needed.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// Release returns the workspace (and its arenas) to the pool. The caller
+// must not use ws — or any tie set or Block series aliasing it — after
+// Release.
+func (ws *Workspace) Release() { wsPool.Put(ws) }
+
 func (ws *Workspace) floats(n int) []float64 {
 	if cap(ws.run) < n {
 		ws.run = make([]float64, n)

@@ -1,0 +1,28 @@
+package detect
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// TestWorkspacePoolRetainsArenas proves Release/GetWorkspace recycles
+// the grown batch arena instead of rebuilding it — the allocation the
+// round-based drivers otherwise pay once per adaptive round. sync.Pool
+// gives no strict identity guarantee, so the test retries a few times
+// and only fails if recycling never happens.
+func TestWorkspacePoolRetainsArenas(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	ws := GetWorkspace()
+	for i := 0; i < 100; i++ {
+		blk := ws.Block(8, 4, 32)
+		p := &blk.traj[0]
+		ws.Release()
+		ws = GetWorkspace()
+		blk2 := ws.Block(8, 4, 32)
+		if &blk2.traj[0] == p {
+			return // arena survived the pool round-trip
+		}
+	}
+	t.Fatal("pooled workspace never retained its batch arena across Release/Get")
+}

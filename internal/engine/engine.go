@@ -228,6 +228,12 @@ type Config[W, R any] struct {
 	// global indices), making reductions independent of scheduling and
 	// worker count.
 	Accumulate func(run int, r R) error
+	// FreeWorker releases one worker's scratch after no run will touch it
+	// again — on the caller's goroutine, once per state NewWorker built
+	// (success and error paths alike). Round-based drivers use it to
+	// return pooled arenas, so consecutive engine runs stop rebuilding
+	// their largest allocations every round.
+	FreeWorker func(w W)
 }
 
 // chunkSize picks the dispatch granularity: runs travel through the
@@ -245,6 +251,34 @@ func chunkSize(runs, workers int) int {
 	}
 	return c
 }
+
+// rngBank is the pooled per-worker bank of reseedable run sources block
+// configs draw from. Each rand.Rand is permanently wired to its slot in
+// srcs, so the pair recycles as a unit; pooling it keeps adaptive round
+// loops (one engine run per round) from rebuilding banks every round.
+type rngBank struct {
+	srcs  []rng.Source
+	rands []*rand.Rand
+}
+
+var bankPool = sync.Pool{New: func() any { return &rngBank{} }}
+
+// getBank returns a pooled bank of at least n streams.
+func getBank(n int) *rngBank {
+	b := bankPool.Get().(*rngBank)
+	if cap(b.srcs) < n {
+		b.srcs = make([]rng.Source, n)
+		b.rands = make([]*rand.Rand, n)
+		for i := range b.srcs {
+			b.rands[i] = rand.New(&b.srcs[i])
+		}
+	}
+	b.srcs = b.srcs[:cap(b.srcs)]
+	b.rands = b.rands[:len(b.srcs)]
+	return b
+}
+
+func putBank(b *rngBank) { bankPool.Put(b) }
 
 // reorderWindow bounds how far dispatch may advance past the oldest
 // unaccumulated chunk, capping the engine's buffered-result memory at
@@ -292,9 +326,23 @@ func Run[W, R any](ctx context.Context, opts Options, cfg Config[W, R]) error {
 		for w := range states {
 			var err error
 			if states[w], err = cfg.NewWorker(w); err != nil {
+				if cfg.FreeWorker != nil {
+					for _, s := range states[:w] {
+						cfg.FreeWorker(s)
+					}
+				}
 				return fmt.Errorf("engine: worker %d setup: %w", w, err)
 			}
 		}
+	}
+	if cfg.FreeWorker != nil {
+		// Runs on every return below — all of which come after wg.Wait, so
+		// no worker goroutine can still touch the scratch being released.
+		defer func() {
+			for _, s := range states {
+				cfg.FreeWorker(s)
+			}
+		}()
 	}
 
 	chunk := chunkSize(runs, o.Workers)
@@ -321,20 +369,18 @@ func Run[W, R any](ctx context.Context, opts Options, cfg Config[W, R]) error {
 		go func(worker int) {
 			defer wg.Done()
 			state := states[worker]
-			// One reseedable source per worker (a bank of them for block
-			// configs): repositioning with Reseed is an 8-byte write, so
-			// deriving a run's private stream costs no allocation
-			// regardless of the run count.
+			// One reseedable source per worker (a pooled bank of them for
+			// block configs): repositioning with Reseed is an 8-byte
+			// write, so deriving a run's private stream costs no
+			// allocation regardless of the run count.
 			src := rng.NewSource(0)
 			workerRNG := rand.New(src)
 			var srcs []rng.Source
 			var bank []*rand.Rand
 			if cfg.RunBlock != nil {
-				srcs = make([]rng.Source, chunk)
-				bank = make([]*rand.Rand, chunk)
-				for i := range srcs {
-					bank[i] = rand.New(&srcs[i])
-				}
+				b := getBank(chunk)
+				defer putBank(b)
+				srcs, bank = b.srcs, b.rands
 			}
 			for {
 				select {

@@ -1,0 +1,102 @@
+package figures
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func encodeLab(t *testing.T, lab *TraceLab) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := lab.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceLabCodecRoundTrip: a decoded lab must be indistinguishable
+// from the built one — same chain bits, towers, trajectories, and (the
+// property everything downstream rides on) a byte-identical re-encode.
+func TestTraceLabCodecRoundTrip(t *testing.T) {
+	lab := getLab(t)
+	blob := encodeLab(t, lab)
+	back, err := DecodeTraceLab(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if back.Horizon != lab.Horizon || back.FilteredNodes != lab.FilteredNodes {
+		t.Fatalf("header changed: horizon %d/%d filtered %d/%d",
+			back.Horizon, lab.Horizon, back.FilteredNodes, lab.FilteredNodes)
+	}
+	if !reflect.DeepEqual(back.Nodes, lab.Nodes) {
+		t.Fatal("node ids changed")
+	}
+	if !reflect.DeepEqual(back.Trajectories, lab.Trajectories) {
+		t.Fatal("trajectories changed")
+	}
+	if !reflect.DeepEqual(back.Quantizer.Towers(), lab.Quantizer.Towers()) {
+		t.Fatal("towers changed")
+	}
+	if !reflect.DeepEqual(back.Chain.Matrix(), lab.Chain.Matrix()) {
+		t.Fatal("transition matrix changed")
+	}
+	wantPi, err := lab.Chain.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPi, err := back.Chain.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPi, wantPi) {
+		t.Fatal("steady state changed")
+	}
+	if got := encodeLab(t, back); !bytes.Equal(got, blob) {
+		t.Fatalf("re-encode not byte-identical: %d vs %d bytes", len(got), len(blob))
+	}
+}
+
+// TestTraceLabCodecBehavioral: the decoded lab must drive the
+// evaluation pipeline to the exact same answers as the built one.
+func TestTraceLabCodecBehavioral(t *testing.T) {
+	lab := getLab(t)
+	back, err := DecodeTraceLab(bytes.NewReader(encodeLab(t, lab)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTop, wantAccs, err := lab.TopUsers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTop, gotAccs, err := back.TopUsers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotTop, wantTop) || !reflect.DeepEqual(gotAccs, wantAccs) {
+		t.Fatal("decoded lab tracks users differently")
+	}
+}
+
+// TestTraceLabCodecCorruption: damage must be detected, never decoded
+// into a plausible lab.
+func TestTraceLabCodecCorruption(t *testing.T) {
+	lab := getLab(t)
+	blob := encodeLab(t, lab)
+
+	for _, cut := range []int{0, 1, 10, len(blob) / 2, len(blob) - 3} {
+		if _, err := DecodeTraceLab(bytes.NewReader(blob[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Flip a bit in the deflate payload: the gzip CRC must catch it.
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/2] ^= 0x10
+	if _, err := DecodeTraceLab(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("bit flip accepted")
+	}
+	if _, err := DecodeTraceLab(bytes.NewReader([]byte("not a lab"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -145,6 +145,7 @@ func Run(ctx context.Context, cfg Config, opts engine.Options) (*Result, error) 
 		NewWorker: func(int) (*muWorker, error) {
 			return newWorker(&cfg), nil
 		},
+		FreeWorker: func(w *muWorker) { w.ws.Release() },
 		Accumulate: func(run int, series []float64) error {
 			return track.Add(series)
 		},
@@ -185,7 +186,7 @@ func newWorker(cfg *Config) *muWorker {
 		}
 	}
 	w := &muWorker{
-		ws:   detect.NewWorkspace(),
+		ws:   detect.GetWorkspace(),
 		trs:  make([]markov.Trajectory, 0, capTrs),
 		tbuf: make(markov.Trajectory, cfg.Horizon),
 		obuf: make(markov.Trajectory, cfg.Horizon),

@@ -371,12 +371,13 @@ func WriteFile(path string, reports []*Report) error {
 	return f.Close()
 }
 
-// ReadFile reads a JSON array of reports from path.
+// ReadFile reads a report envelope file in any format this package
+// writes — JSON, binary, or gzip-framed binary — auto-detected.
 func ReadFile(path string) ([]*Report, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	return ReadReports(f)
 }

@@ -1,7 +1,9 @@
 package scenario
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -13,6 +15,8 @@ import (
 	"chaffmec/internal/figures"
 	"chaffmec/internal/markov"
 	"chaffmec/internal/report"
+	"chaffmec/internal/rng"
+	"chaffmec/internal/store"
 )
 
 // traceLabCache shares built TraceLabs across the rounds and in-process
@@ -64,8 +68,9 @@ func sharedTraceLab(cfg figures.TraceConfig) (*figures.TraceLab, error) {
 	}
 	c.Unlock()
 	e.once.Do(func() {
-		e.lab, e.err = figures.BuildTraceLab(cfg)
-		if e.err == nil {
+		var built bool
+		e.lab, built, e.err = loadOrBuildTraceLab(cfg)
+		if built {
 			c.Lock()
 			c.builds++
 			c.Unlock()
@@ -86,6 +91,71 @@ func sharedTraceLab(cfg figures.TraceConfig) (*figures.TraceLab, error) {
 		c.Unlock()
 	}
 	return e.lab, e.err
+}
+
+// buildTraceLab is the cold-build path, a seam the cache tests stub.
+var buildTraceLab = figures.BuildTraceLab
+
+// storeKindTraceLab namespaces persisted labs in the artifact store.
+const storeKindTraceLab = "tracelab"
+
+// traceLabStoreKey is the lab's content address: the generation config
+// and the rng stream version it was generated under (a stream bump
+// changes every synthetic trace, so old artifacts must not hit).
+func traceLabStoreKey(cfg figures.TraceConfig) string {
+	spec, _ := json.Marshal(cfg)
+	return store.Key(storeKindTraceLab, string(spec), rng.StreamVersion)
+}
+
+// loadOrBuildTraceLab consults the artifact store before paying for a
+// build: a warm store turns a fresh process's first trace Job from a
+// full generate/fit pipeline into one decode. Built reports whether the
+// pipeline actually ran (store hits don't count as builds). Store
+// failures never fail the job — a blob that won't decode is evicted and
+// rebuilt, and persisting the fresh build is best-effort.
+func loadOrBuildTraceLab(cfg figures.TraceConfig) (lab *figures.TraceLab, built bool, err error) {
+	st := store.Default()
+	var key string
+	if st != nil {
+		key = traceLabStoreKey(cfg)
+		if blob, ok, err := st.Get(storeKindTraceLab, key); err == nil && ok {
+			if lab, err := figures.DecodeTraceLab(bytes.NewReader(blob)); err == nil {
+				return lab, false, nil
+			}
+			st.Delete(storeKindTraceLab, key)
+		}
+	}
+	lab, err = buildTraceLab(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if st != nil {
+		var buf bytes.Buffer
+		if err := lab.Encode(&buf); err == nil {
+			st.Put(storeKindTraceLab, key, buf.Bytes())
+		}
+	}
+	return lab, true, nil
+}
+
+// ResetTraceLabCache empties the shared lab cache. Tests and benches
+// use it to force the next trace job through loadOrBuildTraceLab.
+func ResetTraceLabCache() {
+	c := &traceLabCache
+	c.Lock()
+	c.labs = map[figures.TraceConfig]*traceLabEntry{}
+	c.order = nil
+	c.Unlock()
+}
+
+// TraceLabBuilds counts the labs built from scratch since process start
+// — store hits and cache hits don't move it, so a warm-store run is
+// provably build-free (the wire bench's assertion).
+func TraceLabBuilds() int {
+	c := &traceLabCache
+	c.Lock()
+	defer c.Unlock()
+	return c.builds
 }
 
 // runTrace is the trace-driven population kind (Section VII-B): a
@@ -161,7 +231,7 @@ func runTrace(ctx context.Context, sp Spec, shard engine.Shard) (*report.Report,
 	cfg := engine.Config[*traceWorker, []float64]{
 		NewWorker: func(int) (*traceWorker, error) {
 			w := &traceWorker{
-				ws:        detect.NewWorkspace(),
+				ws:        detect.GetWorkspace(),
 				trs:       make([]markov.Trajectory, 0, len(lab.Trajectories)+numChaffs),
 				chaffBufs: make([]markov.Trajectory, numChaffs),
 			}
@@ -170,6 +240,7 @@ func runTrace(ctx context.Context, sp Spec, shard engine.Shard) (*report.Report,
 			}
 			return w, nil
 		},
+		FreeWorker: func(w *traceWorker) { w.ws.Release() },
 		Accumulate: func(run int, series []float64) error {
 			return track.Add(series)
 		},

@@ -156,6 +156,7 @@ func Run(ctx context.Context, sc Scenario, opts engine.Options) (*Result, error)
 		NewWorker: func(int) (*simWorker, error) {
 			return sc.newWorker(), nil
 		},
+		FreeWorker: func(w *simWorker) { w.ws.Release() },
 		Accumulate: func(run int, r runResult) error {
 			if err := track.Add(r.track); err != nil {
 				return err
@@ -200,7 +201,7 @@ func Run(ctx context.Context, sc Scenario, opts engine.Options) (*Result, error)
 // buffers to the horizon so the hot loop never grows them.
 func (sc *Scenario) newWorker() *simWorker {
 	w := &simWorker{
-		ws:        detect.NewWorkspace(),
+		ws:        detect.GetWorkspace(),
 		trs:       make([]markov.Trajectory, 0, 1+sc.NumChaffs),
 		userBuf:   make(markov.Trajectory, sc.Horizon),
 		chaffBufs: make([]markov.Trajectory, sc.NumChaffs),

@@ -1,0 +1,191 @@
+// Package store is a content-addressed artifact store on the local
+// filesystem: blobs keyed by the canonical hash of what produced them
+// (a spec's JSON and the rng stream version), so that re-running the
+// same work is a cache hit and an interrupted campaign resumes from
+// banked partials for free.
+//
+// Layout: <root>/<kind>/<kk>/<key>, where kind namespaces artifact
+// types ("tracelab", "report"), key is the hex SHA-256 of the inputs
+// and kk its first two hex digits (a fan-out level keeping directories
+// small). Writes go to a temp file in the same directory and rename
+// into place, so readers never observe a partial blob and concurrent
+// writers of the same key are idempotent. The store carries no
+// manifest or integrity metadata of its own: keys bind artifacts to
+// their inputs, and corruption detection is the artifact decoder's job
+// — a caller that fails to decode a blob Deletes it and rebuilds.
+//
+// Pruning is plain filesystem hygiene: `rm -rf <root>/<kind>` drops
+// one artifact class, removing the root drops everything; the next
+// run rebuilds what it needs.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store is a content-addressed blob store rooted at one directory.
+// All methods are safe for concurrent use, across goroutines and
+// across processes sharing the root.
+type Store struct {
+	root string
+}
+
+// Open prepares a store rooted at dir, creating it if absent.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty root directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// Key derives the content address of an artifact from the parts that
+// determine it — typically a canonical spec JSON and rng.StreamVersion.
+// Parts are length-framed before hashing so distinct part lists never
+// collide by concatenation.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var frame [8]byte
+	for _, p := range parts {
+		n := len(p)
+		for i := range frame {
+			frame[i] = byte(n >> (8 * i))
+		}
+		h.Write(frame[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path maps (kind, key) to the blob's location, rejecting names that
+// would escape the root.
+func (s *Store) path(kind, key string) (string, error) {
+	if kind == "" || strings.ContainsAny(kind, "/\\.") {
+		return "", fmt.Errorf("store: invalid artifact kind %q", kind)
+	}
+	if len(key) < 2 || strings.ContainsAny(key, "/\\.") {
+		return "", fmt.Errorf("store: invalid key %q", key)
+	}
+	return filepath.Join(s.root, kind, key[:2], key), nil
+}
+
+// Get returns the blob stored under (kind, key), or ok=false when the
+// store has no such artifact. Errors are real I/O failures.
+func (s *Store) Get(kind, key string) (blob []byte, ok bool, err error) {
+	p, err := s.path(kind, key)
+	if err != nil {
+		return nil, false, err
+	}
+	blob, err = os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	return blob, true, nil
+}
+
+// Put stores blob under (kind, key) atomically: a reader concurrently
+// Getting the key sees either nothing or the whole blob, never a
+// partial write. Re-putting an existing key replaces it.
+func (s *Store) Put(kind, key string, blob []byte) error {
+	p, err := s.path(kind, key)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Delete drops the artifact stored under (kind, key); deleting an
+// absent key is a no-op. Callers use it to evict blobs that failed to
+// decode before rebuilding them.
+func (s *Store) Delete(kind, key string) error {
+	p, err := s.path(kind, key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// EnvStore names the environment variable that points the process-wide
+// default store at a directory. Unset, the default store is nil and
+// every caller-side cache check is skipped — runs stay hermetic unless
+// persistence is asked for (the env var or the -store flag).
+const EnvStore = "CHAFFMEC_STORE"
+
+var (
+	defaultMu   sync.Mutex
+	defaultSet  bool
+	defaultStor *Store
+)
+
+// Default returns the process-wide store: the one installed by
+// SetDefault, else one rooted at $CHAFFMEC_STORE, else nil (no
+// persistence). A nil *Store is a valid "disabled" value — guard use
+// sites with a nil check.
+func Default() *Store {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if !defaultSet {
+		defaultSet = true
+		if dir := os.Getenv(EnvStore); dir != "" {
+			s, err := Open(dir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "store: disabled: %v\n", err)
+			} else {
+				defaultStor = s
+			}
+		}
+	}
+	return defaultStor
+}
+
+// SetDefault installs (or, with nil, disables) the process-wide store.
+func SetDefault(s *Store) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultSet = true
+	defaultStor = s
+}
