@@ -291,6 +291,9 @@ type (
 	MECReport = mec.Report
 	// MECPolicy decides real-service placement.
 	MECPolicy = mec.Policy
+	// MECSimulator is the discrete-time MEC substrate simulator behind
+	// NewMECSimulator.
+	MECSimulator = mec.Simulator
 	// FollowUser always migrates the service to the user's cell.
 	FollowUser = mec.FollowUser
 	// ThresholdPolicy tolerates bounded user-service distance.
@@ -298,7 +301,7 @@ type (
 )
 
 // NewMECSimulator builds the substrate simulator.
-func NewMECSimulator(cfg MECConfig) (*mec.Simulator, error) { return mec.NewSimulator(cfg) }
+func NewMECSimulator(cfg MECConfig) (*MECSimulator, error) { return mec.NewSimulator(cfg) }
 
 // NewGrid builds a W×H cell grid; Grid.Walk gives a 2-D mobility chain.
 func NewGrid(w, h int) (Grid, error) { return mobility.NewGrid(w, h) }
@@ -386,13 +389,15 @@ func ExtendReport(r *Report, parts ...*Report) error { return r.Extend(parts...)
 // reproduces the unsharded Report bit-for-bit.
 func MergeReports(parts ...*Report) (*Report, error) { return report.Merge(parts...) }
 
-// ReadReports and WriteReports exchange report envelopes with files —
-// the cross-process leg of the shard workflow (see also cmd/experiments
-// -shard/-merge). WriteReports writes the historical JSON array;
-// ReadReports detects the envelope's encoding (JSON, compact binary,
-// gzipped binary) from its leading bytes, so files written by any
+// ReadReports reads a report-envelope file — the cross-process leg of
+// the shard workflow (see also cmd/experiments -shard/-merge). It
+// detects the envelope's encoding (JSON, compact binary, gzipped
+// binary) from its leading bytes, so files written by any
 // ReportEncoding read back with the same call.
-func ReadReports(path string) ([]*Report, error)     { return report.ReadFile(path) }
+func ReadReports(path string) ([]*Report, error) { return report.ReadFile(path) }
+
+// WriteReports writes report envelopes to path as the historical JSON
+// array; use WriteReportsEncoded for the compact binary wire formats.
 func WriteReports(path string, reps []*Report) error { return report.WriteFile(path, reps) }
 
 // ReportEncoding names one of the wire formats a Report envelope can

@@ -1,0 +1,162 @@
+// Command chaffvet is the repository's contract checker: a multichecker
+// running the internal/lint analyzers — streamstability, determinism,
+// hotpath and facade — over the packages matching its arguments
+// (default ./...). Each diagnostic prints as
+//
+//	file:line:col: message [analyzer]
+//
+// and any diagnostic makes the exit status non-zero, so
+// `go run ./cmd/chaffvet ./...` is a hard CI gate next to gofmt and go
+// vet. Suppress a justified finding in place with
+// //lint:ignore <analyzer> <why>; see internal/lint's package
+// documentation for the directives each analyzer understands.
+//
+// Usage:
+//
+//	chaffvet [-tests=false] [-list] [packages...]
+//
+// Packages are resolved with `go list`, so the usual patterns work.
+// Exit status: 0 clean, 1 diagnostics, 2 load or usage errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"chaffmec/internal/lint"
+)
+
+// listPkg is the subset of `go list -json` output chaffvet consumes.
+type listPkg struct {
+	Dir           string
+	ImportPath    string
+	Name          string
+	GoFiles       []string
+	CgoFiles      []string
+	TestGoFiles   []string
+	XTestGoFiles  []string
+	Module        *struct{ Path, Dir string }
+	Incomplete    bool
+	DepsErrors    []*struct{ Err string }
+	Error         *struct{ Err string }
+	ForTest       string
+	DepOnly       bool
+	Standard      bool
+	IgnoredGoFile []string
+}
+
+func main() { os.Exit(realMain(os.Stdout, os.Stderr, os.Args[1:])) }
+
+func realMain(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("chaffvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tests := fs.Bool("tests", true, "also analyze _test.go files (in-package and external test packages)")
+	list := fs.Bool("list", false, "print the analyzer suite and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "chaffvet:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(stderr, "chaffvet: no packages match", patterns)
+		return 2
+	}
+
+	loader := lint.NewLoader()
+	if m := pkgs[0].Module; m != nil {
+		loader.SetModule(m.Path, m.Dir)
+	} else if path, dir, err := lint.FindModule("."); err == nil {
+		loader.SetModule(path, dir)
+	}
+
+	analyzers := lint.Analyzers()
+	count := 0
+	for _, p := range pkgs {
+		if p.Error != nil {
+			fmt.Fprintf(stderr, "chaffvet: %s: %s\n", p.ImportPath, p.Error.Err)
+			return 2
+		}
+		if len(p.CgoFiles) > 0 {
+			fmt.Fprintf(stderr, "chaffvet: skipping %s: cgo packages are not supported\n", p.ImportPath)
+			continue
+		}
+		type unit struct {
+			path  string
+			files []string
+		}
+		var units []unit
+		files := append([]string(nil), p.GoFiles...)
+		if *tests {
+			files = append(files, p.TestGoFiles...)
+		}
+		if len(files) > 0 {
+			units = append(units, unit{p.ImportPath, files})
+		}
+		if *tests && len(p.XTestGoFiles) > 0 {
+			units = append(units, unit{p.ImportPath + "_test", p.XTestGoFiles})
+		}
+		for _, u := range units {
+			pkg, err := loader.Load(u.path, p.Dir, u.files)
+			if err != nil {
+				fmt.Fprintln(stderr, "chaffvet:", err)
+				return 2
+			}
+			diags, err := lint.RunAnalyzers(pkg, analyzers)
+			if err != nil {
+				fmt.Fprintln(stderr, "chaffvet:", err)
+				return 2
+			}
+			for _, d := range diags {
+				fmt.Fprintln(stdout, d)
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(stderr, "chaffvet: %d diagnostic(s)\n", count)
+		return 1
+	}
+	return 0
+}
+
+// goList resolves package patterns through the go tool.
+func goList(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

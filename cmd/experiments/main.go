@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation section (see DESIGN.md §3 for the experiment index). Each
+// evaluation section (-fig lists the figure ids it knows). Each
 // figure's data is written as CSV under -out, and an ASCII rendering plus
 // the headline numbers are printed to stdout. Beyond the paper's figures,
 // -scenario runs declarative workloads from a JSON config through the
@@ -111,7 +111,7 @@ func main() { os.Exit(realMain()) }
 // particular the -cpuprofile/-memprofile writers — runs on every path.
 func realMain() int {
 	var (
-		fig      = flag.String("fig", "all", "comma-separated figure ids: 4,kl,5,6,7,8,9a,9b,10,eq11,thm or all")
+		fig      = flag.String("fig", "all", "comma-separated figure ids: 4,kl,5,6,7,eq11,thm,8,9a,9b,10,ext-solvers,ext-multiuser,ext-cost or all")
 		outDir   = flag.String("out", "out", "output directory for CSV artifacts")
 		runs     = flag.Int("runs", 1000, "Monte-Carlo runs for synthetic experiments")
 		seed     = flag.Int64("seed", 1, "random seed")

@@ -1,5 +1,5 @@
 // Command tracegen generates a synthetic taxi-fleet mobility trace (the
-// CRAWDAD epfl/mobility substitute, DESIGN.md §5) and writes it as CSV.
+// CRAWDAD epfl/mobility substitute, see internal/tracegen) and writes it as CSV.
 //
 // Usage:
 //

@@ -1,0 +1,31 @@
+package chaff
+
+import (
+	"errors"
+	"testing"
+
+	"chaffmec/internal/rng"
+	"chaffmec/internal/trellis"
+)
+
+// TestInfeasibleDrawSurfacesTypedError pins a draw (found by
+// testing/quick) where a small chain with T=2 and 3 RML chaffs
+// over-constrains the trellis: the failure must surface as
+// trellis.ErrInfeasible through the strategy's wrap chain, so callers
+// can distinguish legitimate infeasibility from real errors.
+func TestInfeasibleDrawSurfacesTypedError(t *testing.T) {
+	r := rng.New(1230569605023497352)
+	c := randomChain(r, 3+r.Intn(6))
+	T := 2 + r.Intn(25)
+	user, err := c.Sample(r, T)
+	if err != nil {
+		t.Fatalf("sample: %v", err)
+	}
+	_, err = NewRML(c).GenerateChaffs(r, user, 3)
+	if err == nil {
+		t.Skip("draw no longer infeasible (chain sampling changed)")
+	}
+	if !errors.Is(err, trellis.ErrInfeasible) {
+		t.Fatalf("infeasible draw error %v is not trellis.ErrInfeasible", err)
+	}
+}

@@ -30,6 +30,8 @@ type BlockGenerator interface {
 // copying the GenerateChaffs result into dst. Either way the rng draws
 // are identical to a plain GenerateChaffs call, and dst's buffers are
 // reused when large enough.
+//
+//chaffmec:hotpath
 func GenerateInto(s Strategy, rng *rand.Rand, user markov.Trajectory, dst []markov.Trajectory) error {
 	if bg, ok := s.(BlockGenerator); ok {
 		return bg.GenerateChaffsInto(rng, user, dst)
@@ -46,6 +48,8 @@ func GenerateInto(s Strategy, rng *rand.Rand, user markov.Trajectory, dst []mark
 
 // growTraj resizes dst to n entries, reusing its backing array when
 // large enough.
+//
+//chaffmec:hotpath
 func growTraj(dst markov.Trajectory, n int) markov.Trajectory {
 	if cap(dst) < n {
 		return make(markov.Trajectory, n)
@@ -54,6 +58,8 @@ func growTraj(dst markov.Trajectory, n int) markov.Trajectory {
 }
 
 // copyInto copies src into dst, growing dst as needed.
+//
+//chaffmec:hotpath
 func copyInto(dst, src markov.Trajectory) markov.Trajectory {
 	dst = growTraj(dst, len(src))
 	copy(dst, src)
@@ -69,6 +75,8 @@ var (
 
 // GenerateChaffsInto implements BlockGenerator: each chaff is sampled
 // into its buffer with the exact draw sequence of GenerateChaffs.
+//
+//chaffmec:hotpath
 func (s *IM) GenerateChaffsInto(rng *rand.Rand, user markov.Trajectory, dst []markov.Trajectory) error {
 	if err := validateGenerate(user, len(dst), s.chain.NumStates()); err != nil {
 		return err
@@ -85,6 +93,8 @@ func (s *IM) GenerateChaffsInto(rng *rand.Rand, user markov.Trajectory, dst []ma
 // GenerateChaffsInto implements BlockGenerator by copying the cached ML
 // trajectory into every buffer (cache entries are immutable once
 // inserted, so copying outside the lock is safe).
+//
+//chaffmec:hotpath
 func (s *ML) GenerateChaffsInto(_ *rand.Rand, user markov.Trajectory, dst []markov.Trajectory) error {
 	if err := validateGenerate(user, len(dst), s.chain.NumStates()); err != nil {
 		return err
@@ -106,6 +116,8 @@ func (s *ML) GenerateChaffsInto(_ *rand.Rand, user markov.Trajectory, dst []mark
 
 // GenerateChaffsInto implements BlockGenerator: the deterministic CML
 // trajectory is designed into dst[0] and replicated.
+//
+//chaffmec:hotpath
 func (s *CML) GenerateChaffsInto(_ *rand.Rand, user markov.Trajectory, dst []markov.Trajectory) error {
 	if err := validateGenerate(user, len(dst), s.chain.NumStates()); err != nil {
 		return err
@@ -122,6 +134,8 @@ func (s *CML) GenerateChaffsInto(_ *rand.Rand, user markov.Trajectory, dst []mar
 
 // GenerateChaffsInto implements BlockGenerator: the deterministic MO
 // trajectory is designed into dst[0] and replicated.
+//
+//chaffmec:hotpath
 func (s *MO) GenerateChaffsInto(_ *rand.Rand, user markov.Trajectory, dst []markov.Trajectory) error {
 	if err := validateGenerate(user, len(dst), s.chain.NumStates()); err != nil {
 		return err

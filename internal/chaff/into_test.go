@@ -30,7 +30,7 @@ func TestGenerateIntoMatchesGenerateChaffs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			refRNG, intoRNG := rng.New(seed+1), rng.New(seed+1)
+			refRNG, intoRNG := rng.NewStream(seed, 1), rng.NewStream(seed, 1)
 			want, err := sRef.GenerateChaffs(refRNG, user, numChaffs)
 			if err != nil {
 				t.Fatalf("GenerateChaffs: %v", err)

@@ -154,10 +154,13 @@ var (
 // each run's argmax/tie statistics are reduced per slot directly into
 // its tracking/detection series. Results are bit-identical to the
 // scalar PrefixDetectionsWith + metrics pipeline run per run.
+//
+//chaffmec:hotpath
 func (d *MLDetector) ScoreBlock(blk *Block, user int) error {
 	return d.scoreBlock(blk, user, false)
 }
 
+//chaffmec:hotpath
 func (d *MLDetector) scoreBlock(blk *Block, user int, filtered bool) error {
 	B, U, T := blk.b, blk.u, blk.t
 	if B < 1 || T < 1 {
@@ -219,6 +222,8 @@ func (d *MLDetector) scoreBlock(blk *Block, user int, filtered bool) error {
 // all trajectories, an all-(-Inf) row over the included ones, and
 // otherwise members within llTieTol of the maximum. The returned values
 // match float64(hits)/float64(|set|) and 1/float64(|set|) bit for bit.
+//
+//chaffmec:hotpath
 func reduceSlot(row []float64, states []int32, include []bool, user int) (track, det float64) {
 	best := math.Inf(-1)
 	n := 0
@@ -285,6 +290,8 @@ func reduceSlot(row []float64, states []int32, include []bool, user int) (track,
 // evaluated on the run's trajectories (gathered from the block), then
 // the shared ML sweep scores all runs among their survivors. Bit-
 // identical to the scalar PrefixDetectionsWith + metrics pipeline.
+//
+//chaffmec:hotpath
 func (d *AdvancedDetector) ScoreBlock(blk *Block, user int) error {
 	B, U, T := blk.b, blk.u, blk.t
 	if B < 1 || U < 1 || T < 1 {

@@ -16,7 +16,7 @@ import (
 
 // TraceConfig parameterises the trace-driven pipeline of Section VII-B.
 // The CRAWDAD taxi dataset and antennasearch tower list are replaced by
-// synthetic equivalents (DESIGN.md §5); the paper's extraction is 174
+// synthetic equivalents (internal/tracegen); the paper's extraction is 174
 // nodes over 100 one-minute slots quantised into 959 Voronoi cells.
 type TraceConfig struct {
 	// Seed drives trace generation, tower placement, and chaff control.

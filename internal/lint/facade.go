@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Facade enforces the public-surface hygiene of the root chaffmec
+// package (import path "chaffmec"):
+//
+//   - exported signatures must not leak internal/... types that have no
+//     exported alias in the facade. The facade's `type X = internal.Y`
+//     aliases are the blessing mechanism: an internal named type
+//     appearing in an exported func/var/const/field/method without such
+//     an alias forces callers to import internal packages, which the Go
+//     toolchain then rejects.
+//   - every exported symbol needs a doc comment (grouped decls may
+//     document the group or the individual spec).
+//
+// Test files are exempt (TestXxx functions are exported by necessity).
+var Facade = &Analyzer{
+	Name: "facade",
+	Doc:  "the root chaffmec package must alias every internal type it exposes and document every exported symbol",
+	Run:  runFacade,
+}
+
+func runFacade(pass *Pass) error {
+	if pass.Path != "chaffmec" {
+		return nil
+	}
+
+	// The blessed set: internal named types re-exported via alias.
+	blessed := map[*types.Named]bool{}
+	for _, obj := range pass.Info.Defs {
+		tn, ok := obj.(*types.TypeName)
+		if !ok || !tn.IsAlias() || !tn.Exported() {
+			continue
+		}
+		if n, ok := types.Unalias(tn.Type()).(*types.Named); ok {
+			blessed[n] = true
+		}
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Doc == nil {
+					pass.Reportf(d.Name.Pos(), "exported %s needs a doc comment (facade surface)", describeFunc(d))
+				}
+				if fn, ok := pass.Info.Defs[d.Name].(*types.Func); ok {
+					checkLeak(pass, d.Name.Pos(), d.Name.Name, fn.Type(), blessed)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					checkSpec(pass, d, spec, blessed)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func describeFunc(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method " + d.Name.Name
+	}
+	return "function " + d.Name.Name
+}
+
+// checkSpec applies the doc and leak rules to one type/var/const spec.
+func checkSpec(pass *Pass, decl *ast.GenDecl, spec ast.Spec, blessed map[*types.Named]bool) {
+	documented := decl.Doc != nil
+	switch s := spec.(type) {
+	case *ast.TypeSpec:
+		if !s.Name.IsExported() {
+			return
+		}
+		if !documented && s.Doc == nil && s.Comment == nil {
+			pass.Reportf(s.Name.Pos(), "exported type %s needs a doc comment (facade surface)", s.Name.Name)
+		}
+		tn, ok := pass.Info.Defs[s.Name].(*types.TypeName)
+		if !ok {
+			return
+		}
+		if tn.IsAlias() {
+			return // aliases ARE the blessing mechanism
+		}
+		// A facade-defined type: its exported fields and methods are
+		// public surface too.
+		if n, ok := tn.Type().(*types.Named); ok {
+			if st, ok := n.Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					fd := st.Field(i)
+					if fd.Exported() {
+						checkLeak(pass, fd.Pos(), s.Name.Name+"."+fd.Name(), fd.Type(), blessed)
+					}
+				}
+			}
+			for i := 0; i < n.NumMethods(); i++ {
+				m := n.Method(i)
+				if m.Exported() {
+					checkLeak(pass, m.Pos(), s.Name.Name+"."+m.Name(), m.Type(), blessed)
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		for _, name := range s.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if !documented && s.Doc == nil && s.Comment == nil {
+				kind := "var"
+				if decl.Tok.String() == "const" {
+					kind = "const"
+				}
+				pass.Reportf(name.Pos(), "exported %s %s needs a doc comment (facade surface)", kind, name.Name)
+			}
+			if obj := pass.Info.Defs[name]; obj != nil {
+				checkLeak(pass, name.Pos(), name.Name, obj.Type(), blessed)
+			}
+		}
+	}
+}
+
+// checkLeak walks a type reachable from the exported symbol `name` and
+// reports internal named types that lack a facade alias.
+func checkLeak(pass *Pass, pos token.Pos, name string, t types.Type, blessed map[*types.Named]bool) {
+	seen := map[types.Type]bool{}
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		t = types.Unalias(t)
+		switch t := t.(type) {
+		case *types.Named:
+			if pkg := t.Obj().Pkg(); pkg != nil && isInternalPath(pkg.Path()) && !blessed[t] {
+				pass.Reportf(pos,
+					"exported %s leaks internal type %s with no exported facade alias; add `type %s = %s` (or unexport)",
+					name, pkg.Path()+"."+t.Obj().Name(), t.Obj().Name(), pkg.Name()+"."+t.Obj().Name())
+			}
+			// Type arguments of instantiated generics are surface too;
+			// the named type's underlying is its own package's concern.
+			if ta := t.TypeArgs(); ta != nil {
+				for i := 0; i < ta.Len(); i++ {
+					walk(ta.At(i))
+				}
+			}
+		case *types.Pointer:
+			walk(t.Elem())
+		case *types.Slice:
+			walk(t.Elem())
+		case *types.Array:
+			walk(t.Elem())
+		case *types.Chan:
+			walk(t.Elem())
+		case *types.Map:
+			walk(t.Key())
+			walk(t.Elem())
+		case *types.Signature:
+			for i := 0; i < t.Params().Len(); i++ {
+				walk(t.Params().At(i).Type())
+			}
+			for i := 0; i < t.Results().Len(); i++ {
+				walk(t.Results().At(i).Type())
+			}
+		case *types.Struct:
+			for i := 0; i < t.NumFields(); i++ {
+				walk(t.Field(i).Type())
+			}
+		case *types.Interface:
+			for i := 0; i < t.NumMethods(); i++ {
+				walk(t.Method(i).Type())
+			}
+		}
+	}
+	walk(t)
+}
+
+// isInternalPath reports whether an import path is under an internal
+// element (unimportable outside its subtree).
+func isInternalPath(path string) bool {
+	return path == "internal" ||
+		strings.HasPrefix(path, "internal/") ||
+		strings.HasSuffix(path, "/internal") ||
+		strings.Contains(path, "/internal/")
+}

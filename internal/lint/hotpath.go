@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathDirective marks a function whose body the hotpath analyzer
+// holds to the allocation-free kernel contract.
+const HotpathDirective = "chaffmec:hotpath"
+
+// Hotpath enforces the batched-kernel allocation contract: a function
+// annotated //chaffmec:hotpath (markov.SampleBatch, the detector
+// ScoreBlock sweeps, chaff.GenerateInto, the engine RunBlock worker
+// kernels) must stay free of allocation-inducing constructs, so the
+// ~2-allocs-per-block steady state the alloc-pin tests measure cannot
+// regress silently.
+//
+// Flagged inside an annotated body: fmt.* calls, append, make, new,
+// closures (func literals), map/slice composite literals, string
+// concatenation, string<->[]byte/[]rune conversions, and interface
+// boxing (conversions to interface types, or passing a concrete value
+// to an interface-typed parameter).
+//
+// Two guard shapes are recognized as cold and skipped:
+//
+//   - an if-body that ends in a return statement (validation preamble:
+//     `if len(dst) < B*T { return fmt.Errorf(...) }`);
+//   - an if-body whose condition calls cap() (the amortized arena-grow
+//     idiom: `if cap(w.buf) < n { w.buf = make(...) }`).
+//
+// By-design allocations on a hot path (e.g. the one results-backing
+// allocation per block that must outlive arena reuse) are suppressed
+// in place with //lint:ignore hotpath <why>.
+//
+// The analyzer is intra-procedural: it checks annotated bodies, not
+// their callees. Annotate helpers the kernels call (grow functions,
+// reduce steps) to extend coverage.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocation-inducing constructs in //chaffmec:hotpath-annotated kernel functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, HotpathDirective) {
+				continue
+			}
+			hp := &hotpathWalker{pass: pass}
+			hp.walkStmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// HotpathFuncs returns the names of the package's hotpath-annotated
+// functions ("SampleBatch", "(*MLDetector).ScoreBlock" style for
+// methods) — regression tests assert the contract stays attached to the
+// kernels it names.
+func HotpathFuncs(pkg *Package) []string {
+	var out []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, HotpathDirective) {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				name = "(" + types.ExprString(fd.Recv.List[0].Type) + ")." + name
+			}
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// hotpathWalker walks an annotated body, skipping recognized cold
+// guards.
+type hotpathWalker struct {
+	pass *Pass
+}
+
+func (hp *hotpathWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		hp.walkStmt(s)
+	}
+}
+
+// walkStmt dispatches statements, handling the two cold-guard if-shapes
+// specially; every other node funnels through checkExpr via ast.Inspect.
+func (hp *hotpathWalker) walkStmt(s ast.Stmt) {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok {
+		ast.Inspect(s, hp.check)
+		return
+	}
+	if ifs.Init != nil {
+		ast.Inspect(ifs.Init, hp.check)
+	}
+	ast.Inspect(ifs.Cond, hp.check)
+	if !coldGuard(ifs) {
+		hp.walkStmts(ifs.Body.List)
+	}
+	if ifs.Else != nil {
+		hp.walkStmt(ifs.Else)
+	}
+}
+
+// coldGuard reports whether an if statement is one of the recognized
+// off-hot-path shapes: a body ending in return, or an amortized
+// arena-grow guarded by cap().
+func coldGuard(ifs *ast.IfStmt) bool {
+	if n := len(ifs.Body.List); n > 0 {
+		if _, ok := ifs.Body.List[n-1].(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	capGuard := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "cap" {
+				capGuard = true
+				return false
+			}
+		}
+		return !capGuard
+	})
+	return capGuard
+}
+
+// check is the per-node allocation test (ast.Inspect callback).
+func (hp *hotpathWalker) check(n ast.Node) bool {
+	pass := hp.pass
+	switch n := n.(type) {
+	case *ast.IfStmt:
+		// Nested ifs reached through ast.Inspect (inside loops etc.)
+		// get the same guard handling, then stop this Inspect branch.
+		hp.walkStmt(n)
+		return false
+
+	case *ast.FuncLit:
+		pass.Reportf(n.Pos(), "closure allocates on the hot path; hoist it to a named function or worker state")
+		return true // still check the closure body: it runs hot too
+
+	case *ast.CompositeLit:
+		if t := pass.TypeOf(n); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates on the hot path; preallocate in the worker arena")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates on the hot path; preallocate in the worker arena")
+			}
+		}
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD {
+			if t := pass.TypeOf(n); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					pass.Reportf(n.Pos(), "string concatenation allocates on the hot path")
+				}
+			}
+		}
+
+	case *ast.CallExpr:
+		hp.checkCall(n)
+	}
+	return true
+}
+
+// checkCall classifies a call as builtin, conversion, or ordinary call
+// and applies the matching allocation rules.
+func (hp *hotpathWalker) checkCall(call *ast.CallExpr) {
+	pass := hp.pass
+	fun := ast.Unparen(call.Fun)
+
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow and allocate on the hot path; size the buffer in the worker arena (cap-guarded grows are exempt)")
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates on the hot path; hoist it to the worker arena (cap-guarded grows are exempt)")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates on the hot path; hoist it to the worker arena")
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+		hp.checkConversion(call, tv.Type)
+		return
+	}
+
+	// fmt.* is both an allocation and (usually) boxing.
+	if callee := typeutilCallee(pass.Info, call); callee != nil && callee.Pkg() != nil &&
+		callee.Pkg().Path() == "fmt" && callee.Type().(*types.Signature).Recv() == nil {
+		pass.Reportf(call.Pos(), "fmt.%s allocates (and boxes its operands) on the hot path", callee.Name())
+		return
+	}
+
+	// Interface boxing at call boundaries: a concrete argument passed
+	// as an interface-typed parameter allocates.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // passing a slice through ... does not box
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s as interface parameter boxes (allocates) on the hot path", types.TypeString(at, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+// checkConversion flags converting to an interface (boxing) and the
+// copying string<->[]byte/[]rune conversions.
+func (hp *hotpathWalker) checkConversion(call *ast.CallExpr, to types.Type) {
+	pass := hp.pass
+	if len(call.Args) != 1 {
+		return
+	}
+	from := pass.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to) && !types.IsInterface(from) && !isUntypedNil(from) {
+		pass.Reportf(call.Pos(), "conversion to interface type boxes (allocates) on the hot path")
+		return
+	}
+	toB, toIsBasic := to.Underlying().(*types.Basic)
+	fromB, fromIsBasic := from.Underlying().(*types.Basic)
+	_, toIsSlice := to.Underlying().(*types.Slice)
+	_, fromIsSlice := from.Underlying().(*types.Slice)
+	switch {
+	case toIsSlice && fromIsBasic && fromB.Info()&types.IsString != 0:
+		pass.Reportf(call.Pos(), "string-to-slice conversion copies and allocates on the hot path")
+	case toIsBasic && toB.Info()&types.IsString != 0 && fromIsSlice:
+		pass.Reportf(call.Pos(), "slice-to-string conversion copies and allocates on the hot path")
+	}
+}
+
+// typeutilCallee resolves a call's static callee func object, through
+// selections and parens; nil for builtins, conversions and dynamic
+// calls through function values.
+func typeutilCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,277 @@
+// Package lint is chaffmec's static-analysis suite: four analyzers that
+// machine-enforce the repository's cross-cutting contracts — stream
+// stability (all seed derivation through internal/rng), determinism
+// (no map-iteration order or wall-clock leaking into Reports, wire
+// bytes or store keys), hot-path allocation discipline (the batched
+// kernels stay allocation-free), and facade hygiene (the public
+// chaffmec package only exposes blessed types, with doc comments).
+//
+// The analyzers run over type-checked packages. Because the repository
+// builds without third-party dependencies, the package carries its own
+// minimal driver instead of golang.org/x/tools/go/analysis: a Loader
+// that type-checks module packages from source (stdlib via the
+// go/importer source importer), an Analyzer/Pass pair mirroring the
+// x/tools shape, and a runner that applies suppression comments. The
+// cmd/chaffvet multichecker is the CLI front end and CI gate.
+//
+// # Directives and suppressions
+//
+//	//chaffmec:hotpath
+//	    on a function declaration's doc comment: the hotpath analyzer
+//	    flags allocation-inducing constructs in its body.
+//
+//	//chaffmec:orderindependent <why>
+//	    on (or immediately above) a `range` over a map in a
+//	    determinism-critical package: asserts the loop body is
+//	    order-independent. The justification is mandatory.
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <why>
+//	    on (or immediately above) an offending line: suppresses the
+//	    named analyzers' diagnostics there. The justification is
+//	    mandatory; a reasonless ignore is itself a diagnostic.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore suppressions.
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Run inspects the package behind pass and reports findings via
+	// pass.Reportf. A non-nil error aborts the whole run (reserved for
+	// internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package's import path (testdata packages use their
+	// path relative to the suite's src root).
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expr, or nil if the type checker did not
+// record one.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	return p.Info.TypeOf(expr)
+}
+
+// Analyzers returns the full chaffvet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{StreamStability, Determinism, Hotpath, Facade}
+}
+
+// ByName resolves an analyzer of the suite by name.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// RunAnalyzers runs the given analyzers over one loaded package and
+// returns the surviving diagnostics, sorted by position: suppressed
+// findings are dropped, and malformed //lint:ignore directives are
+// reported under the pseudo-analyzer "lint".
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Path:     pkg.Path,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sup, bad := suppressions(pkg)
+	diags = append(diags, bad...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if sup.covers(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// ignoreSet maps file -> line -> analyzer names suppressed there.
+type ignoreSet map[string]map[int]map[string]bool
+
+// covers reports whether d is suppressed by an ignore directive on its
+// own line or on the line immediately above it.
+func (s ignoreSet) covers(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, ln := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if names := lines[ln]; names[d.Analyzer] || names["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions scans a package's comments for //lint:ignore directives.
+// Reasonless directives are returned as diagnostics instead of taking
+// effect.
+func suppressions(pkg *Package) (ignoreSet, []Diagnostic) {
+	const prefix = "lint:ignore"
+	set := ignoreSet{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text, prefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "//lint:ignore needs an analyzer name and a justification: //lint:ignore <analyzer> <why>",
+					})
+					continue
+				}
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// directiveText extracts the payload of a //name... directive comment:
+// the text after the marker, or ok=false if c is not that directive.
+// Directives must use line comments with no space before the name
+// (standard Go directive shape).
+func directiveText(comment, name string) (string, bool) {
+	if !strings.HasPrefix(comment, "//") {
+		return "", false
+	}
+	rest := comment[2:]
+	if !strings.HasPrefix(rest, name) {
+		return "", false
+	}
+	rest = rest[len(name):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. lint:ignorexyz
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// hasDirective reports whether a declaration's doc comment group
+// carries the given directive.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if _, ok := directiveText(c.Text, name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveLines collects every line of f carrying the named directive,
+// mapped to the directive's trailing text (the justification).
+func directiveLines(fset *token.FileSet, f *ast.File, name string) map[int]string {
+	out := map[int]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if text, ok := directiveText(c.Text, name); ok {
+				out[fset.Position(c.Pos()).Line] = text
+			}
+		}
+	}
+	return out
+}
+
+// isTestFile reports whether pos lies in a _test.go file.
+func isTestFile(pass *Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// pathElem returns the last element of an import path: the analyzer
+// package-set matchers key on it so the same rules apply to the real
+// tree ("chaffmec/internal/report") and to testdata suites ("report").
+func pathElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

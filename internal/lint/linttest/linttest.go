@@ -1,0 +1,141 @@
+// Package linttest runs lint analyzers over testdata packages and
+// checks their diagnostics against `// want "regex"` comments — a
+// minimal stand-in for golang.org/x/tools/go/analysis/analysistest,
+// which the dependency-free repository does not vendor.
+//
+// Suite layout mirrors analysistest: a source root containing
+// <import/path>/*.go directories. Expectations are trailing comments on
+// the offending line:
+//
+//	x := seed*31 + 1 // want `ad-hoc seed arithmetic`
+//
+// Each quoted string after `want` is an anchored-nowhere regexp that
+// must match exactly one diagnostic's message on that line, and every
+// diagnostic must be claimed by exactly one pattern. Both double-quoted
+// and backquoted Go string syntax are accepted. Suppressed findings
+// (//lint:ignore) never reach the matcher, so a line carrying a valid
+// ignore needs no want comment — that is how suites pin suppression
+// behavior.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"chaffmec/internal/lint"
+)
+
+// expectation is one want pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	claimed bool
+}
+
+// Run loads each import path from root (tests included), runs the
+// analyzer through the suppression-aware runner, and fails t on any
+// mismatch between the surviving diagnostics and the want comments.
+func Run(t *testing.T, root string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	loader := lint.NewLoader()
+	loader.SetSourceRoot(root)
+	for _, path := range paths {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		pkg, err := loader.LoadDir(path, dir, true)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		wants := expectations(t, pkg)
+		for _, d := range diags {
+			if !claim(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s", path, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.claimed {
+				t.Errorf("%s:%d: no %s diagnostic matched %q", w.file, w.line, a.Name, w.raw)
+			}
+		}
+	}
+}
+
+// claim marks the first unclaimed expectation on d's line whose pattern
+// matches d's message, reporting whether one was found.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.claimed || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+// expectations scans a loaded package's comments for want patterns.
+func expectations(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range quotedStrings(t, pos.String(), rest) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					out = append(out, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  raw,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// quotedStrings parses a sequence of Go-quoted strings ("..." or
+// `...`), the analysistest want payload shape.
+func quotedStrings(t *testing.T, at, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: want payload %q is not a quoted string sequence: %v", at, s, err)
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: unquoting %q: %v", at, q, err)
+		}
+		out = append(out, unq)
+		s = s[len(q):]
+	}
+}

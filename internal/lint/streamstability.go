@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StreamStability enforces the rng package's stream-stability contract:
+// every pseudo-random stream must be derived through
+// chaffmec/internal/rng, so "which stream does run r of experiment s
+// draw?" has exactly one answer regardless of scheduling or host.
+//
+// Concretely it forbids, everywhere except the rng package itself:
+//
+//   - math/rand package-level functions other than New: NewSource (an
+//     ad-hoc lagged-Fibonacci stream outside the substrate), Seed, and
+//     the global-generator draws (Int, Float64, Perm, Shuffle, …).
+//     rand.New stays legal because wrapping an rng.Source in *rand.Rand
+//     is the documented engine-worker pattern.
+//   - all of math/rand/v2 (the substrate is built on math/rand's
+//     Source64 contract).
+//   - ad-hoc seed arithmetic: integer +, -, *, /, %, ^, <<, >> over a
+//     value whose name mentions "seed" (seed*31+i, seed+7,
+//     seed+rank*307+si, …). Derivation must go through rng.Derive so
+//     child streams stay decorrelated and scheduling-independent.
+var StreamStability = &Analyzer{
+	Name: "streamstability",
+	Doc:  "forbid math/rand globals, rand.NewSource and ad-hoc seed arithmetic outside internal/rng; derive streams with rng.Derive",
+	Run:  runStreamStability,
+}
+
+// arithmeticOps are the binary operators that count as seed arithmetic.
+var arithmeticOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true,
+	token.QUO: true, token.REM: true, token.XOR: true,
+	token.SHL: true, token.SHR: true,
+}
+
+func runStreamStability(pass *Pass) error {
+	if pathElem(pass.Path) == "rng" {
+		return nil // the substrate itself
+	}
+
+	// Rule 1: package-level math/rand functions.
+	for ident, obj := range pass.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			continue // methods on *rand.Rand are how streams are consumed
+		}
+		switch fn.Pkg().Path() {
+		case "math/rand":
+			if fn.Name() == "New" {
+				continue
+			}
+			pass.Reportf(ident.Pos(),
+				"math/rand.%s draws outside the rng substrate; use chaffmec/internal/rng (rng.New / rng.NewStream / rng.Derive) so the stream-stability contract holds", fn.Name())
+		case "math/rand/v2":
+			pass.Reportf(ident.Pos(),
+				"math/rand/v2.%s is outside the rng substrate (built on math/rand.Source64); use chaffmec/internal/rng", fn.Name())
+		}
+	}
+
+	// Rule 2: ad-hoc seed arithmetic.
+	for _, f := range pass.Files {
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !arithmeticOps[be.Op] {
+				return true
+			}
+			if t := pass.TypeOf(be); t == nil || !isIntegerType(t) {
+				return true
+			}
+			if !mentionsSeed(be) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"ad-hoc seed arithmetic; derive child streams with rng.Derive(seed, ids...) so they stay decorrelated and scheduling-independent")
+			return false // one diagnostic per outermost seed expression
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// isIntegerType reports whether t's core type is an integer (seed
+// arithmetic is integral; float math on variables named *seed*, e.g.
+// seeding probabilities, is not a stream concern).
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// mentionsSeed reports whether any identifier in the expression names a
+// seed (contains "seed", case-insensitive) — the heuristic that turns
+// seed*31+i into a diagnostic while leaving run*stride alone.
+func mentionsSeed(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if strings.Contains(strings.ToLower(id.Name), "seed") {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

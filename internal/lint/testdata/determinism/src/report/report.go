@@ -1,0 +1,76 @@
+// Package report exercises the determinism analyzer in a
+// determinism-critical package (last path element "report"): unsorted
+// map ranges and wall-clock reads are diagnostics unless annotated.
+package report
+
+import (
+	"sort"
+	"time"
+)
+
+// Unannotated map iteration feeding an aggregate: a finding.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// collectSorted is the sanctioned shape: the directive asserts the body
+// commutes, with a justification.
+func collectSorted(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	//chaffmec:orderindependent collect-then-sort: the sort.Strings below canonicalizes the order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// directiveAbove checks the directive-on-the-line-above placement.
+func directiveAbove(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	//chaffmec:orderindependent per-key rebuild into another map; no cross-key state
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// reasonless carries the directive with no justification: that is its
+// own finding.
+func reasonless(m map[int]int) int {
+	n := 0
+	//chaffmec:orderindependent
+	for range m { // want `needs a justification`
+		n++
+	}
+	return n
+}
+
+// sliceRange is not a map range: no finding.
+func sliceRange(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// stamp reads the wall clock on a report-producing path: a finding.
+func stamp() int64 {
+	return time.Now().UnixMilli() // want `time\.Now reads the wall clock`
+}
+
+// elapsed reads the wall clock twice.
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since reads the wall clock`
+}
+
+// provenance is the sanctioned exception shape: a justified ignore.
+func provenance() int64 {
+	//lint:ignore determinism suite fixture: provenance timing, never merged into aggregates
+	return time.Now().UnixMilli()
+}

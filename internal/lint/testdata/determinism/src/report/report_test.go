@@ -1,0 +1,21 @@
+package report
+
+import (
+	"testing"
+	"time"
+)
+
+// _test.go files are exempt from both determinism rules: a test timing
+// itself or ranging a map in an assertion does not touch the
+// bit-for-bit contract, so neither line below carries a want comment.
+func TestExempt(t *testing.T) {
+	start := time.Now()
+	m := map[string]float64{"a": 1}
+	got := 0.0
+	for _, v := range m {
+		got += v
+	}
+	if got != 1 || time.Since(start) < 0 {
+		t.Fatal("impossible")
+	}
+}

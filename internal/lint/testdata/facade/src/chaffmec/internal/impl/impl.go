@@ -1,0 +1,18 @@
+// Package impl stands in for an internal implementation package behind
+// the facade under test.
+package impl
+
+// Blessed gets an exported alias in the facade.
+type Blessed struct{ N int }
+
+// Hidden has no facade alias: leaking it is a finding.
+type Hidden struct{ M int }
+
+// NewBlessed builds a Blessed.
+func NewBlessed() *Blessed { return &Blessed{} }
+
+// NewHidden builds a Hidden.
+func NewHidden() *Hidden { return &Hidden{} }
+
+// Box is a generic container, for alias-of-instantiation coverage.
+type Box[T any] struct{ V T }

@@ -1,0 +1,115 @@
+// Package hot exercises the hotpath analyzer: allocation-inducing
+// constructs inside //chaffmec:hotpath bodies are diagnostics, the two
+// cold-guard shapes are skipped, unannotated functions are untouched,
+// and //lint:ignore hotpath suppresses by-design allocations.
+package hot
+
+import "fmt"
+
+type arena struct {
+	buf []float64
+	out []int
+}
+
+// kernel is a free function under the directive. The validation
+// preamble (if-body ending in return) and the cap-guarded arena grow
+// are recognized as cold; everything after is hot.
+//
+//chaffmec:hotpath
+func kernel(a *arena, xs []float64) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("hot: empty input")
+	}
+	if cap(a.buf) < len(xs) {
+		a.buf = make([]float64, len(xs))
+	}
+	buf := a.buf[:len(xs)]
+	copy(buf, xs)
+	fmt.Println(len(buf))           // want `fmt\.Println allocates`
+	a.out = append(a.out, len(buf)) // want `append may grow and allocate`
+	tmp := make([]int, 4)           // want `make allocates on the hot path`
+	_ = tmp
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	s := []int{1, 2} // want `slice literal allocates`
+	_ = s
+	f := func() {} // want `closure allocates`
+	f()
+	return nil
+}
+
+type scorer struct{ acc []float64 }
+
+// ScoreBlock puts the directive on a method: same rules as a free
+// function.
+//
+//chaffmec:hotpath
+func (sc *scorer) ScoreBlock(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	sc.acc = append(sc.acc, total) // want `append may grow and allocate`
+	return total
+}
+
+// cold is NOT annotated: identical constructs draw no diagnostics.
+func cold() []int {
+	out := []int{}
+	out = append(out, len(fmt.Sprint(1)))
+	return out
+}
+
+// copyOut pins the suppression path: the by-design backing allocation
+// is ignored with a justification, the unjustified one still reports.
+//
+//chaffmec:hotpath
+func copyOut(blk []float64, B, T int) [][]float64 {
+	//lint:ignore hotpath suite fixture: by-design one backing allocation per block
+	backing := make([]float64, B*T)
+	out := make([][]float64, B) // want `make allocates on the hot path`
+	for r := range out {
+		out[r] = backing[r*T : (r+1)*T]
+		copy(out[r], blk[r*T:(r+1)*T])
+	}
+	return out
+}
+
+// sumOf is a generic kernel: the directive holds across instantiations
+// (the analyzer checks the generic body once).
+//
+//chaffmec:hotpath
+func sumOf[T ~int | ~float64](xs, scratch []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	scratch = append(scratch, total) // want `append may grow and allocate`
+	_ = scratch
+	return total
+}
+
+func instantiate() (int, float64) {
+	return sumOf([]int{1, 2}, nil), sumOf([]float64{3}, nil)
+}
+
+// boxing covers the three boxing shapes: explicit conversion to an
+// interface, a concrete argument at an interface parameter, and the
+// copying string conversions.
+//
+//chaffmec:hotpath
+func boxing(v int, s string) (any, []byte) {
+	take(v)        // want `passing int as interface parameter boxes`
+	take(nil)      // untyped nil does not box
+	return any(v), // want `conversion to interface type boxes`
+		[]byte(s) // want `string-to-slice conversion copies and allocates`
+}
+
+func take(x interface{}) { _ = x }
+
+// concat covers string concatenation.
+//
+//chaffmec:hotpath
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}

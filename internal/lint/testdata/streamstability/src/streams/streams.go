@@ -1,0 +1,70 @@
+// Package streams exercises the streamstability analyzer: math/rand
+// globals, rand.NewSource, math/rand/v2 and ad-hoc seed arithmetic are
+// diagnostics; rand.New over an external Source and rng-free integer
+// math are not.
+package streams
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+type source struct{}
+
+func (source) Int63() int64 { return 0 }
+func (source) Seed(int64)   {}
+
+// adHocSource builds a stream outside the rng substrate.
+func adHocSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `math/rand\.NewSource draws outside the rng substrate`
+}
+
+// wrapped is the documented engine-worker pattern: rand.New over a
+// substrate Source is legal.
+func wrapped() *rand.Rand {
+	return rand.New(source{})
+}
+
+// globals draws from the shared package-level generator.
+func globals() (int, float64) {
+	return rand.Intn(10), rand.Float64() // want `math/rand\.Intn draws outside the rng substrate` `math/rand\.Float64 draws outside the rng substrate`
+}
+
+// v2 is forbidden wholesale: the substrate is built on math/rand's
+// Source64 contract.
+func v2() uint64 {
+	return randv2.Uint64() // want `math/rand/v2\.Uint64 is outside the rng substrate`
+}
+
+// derive does ad-hoc seed arithmetic instead of rng.Derive.
+func derive(seed int64, i int) int64 {
+	return seed*31 + int64(i) // want `ad-hoc seed arithmetic`
+}
+
+// shardSeed mixes a seed with a rank the ad-hoc way.
+func shardSeed(baseSeed, rank int64) int64 {
+	return baseSeed ^ rank<<7 // want `ad-hoc seed arithmetic`
+}
+
+// notSeeds is integer arithmetic over non-seed names: not a finding.
+func notSeeds(run, stride int) int {
+	return run*stride + 1
+}
+
+// floatSeed is float math over a seed-named value (e.g. a seeding
+// probability): not a stream concern.
+func floatSeed(seedFrac float64) float64 {
+	return seedFrac * 0.5
+}
+
+// suppressed documents a justified exception: the ignore on the line
+// above the finding covers it, so no diagnostic survives.
+func suppressed(seed int64) int64 {
+	//lint:ignore streamstability suite fixture: proves a justified ignore suppresses the finding
+	return seed + 1
+}
+
+// suppressedInline covers the same-line ignore placement.
+func suppressedInline(seed int64) int64 {
+	return seed + 2 //lint:ignore streamstability suite fixture: same-line ignore placement
+}

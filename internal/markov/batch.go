@@ -17,6 +17,8 @@ import (
 // The slot-major loop walks the flat alias encoding with all B runs'
 // predecessor states hot in cache, which is what makes this the sampling
 // kernel of the Monte-Carlo hot path.
+//
+//chaffmec:hotpath
 func (c *Chain) SampleBatch(rngs []*rand.Rand, T int, dst []int32) error {
 	B := len(rngs)
 	if B == 0 {

@@ -231,6 +231,8 @@ func numObserved(cfg *Config) int {
 // coexisting users and chaff groups are generated into reused buffers
 // and packed into the scoring block in the same column order the scalar
 // path builds trs.
+//
+//chaffmec:hotpath
 func runBlock(cfg *Config, scorer detect.BlockScorer, w *muWorker, rngs []*rand.Rand, out [][]float64) error {
 	B, T := len(rngs), cfg.Horizon
 	if cap(w.targets) < B*T {
@@ -282,6 +284,7 @@ func runBlock(cfg *Config, scorer detect.BlockScorer, w *muWorker, rngs []*rand.
 	if err := scorer.ScoreBlock(blk, 0); err != nil {
 		return err
 	}
+	//lint:ignore hotpath by design: results must outlive the arena's reuse by the next chunk, so each block pays exactly one backing allocation (alloc-pinned in block_test)
 	backing := make([]float64, B*T)
 	for r := range out {
 		series := backing[r*T : (r+1)*T]

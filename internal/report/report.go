@@ -230,6 +230,14 @@ func Merge(parts ...*Report) (*Report, error) {
 
 	series := map[string]*engine.SeriesStats{}
 	scalars := map[string]engine.ScalarStats{}
+	// Order-independence audit (machine-checked by the determinism
+	// analyzer): each loop below is keyed per name — map-to-map rebuilds
+	// or per-key accumulator merges with no cross-key state — so the
+	// merged Report's bits cannot depend on Go's randomized iteration
+	// order. The JSON/binary encoders re-sort keys at encode time
+	// (codec.go iterates keys() sorted), which is where byte-level
+	// canonicalization happens.
+	//chaffmec:orderindependent per-name rebuild into another map; no cross-key state
 	for name := range first.Series {
 		s, err := first.SeriesStats(name)
 		if err != nil {
@@ -237,6 +245,7 @@ func Merge(parts ...*Report) (*Report, error) {
 		}
 		series[name] = s
 	}
+	//chaffmec:orderindependent per-name rebuild into another map; no cross-key state
 	for name := range first.Scalars {
 		s, err := first.ScalarStats(name)
 		if err != nil {
@@ -273,6 +282,7 @@ func Merge(parts ...*Report) (*Report, error) {
 		if err := sameKeys(shard, "scalars", keys(first.Scalars), keys(p.Scalars)); err != nil {
 			return nil, err
 		}
+		//chaffmec:orderindependent each name merges into its own accumulator; first error reported is the only order-sensitive part and aborts the whole merge
 		for name, acc := range series {
 			s, err := p.SeriesStats(name)
 			if err != nil {
@@ -282,6 +292,7 @@ func Merge(parts ...*Report) (*Report, error) {
 				return nil, fmt.Errorf("report: merging series %q of %s: %w", name, shard, err)
 			}
 		}
+		//chaffmec:orderindependent each name merges into its own accumulator; first error reported is the only order-sensitive part and aborts the whole merge
 		for name := range scalars {
 			s, err := p.ScalarStats(name)
 			if err != nil {
@@ -299,12 +310,14 @@ func Merge(parts ...*Report) (*Report, error) {
 
 	if len(series) > 0 {
 		out.Series = make(map[string]engine.SeriesSnapshot, len(series))
+		//chaffmec:orderindependent per-name snapshot into another map; no cross-key state
 		for name, acc := range series {
 			out.Series[name] = acc.Snapshot()
 		}
 	}
 	if len(scalars) > 0 {
 		out.Scalars = make(map[string]engine.ScalarSnapshot, len(scalars))
+		//chaffmec:orderindependent per-name snapshot into another map; no cross-key state
 		for name, acc := range scalars {
 			out.Scalars[name] = acc.Snapshot()
 		}
@@ -322,6 +335,7 @@ func compactJSON(raw json.RawMessage) []byte {
 
 func keys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
+	//chaffmec:orderindependent collect-then-sort: the sort.Strings below canonicalizes the order
 	for k := range m {
 		out = append(out, k)
 	}

@@ -57,6 +57,7 @@ func runJobShard(ctx context.Context, job Job) (*report.Report, error) {
 		return nil, err
 	}
 	sp := job.Spec.withDefaults()
+	//lint:ignore determinism ElapsedMS is a provenance field: wall time spent, never merged into aggregates (Merge sums it) and zeroed out by the byte-compare CI gates
 	begin := time.Now()
 	rep, err := r(ctx, sp, job.Shard)
 	if err != nil {
@@ -64,6 +65,7 @@ func runJobShard(ctx context.Context, job Job) (*report.Report, error) {
 		// runners' errors already carry a "scenario:"/"sim:"/... prefix.
 		return nil, fmt.Errorf("%q: %w", sp.Name, err)
 	}
+	//lint:ignore determinism provenance timing for the same ElapsedMS field
 	rep.ElapsedMS = float64(time.Since(begin)) / float64(time.Millisecond)
 	if spec, err := json.Marshal(sp); err == nil {
 		rep.Spec = spec

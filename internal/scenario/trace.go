@@ -158,6 +158,55 @@ func TraceLabBuilds() int {
 	return c.builds
 }
 
+// traceWorker is a trace run's per-worker scratch: the reusable scoring
+// workspace, the scalar path's trajectory slice (rebuilt, not
+// reallocated, per run) and the batch path's reused chaff buffers.
+type traceWorker struct {
+	ws        *detect.Workspace
+	trs       []markov.Trajectory
+	chaffBufs []markov.Trajectory
+}
+
+// runTraceBlock is the trace batch kernel: it packs the fixed fleet plus
+// each run's chaff stream (generated into the worker's reused buffers)
+// into the worker's scoring block, sweeps the whole chunk once through
+// the block scorer, and copies the protected user's tracking series out
+// of the arena — one backing allocation per block.
+//
+//chaffmec:hotpath
+func runTraceBlock(lab *figures.TraceLab, strat chaff.Strategy, scorer detect.BlockScorer, user int, w *traceWorker, rngs []*rand.Rand, out [][]float64) error {
+	B, T := len(rngs), lab.Horizon
+	blk := w.ws.Block(B, len(lab.Trajectories)+len(w.chaffBufs), T)
+	for r := range rngs {
+		for u, tr := range lab.Trajectories {
+			if err := blk.SetTrajectory(r, u, tr); err != nil {
+				return err
+			}
+		}
+		if strat != nil {
+			if err := chaff.GenerateInto(strat, rngs[r], lab.Trajectories[user], w.chaffBufs); err != nil {
+				return fmt.Errorf("scenario: trace chaffs: %w", err)
+			}
+			for i, ch := range w.chaffBufs {
+				if err := blk.SetTrajectory(r, len(lab.Trajectories)+i, ch); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := scorer.ScoreBlock(blk, user); err != nil {
+		return err
+	}
+	//lint:ignore hotpath by design: results must outlive the arena's reuse by the next chunk, so each block pays exactly one backing allocation
+	backing := make([]float64, B*T)
+	for r := range out {
+		series := backing[r*T : (r+1)*T]
+		copy(series, blk.Tracking(r))
+		out[r] = series
+	}
+	return nil
+}
+
 // runTrace is the trace-driven population kind (Section VII-B): a
 // TraceLab fleet — synthetic taxi traces regularised, inactivity
 // filtered and quantised into Voronoi cells — forms the fixed observed
@@ -223,11 +272,6 @@ func runTrace(ctx context.Context, sp Spec, shard engine.Shard) (*report.Report,
 	start, _ := o.Range()
 	track := engine.NewSeriesStatsAt(lab.Horizon, start)
 
-	type traceWorker struct {
-		ws        *detect.Workspace
-		trs       []markov.Trajectory
-		chaffBufs []markov.Trajectory
-	}
 	cfg := engine.Config[*traceWorker, []float64]{
 		NewWorker: func(int) (*traceWorker, error) {
 			w := &traceWorker{
@@ -251,35 +295,7 @@ func runTrace(ctx context.Context, sp Spec, shard engine.Shard) (*report.Report,
 		// Only chaff generation draws from the run streams, exactly as the
 		// scalar path does, so results are bit-identical to it.
 		cfg.RunBlock = func(w *traceWorker, start int, rngs []*rand.Rand, out [][]float64) error {
-			B, T := len(rngs), lab.Horizon
-			blk := w.ws.Block(B, len(lab.Trajectories)+numChaffs, T)
-			for r := range rngs {
-				for u, tr := range lab.Trajectories {
-					if err := blk.SetTrajectory(r, u, tr); err != nil {
-						return err
-					}
-				}
-				if strat != nil {
-					if err := chaff.GenerateInto(strat, rngs[r], lab.Trajectories[user], w.chaffBufs); err != nil {
-						return fmt.Errorf("scenario: trace chaffs: %w", err)
-					}
-					for i, ch := range w.chaffBufs {
-						if err := blk.SetTrajectory(r, len(lab.Trajectories)+i, ch); err != nil {
-							return err
-						}
-					}
-				}
-			}
-			if err := scorer.ScoreBlock(blk, user); err != nil {
-				return err
-			}
-			backing := make([]float64, B*T)
-			for r := range out {
-				series := backing[r*T : (r+1)*T]
-				copy(series, blk.Tracking(r))
-				out[r] = series
-			}
-			return nil
+			return runTraceBlock(lab, strat, scorer, user, w, rngs, out)
 		}
 	} else {
 		cfg.Run = func(w *traceWorker, run int, rng *rand.Rand) ([]float64, error) {

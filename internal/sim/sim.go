@@ -220,6 +220,8 @@ func (sc *Scenario) newWorker() *simWorker {
 // the arena into one backing allocation per block (results must outlive
 // the arena's reuse by the next chunk), so steady-state allocations are
 // ~2 per block instead of ~8 per run.
+//
+//chaffmec:hotpath
 func (sc *Scenario) runBlock(w *simWorker, scorer detect.BlockScorer, rngs []*rand.Rand, out []runResult) error {
 	B, T := len(rngs), sc.Horizon
 	if cap(w.users) < B*T {
@@ -250,6 +252,7 @@ func (sc *Scenario) runBlock(w *simWorker, scorer detect.BlockScorer, rngs []*ra
 			for t := 1; t < T; t++ {
 				v := sc.Chain.LogProb(w.userBuf[t-1], w.userBuf[t]) - sc.Chain.LogProb(ch[t-1], ch[t])
 				if !math.IsInf(v, 0) && !math.IsNaN(v) {
+					//lint:ignore hotpath by design: c_t samples are only collected on Fig. 7 runs (CollectCt) and must escape the arena; the paper protocol never takes this branch
 					out[r].ct = append(out[r].ct, v)
 				}
 			}
@@ -258,6 +261,7 @@ func (sc *Scenario) runBlock(w *simWorker, scorer detect.BlockScorer, rngs []*ra
 	if err := scorer.ScoreBlock(blk, 0); err != nil {
 		return err
 	}
+	//lint:ignore hotpath by design: results must outlive the arena's reuse by the next chunk, so each block pays exactly one backing allocation (alloc-pinned in block_test)
 	backing := make([]float64, 2*B*T)
 	for r := range out {
 		track := backing[2*r*T : (2*r+1)*T]

@@ -2,16 +2,16 @@ package trace
 
 import (
 	"errors"
-	"math/rand"
 	"testing"
 
 	"chaffmec/internal/geo"
 	"chaffmec/internal/markov"
+	"chaffmec/internal/rng"
 )
 
 // streamTestSet builds a fleet with a mix of active and inactive nodes.
 func streamTestSet() *Set {
-	r := rand.New(rand.NewSource(7))
+	r := rng.New(7)
 	var recs []Record
 	for n := 0; n < 6; n++ {
 		node := string(rune('a' + n))
@@ -86,7 +86,7 @@ func TestStreamRegularizeAbortsOnCallbackError(t *testing.T) {
 // TestChainEstimatorMatchesEstimateChain: incremental fitting must equal
 // the one-shot fit bit for bit (same counts, same division order).
 func TestChainEstimatorMatchesEstimateChain(t *testing.T) {
-	r := rand.New(rand.NewSource(3))
+	r := rng.New(3)
 	const numCells = 5
 	trajs := make([]markov.Trajectory, 8)
 	for i := range trajs {

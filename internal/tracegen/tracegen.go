@@ -1,6 +1,6 @@
 // Package tracegen generates synthetic taxi mobility traces, substituting
 // for the CRAWDAD epfl/mobility dataset the paper uses in Section VII-B
-// (see DESIGN.md §5). The generator reproduces the dataset properties the
+// (paper Section VII-B). The generator reproduces the dataset properties the
 // evaluation actually depends on: a fleet of nodes moving between
 // hotspot-biased waypoints over an SF-sized region, reporting positions at
 // irregular ≈1-minute intervals, with occasional multi-minute silences

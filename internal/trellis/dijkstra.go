@@ -109,7 +109,7 @@ func MLTrajectoryDijkstra(c *markov.Chain, T int, excl *ExclusionSet) (markov.Tr
 		}
 	}
 	if bestEnd < 0 {
-		return nil, 0, fmt.Errorf("trellis: no feasible trajectory of length %d under exclusions", T)
+		return nil, 0, fmt.Errorf("trellis: length-%d trajectory: %w", T, ErrInfeasible)
 	}
 	tr := make(markov.Trajectory, T)
 	tr[T-1] = bestEnd

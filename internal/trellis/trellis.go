@@ -8,11 +8,18 @@
 package trellis
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"chaffmec/internal/markov"
 )
+
+// ErrInfeasible reports that the exclusions leave no trajectory of the
+// requested length. Small chains with many chaffs can over-constrain
+// the trellis legitimately; callers that retry or skip such draws test
+// for it with errors.Is.
+var ErrInfeasible = errors.New("no feasible trajectory under exclusions")
 
 // ExclusionSet marks (cell, slot) pairs a trajectory must avoid, as used by
 // the robust RML/ROO strategies (Section VI-B). Slots are 0-indexed.
@@ -116,7 +123,7 @@ func MLTrajectory(c *markov.Chain, T int, excl *ExclusionSet) (markov.Trajectory
 		}
 	}
 	if end < 0 {
-		return nil, 0, fmt.Errorf("trellis: no feasible trajectory of length %d under exclusions", T)
+		return nil, 0, fmt.Errorf("trellis: length-%d trajectory: %w", T, ErrInfeasible)
 	}
 	tr := make(markov.Trajectory, T)
 	tr[T-1] = end
