@@ -17,6 +17,7 @@ import (
 	"chaffmec/internal/mobility"
 	"chaffmec/internal/rng"
 	"chaffmec/internal/sim"
+	"chaffmec/internal/tune"
 )
 
 // benchBatch is the block width of the batch kernel legs — the engine's
@@ -33,12 +34,15 @@ type kernelLeg struct {
 	AllocsPerRun float64 `json:"allocs_per_run"`
 }
 
-// kernelsBench is the BENCH_kernels.json artifact: the scalar and batch
-// variants of the two hot kernels (Markov sampling, detector scoring),
+// kernelsBench is the BENCH_kernels.json artifact: the scalar, batch
+// (flat, pre-tiling) and tiled variants of the two hot kernels (Markov
+// sampling, detector scoring), the cache-geometry calibration sweep,
 // plus the end-to-end paper protocol (1000 runs × T=100, MO) through the
 // batch engine path. The committed BENCH_kernels.baseline.json has the
 // same shape; CI fails when a kernel's ns/slot regresses more than 25%
-// over it, or when a batch kernel allocates per run again.
+// over it, when a batch/tiled kernel allocates per run again, or when
+// the tiled scorer's edge over the flat batch scorer drops under the
+// 1.3x acceptance floor.
 type kernelsBench struct {
 	Stream     string `json:"stream"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
@@ -48,9 +52,18 @@ type kernelsBench struct {
 
 	Kernels []kernelLeg `json:"kernels"`
 
-	// SampleSpeedup / ScoreSpeedup are scalar-over-batch ns/slot ratios.
+	// SampleSpeedup / ScoreSpeedup are scalar-over-batch ns/slot ratios;
+	// TiledSpeedup is flat-batch over tiled — the tentpole's CI-gated
+	// number.
 	SampleSpeedup float64 `json:"sample_speedup"`
 	ScoreSpeedup  float64 `json:"score_speedup"`
+	TiledSpeedup  float64 `json:"tiled_speedup"`
+
+	// CalibratedBlock is tune.BlockSize's measured pick for this kernel
+	// shape on this host; GeometrySweep is the full per-width timing
+	// behind it.
+	CalibratedBlock int              `json:"calibrated_block"`
+	GeometrySweep   []tune.Candidate `json:"geometry_sweep"`
 
 	PaperProtocol struct {
 		Runs         int     `json:"runs"`
@@ -87,6 +100,11 @@ func benchKernels(path, basePath string, runs, horizon int, seed int64) error {
 	for _, k := range out.Kernels {
 		fmt.Printf("bench-kernels: %-14s %8.2f ns/slot %8.2f allocs/run\n", k.Name, k.NsPerSlot, k.AllocsPerRun)
 	}
+	fmt.Printf("bench-kernels: tiled speedup %.2fx over flat batch; calibrated block %d (sweep:", out.TiledSpeedup, out.CalibratedBlock)
+	for _, c := range out.GeometrySweep {
+		fmt.Printf(" %d=%.2f", c.BlockSize, c.NsPerLaneSlot)
+	}
+	fmt.Printf(" ns/lane-slot)\n")
 	fmt.Printf("bench-kernels: paper protocol (%d runs × T=%d, %s): %.1f ms, %.1f allocs/run\n",
 		out.PaperProtocol.Runs, out.PaperProtocol.Horizon, out.PaperProtocol.Strategy,
 		out.PaperProtocol.WallMS, out.PaperProtocol.AllocsPerRun)
@@ -122,11 +140,18 @@ func compareKernels(cur *kernelsBench, basePath string) error {
 				bk.Name, ck.NsPerSlot, bk.NsPerSlot, limit))
 		}
 	}
-	for _, name := range []string{"sample/batch", "score/batch"} {
+	for _, name := range []string{"sample/batch", "score/batch", "score/tiled"} {
 		if ck := cur.kernel(name); ck != nil && ck.AllocsPerRun >= 1 {
 			failures = append(failures, fmt.Sprintf("%s: %.2f allocs/run, want < 1 (warm batch kernels must not allocate)",
 				name, ck.AllocsPerRun))
 		}
+	}
+	// The tiled scorer's edge over the flat batch scorer is an absolute,
+	// machine-independent acceptance floor (both run on the same host in
+	// the same process), not a baseline-relative one.
+	if cur.TiledSpeedup > 0 && cur.TiledSpeedup < 1.3 {
+		failures = append(failures, fmt.Sprintf("score/tiled is only %.2fx faster than score/batch, want >= 1.3x",
+			cur.TiledSpeedup))
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
@@ -261,7 +286,7 @@ func measureKernels(runs, horizon int, seed int64) (*kernelsBench, error) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := det.ScoreBlock(blk, 0); err != nil {
+			if err := det.ScoreBlockFlat(blk, 0); err != nil {
 				benchErr = err
 				return
 			}
@@ -276,11 +301,58 @@ func measureKernels(runs, horizon int, seed int64) (*kernelsBench, error) {
 		AllocsPerRun: float64(batchScore.AllocsPerOp()) / benchBatch,
 	})
 
+	// --- tiled scoring at the calibrated block geometry ---
+	out.GeometrySweep = tune.Sweep(chain, U, T)
+	out.CalibratedBlock = tune.BlockSize(chain, U, T)
+	tiledB := out.CalibratedBlock
+	tiledTrs := make([][]markov.Trajectory, tiledB)
+	for r := range tiledTrs {
+		stream := rng.NewRun(seed, r)
+		trs := make([]markov.Trajectory, U)
+		for u := range trs {
+			if trs[u], err = chain.Sample(stream, T); err != nil {
+				return nil, err
+			}
+		}
+		tiledTrs[r] = trs
+	}
+	tiledScore := testing.Benchmark(func(b *testing.B) {
+		ws := detect.NewWorkspace()
+		blk := ws.Block(tiledB, U, T)
+		for r, trs := range tiledTrs {
+			for u, tr := range trs {
+				if err := blk.SetTrajectory(r, u, tr); err != nil {
+					benchErr = err
+					return
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := det.ScoreBlock(blk, 0); err != nil {
+				benchErr = err
+				return
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	out.Kernels = append(out.Kernels, kernelLeg{
+		Name:         "score/tiled",
+		NsPerSlot:    float64(tiledScore.NsPerOp()) / float64(tiledB*T),
+		AllocsPerRun: float64(tiledScore.AllocsPerOp()) / float64(tiledB),
+	})
+
 	if b := out.kernel("sample/batch").NsPerSlot; b > 0 {
 		out.SampleSpeedup = out.kernel("sample/scalar").NsPerSlot / b
 	}
 	if b := out.kernel("score/batch").NsPerSlot; b > 0 {
 		out.ScoreSpeedup = out.kernel("score/scalar").NsPerSlot / b
+	}
+	if b := out.kernel("score/tiled").NsPerSlot; b > 0 {
+		out.TiledSpeedup = out.kernel("score/batch").NsPerSlot / b
 	}
 
 	// --- end-to-end paper protocol through the batch engine path ---

@@ -245,20 +245,27 @@ func (c *run) shardKey(span engine.Shard) string {
 // bankedShard loads a shard's banked full report from the store,
 // re-validating what a corrupted or colliding artifact could break;
 // anything invalid is evicted so the shard just dispatches normally.
-func (c *run) bankedShard(span engine.Shard) *report.Report {
+//
+// The blob is read through the store's mapped path and decoded
+// zero-copy, so the returned report may alias the mapping: release is
+// non-nil exactly when a report is, and the caller must hold it until
+// the report's samples have been folded into owned memory (the round's
+// Merged deep-copies, so releasing after merge is safe).
+func (c *run) bankedShard(span engine.Shard) (*report.Report, func()) {
 	key := c.shardKey(span)
-	blob, ok, err := c.st.Get(storeKindReport, key)
+	blob, release, ok, err := c.st.GetMapped(storeKindReport, key)
 	if err != nil || !ok {
-		return nil
+		return nil, nil
 	}
-	if reps, err := report.ReadReports(bytes.NewReader(blob)); err == nil && len(reps) == 1 {
+	if reps, err := report.DecodeReports(blob); err == nil && len(reps) == 1 {
 		rep := reps[0]
 		if rep.RunStart == span.Start && rep.RunCount == span.End-span.Start && rep.Stream == rng.StreamVersion {
-			return rep
+			return rep, release
 		}
 	}
+	release()
 	c.st.Delete(storeKindReport, key) //nolint:errcheck // eviction is best-effort
-	return nil
+	return nil, nil
 }
 
 // bankShard persists one full shard report, best-effort: a failed Put
@@ -305,9 +312,18 @@ func (c *run) round(ctx context.Context, start, end int) (*report.Report, error)
 	remaining := len(shards)
 	// Banked shards resolve before any dispatch: a re-run of an
 	// interrupted or repeated campaign only computes what is missing.
+	// Their reports may alias store mappings, so the mappings are held
+	// until the round's merge has folded every sample into owned memory.
+	var mappings []func()
+	defer func() {
+		for _, release := range mappings {
+			release()
+		}
+	}()
 	if c.st != nil {
 		for _, s := range shards {
-			if rep := c.bankedShard(s.span); rep != nil {
+			if rep, release := c.bankedShard(s.span); rep != nil {
+				mappings = append(mappings, release)
 				if _, err := cov.Add(rep); err != nil {
 					return nil, err
 				}

@@ -223,6 +223,15 @@ type Config[W, R any] struct {
 	// run, and a block error is attributed to the block's first run.
 	// The rng.Read prohibition of Run applies to every rng in the bank.
 	RunBlock func(w W, start int, rngs []*rand.Rand, out []R) error
+	// BlockSize, when positive, is the preferred RunBlock dispatch width —
+	// typically the cache-calibrated block geometry internal/tune measured
+	// for the experiment's kernel shape. Dispatch honors it whenever every
+	// worker still gets a full chunk of work (the width is clamped to
+	// runs/workers otherwise, and to the [1, 256] bounds chunkSize
+	// documents). It has no effect on results — runs draw identical
+	// streams at any chunking — only on how many travel per handoff.
+	// Ignored by scalar (Run) configs and when zero.
+	BlockSize int
 	// Accumulate folds one run's result into the experiment aggregate. It
 	// is called on a single goroutine in strict run order (ascending
 	// global indices), making reductions independent of scheduling and
@@ -243,6 +252,30 @@ type Config[W, R any] struct {
 // for load balancing.
 func chunkSize(runs, workers int) int {
 	c := runs / (workers * 4)
+	if c < 1 {
+		c = 1
+	}
+	if c > 256 {
+		c = 256
+	}
+	return c
+}
+
+// dispatchChunk resolves the chunk width one experiment dispatches at:
+// the chunkSize load-balance heuristic by default, or the caller's
+// calibrated block width when set — clamped to runs/workers so a scarce
+// run range still spreads over every worker, and to chunkSize's [1, 256]
+// bounds. Chunking never affects results (streams are per-(seed, run)
+// and accumulation is run-ordered), so honoring the measured geometry is
+// purely a throughput choice.
+func dispatchChunk(runs, workers, blockSize int) int {
+	if blockSize <= 0 {
+		return chunkSize(runs, workers)
+	}
+	c := blockSize
+	if per := runs / workers; c > per {
+		c = per
+	}
 	if c < 1 {
 		c = 1
 	}
@@ -345,7 +378,11 @@ func Run[W, R any](ctx context.Context, opts Options, cfg Config[W, R]) error {
 		}()
 	}
 
-	chunk := chunkSize(runs, o.Workers)
+	blockSize := 0
+	if cfg.RunBlock != nil {
+		blockSize = cfg.BlockSize
+	}
+	chunk := dispatchChunk(runs, o.Workers, blockSize)
 	// A chunk is the half-open run range [start, start+len(res)).
 	type outcome struct {
 		start int

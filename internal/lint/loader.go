@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -35,9 +36,11 @@ type Package struct {
 // memoizes dependency packages across Load calls, so loading a whole
 // tree type-checks each dependency once.
 //
-// The loader deliberately ignores build constraints: the repository has
-// none, and honoring them would drag in go/build's full context
-// machinery. Test files are only included where Load is told to include
+// Build constraints are honored for the host configuration (go/build's
+// default context): of a constrained pair like mmap_unix.go /
+// mmap_fallback.go, exactly the file the compiler would build joins the
+// package, so platform variants never collide in one type-check
+// universe. Test files are only included where Load is told to include
 // them, never in dependencies.
 type Loader struct {
 	Fset *token.FileSet
@@ -276,7 +279,9 @@ func (l *Loader) check(path, dir string, files []string) (*Package, error) {
 }
 
 // goFilesIn lists dir's .go file names (sorted, dir-relative),
-// optionally including _test.go files.
+// optionally including _test.go files. Files whose build constraints
+// (//go:build lines or GOOS/GOARCH name suffixes) exclude the host
+// configuration are skipped, exactly as the compiler would skip them.
 func goFilesIn(dir string, includeTests bool) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -289,6 +294,11 @@ func goFilesIn(dir string, includeTests bool) ([]string, error) {
 			continue
 		}
 		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", filepath.Join(dir, name), err)
+		} else if !ok {
 			continue
 		}
 		out = append(out, name)

@@ -32,7 +32,10 @@ func (c *Chain) LogLikelihood(tr Trajectory) (float64, error) {
 }
 
 // TransitionLogLikelihood returns Σ_{t≥2} log P(x_t|x_{t−1}) without the
-// initial-distribution term.
+// initial-distribution term. Impossible trajectories return -Inf with the
+// same early exit as LogLikelihood: once the accumulator hits -Inf no
+// later transition can recover it (log-probs are ≤ 0), so the remaining
+// slots are skipped.
 func (c *Chain) TransitionLogLikelihood(tr Trajectory) (float64, error) {
 	if err := tr.Validate(c.n); err != nil {
 		return 0, err
@@ -40,6 +43,9 @@ func (c *Chain) TransitionLogLikelihood(tr Trajectory) (float64, error) {
 	ll := 0.0
 	for t := 1; t < len(tr); t++ {
 		ll += c.logp[tr[t-1]*c.n+tr[t]]
+		if math.IsInf(ll, -1) {
+			return ll, nil
+		}
 	}
 	return ll, nil
 }

@@ -1,0 +1,103 @@
+package markov
+
+import "fmt"
+
+// Tiled log-likelihood kernels. The eavesdropper's ML scoring (Eq. 1)
+// reduces to accumulating log P(cur|prev) over every lane of a
+// structure-of-arrays trajectory block; these kernels do that over a
+// whole tile of lanes per call, written so the inner loop is
+// straight-line float64 adds the compiler can pipeline:
+//
+//   - the tile is walked in 4-wide unrolled groups whose index
+//     computations and gathers are independent, so the four logp loads
+//     issue in parallel instead of serializing behind one add;
+//   - there are no branches in the loop body — impossible transitions
+//     contribute -Inf, and because every logp entry is ≤ 0 or -Inf
+//     (never +Inf or NaN), -Inf is absorbing under addition: a lane that
+//     goes impossible stays exactly -Inf through every later add, bit
+//     for bit what the scalar LogLikelihood's early exit returns. The
+//     scalar kernel keeps its exit as a per-trajectory epilogue; the
+//     tile simply doesn't need one;
+//   - bounds checks on the lane slices are hoisted to one reslice per
+//     call (the data-dependent logp gather keeps its check, but the
+//     unroll hides its latency).
+//
+// LogLikelihood remains the scalar differential oracle; the tile tests
+// pin both against each other over dense, sparse and impossible
+// trajectories.
+
+// AddLogProbTile accumulates one slot's transition log-likelihoods over
+// a tile of lanes: ll[i] += log P(cur[i] | prev[i]) for every i. All
+// three slices must have at least len(ll) entries and every state must
+// lie in [0, n) — callers (the block scorers, LogProbBatch) validate
+// whole blocks once up front, which is what lets this inner loop stay
+// branch-free.
+//
+//chaffmec:hotpath
+func (c *Chain) AddLogProbTile(ll []float64, prev, cur []int32) {
+	m := len(ll)
+	if m == 0 || len(prev) < m || len(cur) < m {
+		return
+	}
+	// One reslice hoists the per-element bounds checks of the three
+	// lane arrays out of the loop.
+	ll = ll[:m]
+	prev = prev[:m:m]
+	cur = cur[:m:m]
+	n := c.n
+	logp := c.logp
+	i := 0
+	for ; i+4 <= m; i += 4 {
+		j0 := int(prev[i])*n + int(cur[i])
+		j1 := int(prev[i+1])*n + int(cur[i+1])
+		j2 := int(prev[i+2])*n + int(cur[i+2])
+		j3 := int(prev[i+3])*n + int(cur[i+3])
+		a0 := logp[j0]
+		a1 := logp[j1]
+		a2 := logp[j2]
+		a3 := logp[j3]
+		ll[i] += a0
+		ll[i+1] += a1
+		ll[i+2] += a2
+		ll[i+3] += a3
+	}
+	for ; i < m; i++ {
+		ll[i] += logp[int(prev[i])*n+int(cur[i])]
+	}
+}
+
+// LogProbBatch fills dst[i] with the full-trajectory log-likelihood of
+// lane i of the slot-major SoA block states (SampleBatch layout:
+// states[t*B+i], B lanes of T slots): log π(x₀) + Σ_{t≥1} log
+// P(x_t|x_{t−1}), the per-trajectory quantity LogLikelihood computes —
+// bit-identical to it, including -Inf for impossible trajectories.
+// dst must have at least B entries and states at least B*T.
+func (c *Chain) LogProbBatch(states []int32, B, T int, dst []float64) error {
+	if B < 1 || T < 1 {
+		return fmt.Errorf("markov: LogProbBatch needs B, T >= 1, got %d, %d", B, T)
+	}
+	if len(states) < B*T {
+		return fmt.Errorf("markov: LogProbBatch block has %d entries, want %d", len(states), B*T)
+	}
+	if len(dst) < B {
+		return fmt.Errorf("markov: LogProbBatch dst has %d entries, want %d", len(dst), B)
+	}
+	n := int32(c.n)
+	for i, v := range states[:B*T] {
+		if v < 0 || v >= n {
+			return fmt.Errorf("markov: state %d at block index %d outside [0,%d)", v, i, n)
+		}
+	}
+	logPi, err := c.LogSteadyState()
+	if err != nil {
+		return err
+	}
+	dst = dst[:B]
+	for i, v := range states[:B] {
+		dst[i] = logPi[v]
+	}
+	for t := 1; t < T; t++ {
+		c.AddLogProbTile(dst, states[(t-1)*B:t*B], states[t*B:(t+1)*B])
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"chaffmec/internal/report"
 	"chaffmec/internal/rng"
 	"chaffmec/internal/store"
+	"chaffmec/internal/tune"
 )
 
 // traceLabCache shares built TraceLabs across the rounds and in-process
@@ -293,10 +294,13 @@ func runTrace(ctx context.Context, sp Spec, shard engine.Shard) (*report.Report,
 		// Batch path: the fixed fleet plus each run's chaff stream are
 		// packed into the worker's scoring block and swept once per chunk.
 		// Only chaff generation draws from the run streams, exactly as the
-		// scalar path does, so results are bit-identical to it.
+		// scalar path does, so results are bit-identical to it. The chunk
+		// width comes from the block-geometry calibration for this kernel
+		// shape (cached per host; chunking never changes results).
 		cfg.RunBlock = func(w *traceWorker, start int, rngs []*rand.Rand, out [][]float64) error {
 			return runTraceBlock(lab, strat, scorer, user, w, rngs, out)
 		}
+		cfg.BlockSize = tune.BlockSize(lab.Chain, len(lab.Trajectories)+numChaffs, lab.Horizon)
 	} else {
 		cfg.Run = func(w *traceWorker, run int, rng *rand.Rand) ([]float64, error) {
 			w.trs = append(w.trs[:0], lab.Trajectories...)

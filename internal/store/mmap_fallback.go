@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile on platforms without a usable mmap just reads the blob; the
+// release func is a no-op and GetMapped's contract is unchanged.
+func mapFile(path string) ([]byte, func(), error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return blob, func() {}, nil
+}

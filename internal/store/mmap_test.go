@@ -1,0 +1,65 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGetMapped(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("mapped", "blob")
+	want := bytes.Repeat([]byte("chaffmec mapped blob "), 1024)
+	if err := s.Put("report", key, want); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, release, ok, err := s.GetMapped("report", key)
+	if err != nil || !ok {
+		t.Fatalf("GetMapped: ok=%v err=%v", ok, err)
+	}
+	if release == nil {
+		t.Fatal("GetMapped returned ok without a release func")
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("mapped blob differs: %d bytes, want %d", len(blob), len(want))
+	}
+
+	// Atomic-replace semantics: deleting (or re-putting) the key must
+	// not invalidate a live mapping — the old inode stays readable.
+	if err := s.Delete("report", key); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatal("live mapping changed under a concurrent Delete")
+	}
+	release()
+
+	if _, _, ok, err := s.GetMapped("report", key); err != nil || ok {
+		t.Fatalf("deleted key: ok=%v err=%v, want absent without error", ok, err)
+	}
+	if _, _, _, err := s.GetMapped("bad/kind", key); err == nil {
+		t.Fatal("invalid kind accepted")
+	}
+}
+
+func TestGetMappedEmptyBlob(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("mapped", "empty")
+	if err := s.Put("report", key, nil); err != nil {
+		t.Fatal(err)
+	}
+	blob, release, ok, err := s.GetMapped("report", key)
+	if err != nil || !ok {
+		t.Fatalf("GetMapped: ok=%v err=%v", ok, err)
+	}
+	if len(blob) != 0 {
+		t.Fatalf("empty blob mapped to %d bytes", len(blob))
+	}
+	release()
+}

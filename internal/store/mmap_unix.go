@@ -1,0 +1,41 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only. The mapping survives a concurrent
+// replace or Delete of the blob (the old inode stays live until
+// unmapped — exactly the atomic-rename semantics Put already provides
+// to plain readers). Filesystems that refuse mmap fall back to a heap
+// read so callers never have to care which they got.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, syscall.EFBIG
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		blob, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return blob, func() {}, nil
+	}
+	return b, func() { syscall.Munmap(b) }, nil //nolint:errcheck // unmap failure leaks pages, nothing to do
+}

@@ -99,6 +99,31 @@ func (s *Store) Get(kind, key string) (blob []byte, ok bool, err error) {
 	return blob, true, nil
 }
 
+// GetMapped returns the blob stored under (kind, key) as a READ-ONLY
+// view backed, where the platform allows, by a memory mapping of the
+// blob's file instead of a heap copy — the read path for envelopes big
+// enough that copying them through the page cache costs more than the
+// decode (the coordinator's banked shard reports). release frees the
+// mapping and is non-nil exactly when ok; the caller must not use blob
+// — or anything aliasing it, such as reports from
+// report.DecodeReports — after calling it, and must never write
+// through the view (a mapped page is write-protected). On platforms
+// without mmap this degrades to Get plus a no-op release.
+func (s *Store) GetMapped(kind, key string) (blob []byte, release func(), ok bool, err error) {
+	p, err := s.path(kind, key)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	blob, release, err = mapFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, false, nil
+	}
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("store: %w", err)
+	}
+	return blob, release, true, nil
+}
+
 // Put stores blob under (kind, key) atomically: a reader concurrently
 // Getting the key sees either nothing or the whole blob, never a
 // partial write. Re-putting an existing key replaces it.
