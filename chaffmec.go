@@ -76,12 +76,23 @@
 //	rep, _ = chaffmec.ResumeJob(ctx, chaffmec.Job{Spec: spec}, parts[0])
 //
 // Or fan the job out over a worker fleet — the coordinator shards each
-// round, retries failures and stragglers, and merges back the
-// bit-identical Report (see cmd/experiments -workers/-serve/-connect
-// for the process-level fleets):
+// round by the members' capacity weights, retries failures and
+// stragglers, admits and evicts elastic workers mid-campaign, and
+// merges back the bit-identical Report (see cmd/experiments
+// -registry/-worker-daemon/-serve for the process-level fleets):
 //
-//	rep, _ := chaffmec.RunDistributedJob(ctx, chaffmec.Job{Spec: spec},
-//		chaffmec.FanOutOptions{Workers: chaffmec.HTTPWorkers("http://a:8080", "http://b:8080")})
+//	fleet, _ := chaffmec.NewFleet(chaffmec.WithWorkerURLs("http://a:8080", "http://b:8080"))
+//	rep, _ := fleet.Run(ctx, chaffmec.Job{Spec: spec})
+//
+// Persistent workers register themselves instead of being listed:
+// workers run RunWorkerDaemon (or `experiments -worker-daemon URL`)
+// against a registry, and the fleet follows the live membership —
+// Resume continues a banked campaign over whatever workers exist now:
+//
+//	reg := chaffmec.NewWorkerRegistry(chaffmec.WorkerRegistryOptions{})
+//	http.Handle("/", reg.Handler()) // workers POST /v1/register here
+//	fleet, _ := chaffmec.NewFleet(chaffmec.WithRegistry(reg))
+//	rep, _ := fleet.Resume(ctx, chaffmec.Job{Spec: spec}, nil)
 //
 // Evaluate remains the one-call convenience wrapper over the same
 // registry for callers holding a custom Chain. See examples/ for
@@ -95,6 +106,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"time"
 
 	"chaffmec/internal/analysis"
 	"chaffmec/internal/chaff"
@@ -427,10 +440,14 @@ func WriteReportsEncoded(path string, reps []*Report, enc ReportEncoding) error 
 // workers, merged back bit-for-bit (internal/coordinator).
 type (
 	// WorkerTransport hands shard jobs to one worker: in-process,
-	// subprocess (`experiments -worker`) or HTTP (`experiments -serve`).
+	// subprocess (`experiments -worker`) or HTTP (`experiments -serve`
+	// / `-worker-daemon`).
 	WorkerTransport = coordinator.Transport
 	// FanOutOptions tunes one distributed run: the fleet, shard
 	// granularity, retry budgets, straggler speculation, progress.
+	//
+	// Deprecated: build a Fleet with NewFleet and its FleetOptions
+	// instead; FanOutOptions remains for RunDistributedJob callers.
 	FanOutOptions = coordinator.Options
 	// FanOutEvent is one coordinator progress observation (dispatches,
 	// results, retries, dead workers, banked shards, completed rounds).
@@ -456,6 +473,12 @@ const (
 	// EventWorkerDead: a worker exhausted its failure budget and left
 	// the fleet.
 	EventWorkerDead = coordinator.EventWorkerDead
+	// EventWorkerJoin: a fleet member was admitted to the dispatch pool
+	// (initial members included — every admission is a join).
+	EventWorkerJoin = coordinator.EventWorkerJoin
+	// EventWorkerLeft: a fleet member disappeared from the membership
+	// (heartbeat-timeout eviction, deregistration).
+	EventWorkerLeft = coordinator.EventWorkerLeft
 	// EventRound: one adaptive round completed and merged.
 	EventRound = coordinator.EventRound
 	// EventBanked: a shard was served from the artifact store instead
@@ -470,6 +493,10 @@ const (
 // Report bit-identical (up to summed wall clock) to RunJob's —
 // SE-targeted adaptive rounds included. Like RunAdaptiveJob it returns
 // the accumulated partial of the completed rounds alongside any error.
+//
+// Deprecated: use NewFleet(...).Run — the builder covers the same
+// frozen fleets plus capacity weights, elastic registry membership and
+// checkpoint resume. RunDistributedJob remains as a thin wrapper.
 func RunDistributedJob(ctx context.Context, job Job, opts FanOutOptions) (*Report, error) {
 	return coordinator.Run(ctx, job, opts)
 }
@@ -477,18 +504,241 @@ func RunDistributedJob(ctx context.Context, job Job, opts FanOutOptions) (*Repor
 // InProcessWorkers returns n workers executing in this process — the
 // zero-infrastructure fleet (parallelism still comes from the engine's
 // worker pool; use it to exercise the fan-out path, not to go faster).
+//
+// Deprecated: use NewFleet(WithInProcessWorkers(n)); this constructor
+// remains for FanOutOptions callers.
 func InProcessWorkers(n int) []WorkerTransport { return coordinator.InProcessFleet(n) }
 
 // SubprocessWorkers returns n workers exec'ing argv per shard (empty:
 // this binary re-exec'd with -worker — only meaningful for binaries
 // that implement the worker protocol, like cmd/experiments).
+//
+// Deprecated: use NewFleet(WithSubprocessWorkers(n, argv...)); this
+// constructor remains for FanOutOptions callers.
 func SubprocessWorkers(n int, argv ...string) []WorkerTransport {
 	return coordinator.SubprocessFleet(n, argv...)
 }
 
 // HTTPWorkers returns one worker per base URL, each a long-lived
 // `experiments -serve` process here or on another host.
+//
+// Deprecated: use NewFleet(WithWorkerURLs(urls...)); this constructor
+// remains for FanOutOptions callers.
 func HTTPWorkers(urls ...string) []WorkerTransport { return coordinator.HTTPFleet(urls...) }
+
+// Elastic fleet re-exports: registered persistent workers, capacity
+// weights, heartbeat-TTL membership (internal/coordinator).
+type (
+	// FleetMember is one worker of a fleet: a dispatch transport plus
+	// its membership ID and capacity weight.
+	FleetMember = coordinator.Member
+	// WorkerRegistry tracks persistent registered workers: POST
+	// /v1/register admits them, POST /v1/heartbeat keeps them, a missed
+	// TTL evicts them. It is a live fleet — membership changes are
+	// admitted mid-campaign.
+	WorkerRegistry = coordinator.Registry
+	// WorkerRegistryOptions tunes a WorkerRegistry (heartbeat cadence,
+	// eviction TTL, the dial hook turning registrations into transports).
+	WorkerRegistryOptions = coordinator.RegistryOptions
+	// WorkerCapabilities is the capability envelope a persistent worker
+	// announces on registration and echoes on /v1/healthz: address,
+	// capacity weight, GOARCH, rng stream version, report codecs.
+	WorkerCapabilities = coordinator.Capabilities
+	// WorkerDaemonOptions configures RunWorkerDaemon's registration loop.
+	WorkerDaemonOptions = coordinator.DaemonOptions
+)
+
+// NewWorkerRegistry builds a registry and starts its eviction loop;
+// Close stops it. Mount Handler() wherever the coordinator listens and
+// point `experiments -worker-daemon` (or RunWorkerDaemon) at it.
+func NewWorkerRegistry(opts WorkerRegistryOptions) *WorkerRegistry {
+	return coordinator.NewRegistry(opts)
+}
+
+// RunWorkerDaemon runs the registration half of a persistent worker
+// next to its serving listener: register with the registry, heartbeat
+// at the granted cadence, re-register with backoff after evictions or
+// registry restarts. Returns when ctx ends, or immediately on a
+// permanent rejection (rng stream-version mismatch).
+func RunWorkerDaemon(ctx context.Context, opts WorkerDaemonOptions) error {
+	return coordinator.RunDaemon(ctx, opts)
+}
+
+// ProbeWorker fetches a worker's /v1/healthz capability envelope — a
+// liveness and capability check for operators and schedulers.
+func ProbeWorker(ctx context.Context, baseURL string) (WorkerCapabilities, error) {
+	return coordinator.ProbeWorker(ctx, nil, baseURL)
+}
+
+// WorkerHandler returns the worker side of the versioned dispatch API:
+// POST /v1/run executes one shard (checkpointed prefix on drain), GET
+// /v1/healthz answers capability probes, and the unversioned legacy
+// paths respond with a Deprecation header. Mount it on the listener a
+// persistent worker advertises (RunWorkerDaemon registers that URL);
+// ctx cancellation drains in-flight shards at their next chunk
+// boundary.
+func WorkerHandler(ctx context.Context) http.Handler {
+	return coordinator.Handler(ctx)
+}
+
+// Fleet is a configured worker fleet: the one distributed entry point.
+// Build it with NewFleet, then Run jobs over it (or Resume checkpointed
+// campaigns). A Fleet is reusable across jobs; elastic membership
+// (WithRegistry) is re-read continuously while a job runs.
+type Fleet struct {
+	fleet coordinator.Fleet
+	opts  coordinator.Options
+}
+
+// fleetConfig collects what the FleetOptions set before NewFleet
+// freezes it into a Fleet.
+type fleetConfig struct {
+	members  []coordinator.Member
+	registry *coordinator.Registry
+	opts     coordinator.Options
+}
+
+// FleetOption configures NewFleet.
+type FleetOption func(*fleetConfig)
+
+// WithInProcessWorkers adds n weight-1 workers executing in this
+// process — the zero-infrastructure fleet.
+func WithInProcessWorkers(n int) FleetOption {
+	return func(c *fleetConfig) {
+		for _, t := range coordinator.InProcessFleet(n) {
+			c.members = append(c.members, coordinator.Member{Transport: t})
+		}
+	}
+}
+
+// WithSubprocessWorkers adds n weight-1 workers exec'ing argv per shard
+// (empty argv: this binary re-exec'd with -worker).
+func WithSubprocessWorkers(n int, argv ...string) FleetOption {
+	return func(c *fleetConfig) {
+		for _, t := range coordinator.SubprocessFleet(n, argv...) {
+			c.members = append(c.members, coordinator.Member{Transport: t})
+		}
+	}
+}
+
+// WithWorkerURLs adds one weight-1 HTTP worker per base URL — long
+// lived `experiments -serve` / `-worker-daemon` processes.
+func WithWorkerURLs(urls ...string) FleetOption {
+	return func(c *fleetConfig) {
+		for _, t := range coordinator.HTTPFleet(urls...) {
+			c.members = append(c.members, coordinator.Member{Transport: t})
+		}
+	}
+}
+
+// WithWorkers adds explicit weight-1 transports (custom Transport
+// implementations included).
+func WithWorkers(ts ...WorkerTransport) FleetOption {
+	return func(c *fleetConfig) {
+		for _, t := range ts {
+			c.members = append(c.members, coordinator.Member{Transport: t})
+		}
+	}
+}
+
+// WithWeighted adds one worker with an explicit capacity weight: each
+// round's shard split hands a weight-2 member about twice the runs of a
+// weight-1 member. Weights move load, never results.
+func WithWeighted(weight float64, t WorkerTransport) FleetOption {
+	return func(c *fleetConfig) {
+		c.members = append(c.members, coordinator.Member{Weight: weight, Transport: t})
+	}
+}
+
+// WithRegistry makes the fleet elastic: membership follows the
+// registry's live view — persistent workers that register are admitted
+// mid-campaign, workers whose heartbeats stop are evicted. Explicit
+// workers from the other options ride alongside as static members.
+func WithRegistry(reg *WorkerRegistry) FleetOption {
+	return func(c *fleetConfig) { c.registry = reg }
+}
+
+// WithProgress observes fleet events (dispatches, results, retries,
+// joins, evictions, banked shards, completed rounds).
+func WithProgress(fn func(FanOutEvent)) FleetOption {
+	return func(c *fleetConfig) { c.opts.Progress = fn }
+}
+
+// WithStore banks full shard Reports and per-round campaign
+// checkpoints in the artifact store: re-runs become cache hits and
+// Resume(job, nil) picks up an interrupted campaign.
+func WithStore(st *ArtifactStore) FleetOption {
+	return func(c *fleetConfig) { c.opts.Store = st }
+}
+
+// WithShardsPerWorker oversplits each round into n shards per alive
+// worker (default 2), so retries move fractions of a round.
+func WithShardsPerWorker(n int) FleetOption {
+	return func(c *fleetConfig) { c.opts.ShardsPerWorker = n }
+}
+
+// WithDispatchTimeout bounds one dispatch attempt; 0 (the default)
+// disables the bound.
+func WithDispatchTimeout(d time.Duration) FleetOption {
+	return func(c *fleetConfig) { c.opts.DispatchTimeout = d }
+}
+
+// WithRetryBudget sets the failure limits: maxAttempts failed
+// dispatches fail a shard's job, workerFailLimit failed dispatches
+// remove a worker (<=0 keeps the default of 3 and 2).
+func WithRetryBudget(maxAttempts, workerFailLimit int) FleetOption {
+	return func(c *fleetConfig) {
+		c.opts.MaxAttempts = maxAttempts
+		c.opts.WorkerFailLimit = workerFailLimit
+	}
+}
+
+// WithoutSpeculation disables straggler re-dispatch (on by default;
+// duplicates are bit-identical, so speculation is exact).
+func WithoutSpeculation() FleetOption {
+	return func(c *fleetConfig) { c.opts.NoSpeculation = true }
+}
+
+// NewFleet builds a worker fleet from options: explicit workers
+// (frozen membership), a registry (elastic membership), or both. It
+// errors when no option contributes any worker source — an empty
+// static fleet could never run anything.
+func NewFleet(options ...FleetOption) (*Fleet, error) {
+	var c fleetConfig
+	for _, opt := range options {
+		opt(&c)
+	}
+	if c.registry != nil {
+		if len(c.members) > 0 {
+			c.registry.AddMembers(c.members...)
+		}
+		return &Fleet{fleet: c.registry, opts: c.opts}, nil
+	}
+	if len(c.members) == 0 {
+		return nil, errors.New("chaffmec: NewFleet needs workers (WithInProcessWorkers, WithWorkerURLs, ...) or a registry (WithRegistry)")
+	}
+	return &Fleet{fleet: coordinator.Static(c.members...), opts: c.opts}, nil
+}
+
+// Run fans one whole job out over the fleet: each round of the job's
+// plan is split into contiguous shards sized by the members' capacity
+// weights, failures and stragglers retry elsewhere, and the merged
+// Report is bit-identical (up to summed wall clock) to RunJob's —
+// SE-targeted adaptive rounds included. Like RunAdaptiveJob it returns
+// the accumulated partial of the completed rounds alongside any error.
+func (f *Fleet) Run(ctx context.Context, job Job) (*Report, error) {
+	return coordinator.RunFleet(ctx, job, f.fleet, f.opts)
+}
+
+// Resume continues a checkpointed campaign: from is a banked partial
+// Report to extend (validated like ResumeJob; the precision block may
+// differ), and a nil from loads the campaign checkpoint the last run
+// of this job banked in the artifact store (WithStore), running from
+// scratch when there is none. The finished Report is bit-for-bit the
+// uninterrupted run's.
+func (f *Fleet) Resume(ctx context.Context, job Job, from *Report) (*Report, error) {
+	return coordinator.Resume(ctx, job, from, f.fleet, f.opts)
+}
 
 // RunScenario executes one scenario spec whole and digests the report.
 func RunScenario(sp ScenarioSpec) (*ScenarioResult, error) { return scenario.Run(sp) }

@@ -385,3 +385,138 @@ func TestRunDistributedJobFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestNewFleetFacade: the builder covers the old constructors — a
+// static fleet's Run matches RunJob bit-for-bit, weights skew the
+// shard shares, and a configured Fleet is reusable across jobs.
+func TestNewFleetFacade(t *testing.T) {
+	ctx := context.Background()
+	spec := ScenarioSpec{Kind: "single", Strategy: "MO", NumChaffs: 1, Horizon: 10, Runs: 40, Seed: 5}
+	norm := func(r *Report) string {
+		cl := *r
+		cl.ElapsedMS = 0
+		blob, err := json.Marshal(&cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	want, err := RunJob(ctx, Job{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []FanOutEvent
+	fleet, err := NewFleet(
+		WithInProcessWorkers(2),
+		WithShardsPerWorker(1),
+		WithoutSpeculation(),
+		WithProgress(func(e FanOutEvent) { events = append(events, e) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ { // a Fleet is reusable
+		got, err := fleet.Run(ctx, Job{Spec: spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if norm(got) != norm(want) {
+			t.Fatalf("run %d: fleet report differs from RunJob", round)
+		}
+	}
+	joins := 0
+	for _, e := range events {
+		if e.Kind == EventWorkerJoin {
+			joins++
+		}
+	}
+	if joins == 0 {
+		t.Fatal("no worker-join events: admissions are not observable")
+	}
+
+	if _, err := NewFleet(); err == nil {
+		t.Fatal("NewFleet with no workers succeeded")
+	}
+
+	// Weighted members skew the per-round dispatch shares.
+	var spans []Shard
+	weighted, err := NewFleet(
+		WithWeighted(3, InProcessWorkers(1)[0]),
+		WithWeighted(1, InProcessWorkers(1)[0]),
+		WithShardsPerWorker(1),
+		WithoutSpeculation(),
+		WithProgress(func(e FanOutEvent) {
+			if e.Kind == EventDispatch {
+				spans = append(spans, e.Shard)
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := weighted.Run(ctx, Job{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm(got) != norm(want) {
+		t.Fatal("weighted fleet report differs from RunJob")
+	}
+	if len(spans) != 2 || spans[0].End-spans[0].Start != 30 || spans[1].End-spans[1].Start != 10 {
+		t.Fatalf("weighted shares = %v, want 30 and 10 of 40 runs", spans)
+	}
+}
+
+// TestFleetResumeFacade: Resume over a store-backed fleet finishes a
+// campaign from its banked checkpoint without re-running covered runs.
+func TestFleetResumeFacade(t *testing.T) {
+	ctx := context.Background()
+	spec := ScenarioSpec{Kind: "single", Strategy: "MO", NumChaffs: 1, Horizon: 10, Runs: 40, Seed: 5}
+	norm := func(r *Report) string {
+		cl := *r
+		cl.ElapsedMS = 0
+		blob, err := json.Marshal(&cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+	want, err := RunJob(ctx, Job{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(filepath.Join(t.TempDir(), "artifacts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := NewFleet(WithInProcessWorkers(2), WithStore(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Run(ctx, Job{Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+	// The banked campaign resolves the resumed job without dispatching.
+	var dispatches int
+	resumed, err := NewFleet(
+		WithInProcessWorkers(2), WithStore(st),
+		WithProgress(func(e FanOutEvent) {
+			if e.Kind == EventDispatch {
+				dispatches++
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Resume(ctx, Job{Spec: spec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm(got) != norm(want) {
+		t.Fatal("resumed campaign differs from RunJob")
+	}
+	if dispatches != 0 {
+		t.Fatalf("finished campaign re-dispatched %d shards, want 0", dispatches)
+	}
+}

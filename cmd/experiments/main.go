@@ -74,6 +74,29 @@
 // injects a deterministic mid-shard crash into subprocess worker i —
 // CI's proof that retry keeps the merge byte-identical.
 //
+// # Elastic registered fleets
+//
+// -connect freezes the fleet at startup. The registered mode inverts
+// it: the coordinator serves a registry and the workers dial in —
+// registering, heartbeating, joining and leaving mid-campaign, with
+// unequal shard shares sized by each worker's announced -weight. The
+// merged results stay bit-identical through all of it; churn moves
+// work around, never changes answers.
+//
+//	experiments -registry :9000 -fleet-min 2 -scenario scenarios.json
+//	experiments -worker-daemon http://coord:9000 -weight 2   # per host
+//
+// A daemon worker listens on -serve ADDR (default: an ephemeral
+// localhost port), advertises -advertise (default: its actual listen
+// address), and is evicted when its heartbeats stop — its in-flight
+// shards are re-dispatched. A worker on a mismatched rng stream
+// version is refused at registration (its results could not merge).
+// -resume also distributes: the coordinator extends a checkpoint over
+// whichever fleet is up and the finished Report is byte-for-byte the
+// uninterrupted run's. -bench-fleet FILE measures the payoff of the
+// persistent workers (cold vs model-warm trace campaign) and writes
+// the BENCH_fleet.json CI artifact.
+//
 // -bench-adaptive FILE runs the paper-protocol benchmark (fixed vs
 // adaptive run counts, wall time, allocations) and writes it as JSON —
 // the CI perf artifact. -bench-distributed FILE measures the same
@@ -133,9 +156,16 @@ func realMain() int {
 		workers   = flag.Int("workers", 0, "distribute -scenario jobs over this many local worker processes (the coordinator execs this binary with -worker)")
 		connect   = flag.String("connect", "", "comma-separated base URLs of -serve workers to distribute -scenario jobs to instead of local subprocesses")
 		workerFlg = flag.Bool("worker", false, "worker mode: read one Job JSON from stdin, write its Report JSON to stdout")
-		serveAddr = flag.String("serve", "", "serve the worker HTTP API (POST /run, GET /healthz) on this address")
+		serveAddr = flag.String("serve", "", "serve the worker HTTP API (POST /v1/run, GET /v1/healthz) on this address; with -worker-daemon, the daemon's listen address")
 		crashWkr  = flag.Int("crash-worker", -1, "fault injection: subprocess worker i crashes mid-shard on every dispatch (CI retry proof)")
 		benchDist = flag.String("bench-distributed", "", "run the 1/2/4-worker paper-protocol scaling benchmark and write it as JSON to this file")
+
+		workerDmn  = flag.String("worker-daemon", "", "persistent worker mode: listen for dispatches, register with the coordinator registry at this base URL, heartbeat until SIGTERM")
+		advertise  = flag.String("advertise", "", "with -worker-daemon: the base URL the coordinator should dispatch to (default: the actual listen address)")
+		weight     = flag.Float64("weight", 1, "with -worker-daemon: announced capacity weight; the coordinator sizes this worker's shard share by it")
+		registry   = flag.String("registry", "", "serve the worker registry on this address and distribute -scenario jobs over the registered (elastic) fleet")
+		fleetMin   = flag.Int("fleet-min", 1, "with -registry: wait for this many registered workers before dispatching")
+		benchFleet = flag.String("bench-fleet", "", "run the registered-fleet benchmark (cold vs store-warm campaign over daemon workers) and write it as JSON to this file")
 
 		benchKern  = flag.String("bench-kernels", "", "run the hot-kernel benchmark suite (scalar vs batch sampling/scoring, paper protocol) and write it as JSON to this file")
 		benchWireF = flag.String("bench-wire", "", "run the wire-format benchmark suite (Report codecs, TraceLab store warm-start) and write it as JSON to this file")
@@ -197,6 +227,13 @@ func realMain() int {
 	if *workerFlg {
 		workerMain(ctx) // never returns
 	}
+	if *workerDmn != "" {
+		if err := daemonMain(ctx, *workerDmn, *serveAddr, *advertise, *weight); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		return 0
+	}
 	if *serveAddr != "" {
 		if err := serveMain(ctx, *serveAddr); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -243,13 +280,39 @@ func realMain() int {
 		}
 		return 0
 	}
-	if *workers > 0 || *connect != "" {
-		err := distributedFlagErr(*workers, *connect, *shardArg, *resume, *merge, *scenFile)
+	if *benchFleet != "" {
+		if err := benchFleetRun(ctx, *benchFleet, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		return 0
+	}
+	if *workers > 0 || *connect != "" || *registry != "" {
+		err := distributedFlagErr(*workers, *connect, *registry, *shardArg, *resume, *merge, *scenFile)
+		var fleet coordinator.Fleet
+		var shutdown func()
 		if err == nil {
-			var fleet []coordinator.Transport
-			if fleet, err = buildFleet(*workers, *connect, *crashWkr); err == nil {
+			switch {
+			case *registry != "" && *crashWkr >= 0:
+				err = fmt.Errorf("-crash-worker injects into local subprocess workers; it cannot combine with -registry")
+			case *registry != "":
+				fleet, shutdown, err = registryFleet(ctx, *registry, *fleetMin)
+			default:
+				var ts []coordinator.Transport
+				if ts, err = buildFleet(*workers, *connect, *crashWkr); err == nil {
+					fleet = coordinator.StaticOf(ts...)
+				}
+			}
+		}
+		if err == nil {
+			if *resume != "" {
+				err = resumeScenarios(*resume, *scenFile, *outDir, *repFile, flagPrec, fleetResumeOne(ctx, fleet))
+			} else {
 				err = runScenariosDistributed(ctx, *scenFile, *outDir, *repFile, flagPrec, fleet)
 			}
+		}
+		if shutdown != nil {
+			shutdown()
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -267,7 +330,10 @@ func realMain() int {
 	if *resume != "" {
 		err := fmt.Errorf("-resume cannot combine with -shard (a resumed job extends its whole run range)")
 		if *shardArg == "" {
-			err = resumeScenarios(ctx, *resume, *scenFile, *outDir, *repFile, flagPrec)
+			err = resumeScenarios(*resume, *scenFile, *outDir, *repFile, flagPrec,
+				func(job scenario.Job, from *report.Report, name string) (*report.Report, error) {
+					return scenario.ResumeJob(ctx, job, from, roundProgress(name))
+				})
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -535,9 +601,11 @@ func runScenarioEntries(path, outDir, repFile string, prec *scenario.Precision,
 // each entry is validated against the corresponding config entry (when
 // scenPath is given; extra config entries run from scratch) or
 // reconstructed from its spec echo, extended with the rounds the
-// uninterrupted run would have executed, and the updated envelopes are
-// written back (to repFile, defaulting to the checkpoint itself).
-func resumeScenarios(ctx context.Context, resumePath, scenPath, outDir, repFile string, prec *scenario.Precision) error {
+// uninterrupted run would have executed — via resumeOne, single-process
+// or fleet-distributed — and the updated envelopes are written back
+// (to repFile, defaulting to the checkpoint itself).
+func resumeScenarios(resumePath, scenPath, outDir, repFile string, prec *scenario.Precision,
+	resumeOne func(scenario.Job, *report.Report, string) (*report.Report, error)) error {
 	ckpt, err := report.ReadFile(resumePath)
 	if err != nil {
 		return err
@@ -580,7 +648,7 @@ func resumeScenarios(ctx context.Context, resumePath, scenPath, outDir, repFile 
 		if i < len(ckpt) {
 			from = ckpt[i]
 		}
-		rep, err := scenario.ResumeJob(ctx, job, from, roundProgress(name))
+		rep, err := resumeOne(job, from, name)
 		if rep != nil {
 			reps[i] = rep
 		}

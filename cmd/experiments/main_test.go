@@ -4,10 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"chaffmec/internal/coordinator"
 	"chaffmec/internal/engine"
@@ -376,13 +379,19 @@ func TestResumeWorkflowCLI(t *testing.T) {
 		}
 	}
 
+	// localResume is the single-process per-entry driver realMain wires
+	// in when no fleet flag is given.
+	localResume := func(job scenario.Job, from *report.Report, name string) (*report.Report, error) {
+		return scenario.ResumeJob(context.Background(), job, from, nil)
+	}
+
 	// With the config.
 	ckptPath := filepath.Join(dir, "ckpt.json")
 	if err := runShard(context.Background(), cfgPath, engine.Shard{Index: 0, Count: 2}, ckptPath); err != nil {
 		t.Fatal(err)
 	}
 	outPath := filepath.Join(dir, "resumed.json")
-	if err := resumeScenarios(context.Background(), ckptPath, cfgPath, t.TempDir(), outPath, nil); err != nil {
+	if err := resumeScenarios(ckptPath, cfgPath, t.TempDir(), outPath, nil, localResume); err != nil {
 		t.Fatal(err)
 	}
 	compare(outPath)
@@ -392,17 +401,29 @@ func TestResumeWorkflowCLI(t *testing.T) {
 	if err := runShard(context.Background(), cfgPath, engine.Shard{Index: 0, Count: 2}, ckptPath); err != nil {
 		t.Fatal(err)
 	}
-	if err := resumeScenarios(context.Background(), ckptPath, "", t.TempDir(), "", nil); err != nil {
+	if err := resumeScenarios(ckptPath, "", t.TempDir(), "", nil, localResume); err != nil {
+		t.Fatal(err)
+	}
+	compare(ckptPath)
+
+	// Resumed over a fleet: the coordinator extends the same checkpoint
+	// distributed, to the same bytes.
+	if err := runShard(context.Background(), cfgPath, engine.Shard{Index: 0, Count: 2}, ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	fleet := coordinator.StaticOf(coordinator.InProcessFleet(2)...)
+	if err := resumeScenarios(ckptPath, cfgPath, t.TempDir(), "", nil,
+		fleetResumeOne(context.Background(), fleet)); err != nil {
 		t.Fatal(err)
 	}
 	compare(ckptPath)
 
 	// A checkpoint with more envelopes than the config has entries is
 	// rejected; a missing checkpoint file errors.
-	if err := resumeScenarios(context.Background(), ckptPath, filepath.Join(dir, "missing.json"), t.TempDir(), "", nil); err == nil {
+	if err := resumeScenarios(ckptPath, filepath.Join(dir, "missing.json"), t.TempDir(), "", nil, localResume); err == nil {
 		t.Fatal("missing config accepted")
 	}
-	if err := resumeScenarios(context.Background(), filepath.Join(dir, "missing.json"), "", t.TempDir(), "", nil); err == nil {
+	if err := resumeScenarios(filepath.Join(dir, "missing.json"), "", t.TempDir(), "", nil, localResume); err == nil {
 		t.Fatal("missing checkpoint accepted")
 	}
 }
@@ -442,29 +463,41 @@ func TestBenchAdaptiveArtifact(t *testing.T) {
 // combinations distribution cannot honor, loudly.
 func TestDistributedFlagValidation(t *testing.T) {
 	cases := []struct {
-		name           string
-		workers        int
-		connect, shard string
-		resume         string
-		merge          bool
-		scen           string
+		name                     string
+		workers                  int
+		connect, registry, shard string
+		resume                   string
+		merge                    bool
+		scen                     string
 	}{
 		{name: "both fleets", workers: 2, connect: "http://x", scen: "s.json"},
+		{name: "workers and registry", workers: 2, registry: ":9000", scen: "s.json"},
+		{name: "connect and registry", connect: "http://x", registry: ":9000", scen: "s.json"},
 		{name: "no scenario", workers: 2},
 		{name: "with shard", workers: 2, scen: "s.json", shard: "0/2"},
-		{name: "with resume", workers: 2, scen: "s.json", resume: "c.json"},
 		{name: "with merge", workers: 2, scen: "s.json", merge: true},
 	}
 	for _, tc := range cases {
-		if err := distributedFlagErr(tc.workers, tc.connect, tc.shard, tc.resume, tc.merge, tc.scen); err == nil {
+		if err := distributedFlagErr(tc.workers, tc.connect, tc.registry, tc.shard, tc.resume, tc.merge, tc.scen); err == nil {
 			t.Fatalf("%s: accepted", tc.name)
 		}
 	}
-	if err := distributedFlagErr(4, "", "", "", false, "s.json"); err != nil {
+	if err := distributedFlagErr(4, "", "", "", "", false, "s.json"); err != nil {
 		t.Fatalf("valid -workers rejected: %v", err)
 	}
-	if err := distributedFlagErr(0, "http://a,http://b", "", "", false, "s.json"); err != nil {
+	if err := distributedFlagErr(0, "http://a,http://b", "", "", "", false, "s.json"); err != nil {
 		t.Fatalf("valid -connect rejected: %v", err)
+	}
+	if err := distributedFlagErr(0, "", ":9000", "", "", false, "s.json"); err != nil {
+		t.Fatalf("valid -registry rejected: %v", err)
+	}
+	// -resume distributes fine now (the coordinator extends checkpoints
+	// over the fleet), with or without the config.
+	if err := distributedFlagErr(2, "", "", "", "c.json", false, "s.json"); err != nil {
+		t.Fatalf("distributed -resume rejected: %v", err)
+	}
+	if err := distributedFlagErr(2, "", "", "", "c.json", false, ""); err != nil {
+		t.Fatalf("distributed -resume without config rejected: %v", err)
 	}
 }
 
@@ -504,6 +537,68 @@ func TestBuildFleet(t *testing.T) {
 	}
 }
 
+// TestDaemonRegistryEndToEnd wires the CLI's persistent-worker mode
+// against a live registry entirely in process: daemonMain listens on
+// an ephemeral port, derives its advertised URL from the listener,
+// registers over HTTP with its weight, and serves the dispatches of a
+// campaign run through the elastic fleet — whose merged report equals
+// the single-process run bit for bit.
+func TestDaemonRegistryEndToEnd(t *testing.T) {
+	reg := coordinator.NewRegistry(coordinator.RegistryOptions{
+		Heartbeat: 20 * time.Millisecond,
+	})
+	defer reg.Close()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var dErr error
+	go func() {
+		defer wg.Done()
+		dErr = daemonMain(ctx, srv.URL, "", "", 2.5)
+	}()
+	defer func() {
+		cancel()
+		wg.Wait()
+		if dErr != nil {
+			t.Errorf("daemonMain: %v", dErr)
+		}
+	}()
+
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer waitCancel()
+	if err := reg.WaitFor(waitCtx, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := reg.Members()
+	if len(m) != 1 || m[0].Weight != 2.5 {
+		t.Fatalf("registered member = %+v", m)
+	}
+
+	sp := scenario.Spec{Name: "e2e", Kind: "single", Strategy: "MO", Horizon: 10, Runs: 20, Seed: 11}
+	got, err := coordinator.RunFleet(ctx, scenario.Job{Spec: sp}, reg, coordinator.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.RunJob(context.Background(), scenario.Job{Spec: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := *want, *got
+	a.ElapsedMS, b.ElapsedMS = 0, 0
+	ja, _ := json.Marshal(&a)
+	jb, _ := json.Marshal(&b)
+	if string(ja) != string(jb) {
+		t.Fatal("daemon-served campaign differs from the single-process run")
+	}
+
+	if _, _, err := registryFleet(context.Background(), "127.0.0.1:0", 0); err == nil {
+		t.Fatal("-fleet-min 0 accepted")
+	}
+}
+
 // TestRunScenariosDistributed drives the CLI's coordinator path with an
 // in-process fleet and checks the merged envelopes equal the
 // single-process runScenarios output bit-for-bit (modulo wall clock).
@@ -523,7 +618,7 @@ func TestRunScenariosDistributed(t *testing.T) {
 	}
 	dist := filepath.Join(dir, "dist.json")
 	if err := runScenariosDistributed(context.Background(), cfg, t.TempDir(), dist,
-		nil, coordinator.InProcessFleet(3)); err != nil {
+		nil, coordinator.StaticOf(coordinator.InProcessFleet(3)...)); err != nil {
 		t.Fatal(err)
 	}
 	a, err := report.ReadFile(whole)

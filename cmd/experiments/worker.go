@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -54,6 +55,80 @@ func serveMain(ctx context.Context, addr string) error {
 	}
 }
 
+// daemonMain is `experiments -worker-daemon REGISTRY`: the persistent
+// half of the elastic fleet. The worker listens for dispatches (on
+// -serve ADDR when given, else an ephemeral localhost port), registers
+// with the coordinator's registry under its advertised URL and
+// capacity weight, heartbeats for its lease, and drains on SIGTERM
+// exactly like -serve. A permanently refused registration (stream
+// mismatch) is fatal; a briefly unreachable registry is retried with
+// backoff.
+func daemonMain(ctx context.Context, registryURL, listenAddr, advertise string, weight float64) error {
+	if listenAddr == "" {
+		listenAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return err
+	}
+	if advertise == "" {
+		advertise = "http://" + ln.Addr().String()
+	}
+	srv := &http.Server{Handler: coordinator.Handler(ctx)}
+	errc := make(chan error, 2)
+	go func() { errc <- srv.Serve(ln) }()
+	go func() {
+		errc <- coordinator.RunDaemon(ctx, coordinator.DaemonOptions{
+			Registry: registryURL, Advertise: advertise, Weight: weight,
+		})
+	}()
+	fmt.Fprintf(os.Stderr, "experiments: worker %s registering with %s\n", advertise, registryURL)
+	select {
+	case err = <-errc:
+	case <-ctx.Done():
+		err = nil
+	}
+	sctx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+	defer stop()
+	if serr := srv.Shutdown(sctx); err == nil && serr != nil {
+		err = serr
+	}
+	if errors.Is(err, http.ErrServerClosed) || errors.Is(err, context.Canceled) {
+		err = nil
+	}
+	return err
+}
+
+// registryFleet is the coordinator side of the elastic fleet: serve
+// the registration API on addr, wait until fleetMin workers hold
+// leases, and hand the live registry to the dispatcher. The returned
+// shutdown stops the HTTP listener and the eviction loop.
+func registryFleet(ctx context.Context, addr string, fleetMin int) (*coordinator.Registry, func(), error) {
+	if fleetMin < 1 {
+		return nil, nil, fmt.Errorf("-fleet-min %d: need at least one worker to wait for", fleetMin)
+	}
+	reg := coordinator.NewRegistry(coordinator.RegistryOptions{})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		reg.Close()
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: reg.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // closed by shutdown below
+	shutdown := func() {
+		sctx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+		defer stop()
+		srv.Shutdown(sctx) //nolint:errcheck // exiting anyway
+		reg.Close()
+	}
+	fmt.Fprintf(os.Stderr, "experiments: registry on http://%s, waiting for %d worker(s)\n", ln.Addr(), fleetMin)
+	if err := reg.WaitFor(ctx, fleetMin); err != nil {
+		shutdown()
+		return nil, nil, fmt.Errorf("waiting for %d registered workers: %w", fleetMin, err)
+	}
+	return reg, shutdown, nil
+}
+
 // buildFleet resolves the CLI's fleet selection: -connect URLs (HTTP
 // workers elsewhere) or -workers N local subprocess workers, with
 // -crash-worker injecting a deterministic mid-shard crash into one of
@@ -88,19 +163,26 @@ func buildFleet(workers int, connect string, crashWorker int) ([]coordinator.Tra
 }
 
 // distributedFlagErr rejects the flag combinations distribution cannot
-// honor: the coordinator owns shard planning and whole-job resumption.
-func distributedFlagErr(workers int, connect, shardArg, resume string, merge bool, scenFile string) error {
+// honor: the fleet selectors are mutually exclusive, and the
+// coordinator owns shard planning and partial merging. -resume IS
+// honored distributed: the coordinator extends the checkpoint over the
+// fleet and the result stays bit-identical.
+func distributedFlagErr(workers int, connect, registry, shardArg, resume string, merge bool, scenFile string) error {
+	selected := 0
+	for _, on := range []bool{workers > 0, connect != "", registry != ""} {
+		if on {
+			selected++
+		}
+	}
 	switch {
-	case workers > 0 && connect != "":
-		return fmt.Errorf("-workers starts local subprocess workers, -connect uses remote ones; pick one")
-	case scenFile == "":
-		return fmt.Errorf("-workers/-connect need -scenario")
+	case selected > 1:
+		return fmt.Errorf("-workers (local subprocesses), -connect (fixed remote URLs) and -registry (elastic registered fleet) are mutually exclusive; pick one")
+	case scenFile == "" && resume == "":
+		return fmt.Errorf("-workers/-connect/-registry need -scenario (or a -resume checkpoint)")
 	case shardArg != "":
-		return fmt.Errorf("-workers/-connect cannot combine with -shard (the coordinator plans the shards)")
-	case resume != "":
-		return fmt.Errorf("-workers/-connect cannot combine with -resume (finish the checkpoint single-process, or rerun the job distributed)")
+		return fmt.Errorf("-workers/-connect/-registry cannot combine with -shard (the coordinator plans the shards)")
 	case merge:
-		return fmt.Errorf("-workers/-connect cannot combine with -merge (the coordinator merges its own partials)")
+		return fmt.Errorf("-workers/-connect/-registry cannot combine with -merge (the coordinator merges its own partials)")
 	}
 	return nil
 }
@@ -131,6 +213,10 @@ func fleetProgress(name string) (func(coordinator.Event), *wireTally) {
 				name, e.Shard, e.Worker, e.Err)
 		case coordinator.EventWorkerDead:
 			fmt.Fprintf(os.Stderr, "%-30s worker %s removed from the fleet (%v)\n", name, e.Worker, e.Err)
+		case coordinator.EventWorkerJoin:
+			fmt.Fprintf(os.Stderr, "%-30s worker %s joined the fleet\n", name, e.Worker)
+		case coordinator.EventWorkerLeft:
+			fmt.Fprintf(os.Stderr, "%-30s worker %s left the fleet\n", name, e.Worker)
 		}
 	}, tally
 }
@@ -169,15 +255,30 @@ func (t *wireTally) summary(name string) {
 // runScenariosDistributed executes a JSON scenario config like
 // runScenarios, but fans every entry out over the fleet — fixed jobs
 // as one sharded round, precision-targeted ones as SE-driven extension
-// rounds — and renders the merged (bit-identical) reports.
-func runScenariosDistributed(ctx context.Context, path, outDir, repFile string, prec *scenario.Precision, fleet []coordinator.Transport) error {
-	fmt.Fprintf(os.Stderr, "experiments: distributing over %d workers\n", len(fleet))
+// rounds — and renders the merged (bit-identical) reports. The fleet
+// may be elastic (a registry): workers joining mid-campaign are
+// admitted, evicted ones stop receiving work.
+func runScenariosDistributed(ctx context.Context, path, outDir, repFile string, prec *scenario.Precision, fleet coordinator.Fleet) error {
+	fmt.Fprintf(os.Stderr, "experiments: distributing over %d workers\n", len(fleet.Members()))
 	return runScenarioEntries(path, outDir, repFile, prec,
 		func(sp scenario.Spec, name string) (*report.Report, error) {
 			progress, tally := fleetProgress(name)
-			rep, err := coordinator.Run(ctx, scenario.Job{Spec: sp},
-				coordinator.Options{Workers: fleet, Progress: progress})
+			rep, err := coordinator.RunFleet(ctx, scenario.Job{Spec: sp}, fleet,
+				coordinator.Options{Progress: progress})
 			tally.summary(name)
 			return rep, err
 		})
+}
+
+// fleetResumeOne adapts coordinator.Resume to resumeScenarios'
+// per-entry shape: the coordinator validates the checkpoint against
+// the job, fans only the missing run range out over the fleet, and
+// merges to the bit-identical whole.
+func fleetResumeOne(ctx context.Context, fleet coordinator.Fleet) func(scenario.Job, *report.Report, string) (*report.Report, error) {
+	return func(job scenario.Job, from *report.Report, name string) (*report.Report, error) {
+		progress, tally := fleetProgress(name)
+		rep, err := coordinator.Resume(ctx, job, from, fleet, coordinator.Options{Progress: progress})
+		tally.summary(name)
+		return rep, err
+	}
 }

@@ -9,17 +9,25 @@
 // until the tracking series' standard error reaches a target —
 // checkpoint/resume (any partial Report resumes into the exact Report
 // the uninterrupted run produces), and finally the DISTRIBUTED
-// coordinator: the same job fanned out over a worker fleet, shards
-// retried around failures, merged back bit-identical. It closes with
-// the persistence layer: the wire encodings a Report travels in (JSON,
-// compact binary, binary+gzip — all decoding bit-identical) and the
-// content-addressed artifact store that turns re-runs into cache hits.
-// The in-process fleet below exercises the real coordinator; to put
-// processes or hosts behind it instead, see cmd/experiments:
+// coordinator: the same job fanned out over a worker fleet built with
+// chaffmec.NewFleet — first a frozen in-process fleet, then the
+// elastic shape, where persistent workers REGISTER with a live
+// registry (announcing a dispatch URL and a capacity weight that
+// skews their shard share) and the dispatcher follows the membership.
+// Shards retry around failures and the merge is bit-identical either
+// way. It closes with the persistence layer: the wire encodings a
+// Report travels in (JSON, compact binary, binary+gzip — all decoding
+// bit-identical) and the content-addressed artifact store that turns
+// re-runs into cache hits. The fleets below exercise the real
+// coordinator inside one process; to put hosts behind the same calls,
+// see cmd/experiments:
 //
 //	experiments -scenario scenarios.json -workers 4        # local subprocesses
 //	experiments -serve :8080                               # on worker hosts...
 //	experiments -scenario scenarios.json -connect http://a:8080,http://b:8080
+//	# or elastic: serve a registry and let persistent daemons come to it
+//	experiments -scenario scenarios.json -registry :9000 -fleet-min 2
+//	experiments -worker-daemon http://coord:9000 -weight 2 # on worker hosts
 //
 // Performance: everything below runs on the batched hot path — each
 // engine worker samples and scores a whole block of runs at once over
@@ -40,6 +48,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 
@@ -156,13 +166,16 @@ func main() {
 	fmt.Printf("resumed:   tracking accuracy %.6f over %d runs (uninterrupted: %.6f over %d)\n",
 		resSum.Overall, resSum.Runs, adSum.Overall, adSum.Runs)
 
-	// Distributed fan-out: the coordinator splits every round of the
-	// same adaptive job into shards, dispatches them over a fleet of
-	// workers, retries failures and stragglers on other workers, and
-	// merges — the Report is bit-identical to the single-process one
-	// (only the wall-clock field, which sums the parts, differs).
-	dist, err := chaffmec.RunDistributedJob(ctx, chaffmec.Job{Spec: adaptive},
-		chaffmec.FanOutOptions{Workers: chaffmec.InProcessWorkers(4)})
+	// Distributed fan-out: NewFleet builds the worker fleet, Run fans
+	// the same adaptive job out over it — every round split into
+	// shards, failures and stragglers retried on other workers, merged
+	// back bit-identical to the single-process Report (only the
+	// wall-clock field, which sums the parts, differs).
+	fleet, err := chaffmec.NewFleet(chaffmec.WithInProcessWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := fleet.Run(ctx, chaffmec.Job{Spec: adaptive})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -172,6 +185,55 @@ func main() {
 	}
 	fmt.Printf("4 workers: tracking accuracy %.6f over %d runs (single-process: %.6f over %d)\n",
 		distSum.Overall, distSum.Runs, adSum.Overall, adSum.Runs)
+
+	// Register-then-dispatch: the elastic shape. The coordinator serves
+	// a registry; persistent workers come to IT — each serves the
+	// versioned dispatch API (WorkerHandler) on its own listener and
+	// runs the registration daemon, announcing that URL and a capacity
+	// weight. The weight-2 worker receives about twice the runs per
+	// round; weights move load, never results, so the merged Report is
+	// still the bit-identical one. (`experiments -registry/-worker-daemon`
+	// are these same calls across hosts.)
+	reg := chaffmec.NewWorkerRegistry(chaffmec.WorkerRegistryOptions{})
+	defer reg.Close()
+	regLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(regLn, reg.Handler()) //nolint:errcheck // lives for the example
+	for _, weight := range []float64{1, 2} {
+		workerLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go http.Serve(workerLn, chaffmec.WorkerHandler(ctx)) //nolint:errcheck // lives for the example
+		go func(w float64, addr string) {
+			if err := chaffmec.RunWorkerDaemon(ctx, chaffmec.WorkerDaemonOptions{
+				Registry:  "http://" + regLn.Addr().String(),
+				Advertise: "http://" + addr,
+				Weight:    w,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}(weight, workerLn.Addr().String())
+	}
+	if err := reg.WaitFor(ctx, 2); err != nil { // both daemons hold leases
+		log.Fatal(err)
+	}
+	elastic, err := chaffmec.NewFleet(chaffmec.WithRegistry(reg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	elRep, err := elastic.Run(ctx, chaffmec.Job{Spec: adaptive})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elSum, err := elRep.Summary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered: tracking accuracy %.6f over %d runs from 2 registered workers (weights 1 and 2)\n",
+		elSum.Overall, elSum.Runs)
 
 	// Wire formats: the same Report travels as readable JSON or as the
 	// compact binary codec (optionally gzip-framed — what the fleet
@@ -227,16 +289,18 @@ func main() {
 	fixed := protected // fixed-count job: shard coverage replays exactly
 	for pass, label := range []string{"cold", "warm"} {
 		banked := 0
-		rerun, err := chaffmec.RunDistributedJob(ctx, chaffmec.Job{Spec: fixed},
-			chaffmec.FanOutOptions{
-				Workers: chaffmec.InProcessWorkers(4),
-				Store:   bank,
-				Progress: func(e chaffmec.FanOutEvent) {
-					if e.Kind == chaffmec.EventBanked {
-						banked++
-					}
-				},
-			})
+		banking, err := chaffmec.NewFleet(
+			chaffmec.WithInProcessWorkers(4),
+			chaffmec.WithStore(bank),
+			chaffmec.WithProgress(func(e chaffmec.FanOutEvent) {
+				if e.Kind == chaffmec.EventBanked {
+					banked++
+				}
+			}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rerun, err := banking.Run(ctx, chaffmec.Job{Spec: fixed})
 		if err != nil {
 			log.Fatal(err)
 		}

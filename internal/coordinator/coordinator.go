@@ -8,6 +8,15 @@
 // stragglers to idle workers, and merges — producing a Report provably
 // bit-identical to the single-process run of the same Job.
 //
+// The fleet itself is elastic: the dispatcher consumes the dynamic
+// Fleet interface, so membership may change mid-campaign. Persistent
+// workers (`experiments -worker-daemon`) register with the Registry,
+// announce capacity weights that drive unequal shard shares, heartbeat,
+// and are admitted or evicted between dispatches; a static []Transport
+// list is just the frozen special case (StaticOf). Resume continues a
+// campaign from a banked partial Report in the artifact store the way
+// scenario.ResumeJob does single-process.
+//
 // The exactness argument stacks three established guarantees: every
 // run's streams are pure functions of (seed, run index) (internal/rng),
 // the aggregates are position-aware dyadic reducers so any contiguous
@@ -16,7 +25,9 @@
 // follow — including SE-targeted adaptive extension, where each round's
 // schedule depends only on the (deterministic) accumulated report. A
 // retried or duplicated shard therefore returns the identical bytes,
-// which is what makes retry-until-merged safe rather than approximate.
+// which is what makes retry-until-merged safe rather than approximate —
+// and what makes join/leave/crash churn harmless: membership only moves
+// WHERE runs execute, never what they compute.
 package coordinator
 
 import (
@@ -38,8 +49,9 @@ import (
 
 // Options tunes one fan-out.
 type Options struct {
-	// Workers is the fleet. At least one transport is required; the
-	// coordinator survives len(Workers)-1 of them failing.
+	// Workers is a frozen fleet, kept for Run's historical signature:
+	// Run wraps it in StaticOf. RunFleet callers pass a Fleet directly
+	// and leave this nil.
 	Workers []Transport
 	// ShardsPerWorker oversplits each round into this many shards per
 	// alive worker (default 2), so a retry or straggler re-dispatch
@@ -64,15 +76,17 @@ type Options struct {
 	// a too-tight bound would fail healthy slow shards.
 	DispatchTimeout time.Duration
 	// Progress observes coordinator events (dispatches, results,
-	// retries, dead workers, completed rounds). Runs on the driving
-	// goroutine.
+	// retries, joins, evictions, dead workers, completed rounds). Runs
+	// on the driving goroutine.
 	Progress func(Event)
 	// Store banks full shard Reports in a content-addressed artifact
 	// store: before dispatching a shard the coordinator checks the
 	// store, and a hit resolves the shard without touching a worker —
 	// re-running an interrupted or repeated campaign only computes the
-	// missing pieces. Nil falls back to the process default
-	// (store.Default(); usually nil too, disabling banking).
+	// missing pieces. The accumulated campaign report is banked there
+	// too after every round, which is what Resume(from=nil) picks up.
+	// Nil falls back to the process default (store.Default(); usually
+	// nil too, disabling banking).
 	Store *store.Store
 }
 
@@ -107,6 +121,13 @@ const (
 	// EventWorkerDead: a worker exceeded WorkerFailLimit and left the
 	// fleet.
 	EventWorkerDead EventKind = "worker-dead"
+	// EventWorkerJoin: a fleet member was admitted to the dispatch pool
+	// (initial members included — every admission is a join).
+	EventWorkerJoin EventKind = "worker-join"
+	// EventWorkerLeft: a fleet member disappeared from the membership
+	// (heartbeat-timeout eviction, deregistration); in-flight work on
+	// it still counts if it lands, and queued work re-plans elsewhere.
+	EventWorkerLeft EventKind = "worker-left"
 	// EventRound: an adaptive (or the single fixed) round completed and
 	// was merged into the accumulated report.
 	EventRound EventKind = "round"
@@ -118,7 +139,7 @@ const (
 // Event is one coordinator progress observation.
 type Event struct {
 	Kind   EventKind
-	Worker string       // the transport's Name (shard events)
+	Worker string       // the transport's Name (shard and membership events)
 	Shard  engine.Shard // the affected run range (shard events)
 	Round  scenario.Round
 	Err    error // EventFailure / EventWorkerDead cause
@@ -129,13 +150,19 @@ type Event struct {
 
 type workerState struct {
 	t        Transport
+	id       string
+	weight   float64
 	busy     bool
-	dead     bool
+	dead     bool // exhausted its failure budget (never rejoins)
+	left     bool // disappeared from the fleet membership (may rejoin)
 	failures int
 }
 
+func (w *workerState) usable() bool { return !w.dead && !w.left }
+
 type shardState struct {
 	span      engine.Shard
+	pref      int // worker index the weighted split planned it for (-1: none)
 	resolved  bool
 	inflight  int
 	failures  int
@@ -143,8 +170,8 @@ type shardState struct {
 	failed    map[int]bool // worker idx that failed it (never retried there)
 }
 
-func newShardState(span engine.Shard) *shardState {
-	return &shardState{span: span, attempted: map[int]bool{}, failed: map[int]bool{}}
+func newShardState(span engine.Shard, pref int) *shardState {
+	return &shardState{span: span, pref: pref, attempted: map[int]bool{}, failed: map[int]bool{}}
 }
 
 type result struct {
@@ -154,18 +181,49 @@ type result struct {
 	err error
 }
 
-// Run fans one whole Job out over the fleet and returns the merged
-// Report — bit-identical (up to summed ElapsedMS) to the single-process
-// run of the same Job, fixed or adaptive. Like the scenario layer's
-// drivers it returns the accumulated partial of the COMPLETED rounds
-// alongside any error (cancellation included): a well-formed checkpoint
-// scenario.ResumeJob — or another coordinator Run — continues from.
+// Run fans one whole Job out over the frozen fleet in opts.Workers and
+// returns the merged Report — bit-identical (up to summed ElapsedMS) to
+// the single-process run of the same Job, fixed or adaptive. It is
+// RunFleet over a StaticOf fleet, kept for the historical signature.
+// Like the scenario layer's drivers it returns the accumulated partial
+// of the COMPLETED rounds alongside any error (cancellation included):
+// a well-formed checkpoint scenario.ResumeJob — or Resume — continues
+// from.
 func Run(ctx context.Context, job scenario.Job, opts Options) (*report.Report, error) {
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("coordinator: no workers")
+	}
+	return RunFleet(ctx, job, StaticOf(opts.Workers...), opts)
+}
+
+// RunFleet fans one whole Job out over an elastic fleet: membership is
+// re-read between dispatches (joiners are admitted mid-round, evicted
+// members stop receiving work), each round's run range is split into
+// contiguous shards sized by the members' capacity weights, and the
+// merged Report is bit-identical to the single-process run — churn
+// moves work around, never changes results. With a dynamic fleet
+// (Fleet.Updates non-nil) running out of workers WAITS for a join
+// instead of failing; cancel ctx to give up.
+func RunFleet(ctx context.Context, job scenario.Job, fleet Fleet, opts Options) (*report.Report, error) {
+	return runFleet(ctx, job, nil, false, fleet, opts)
+}
+
+// Resume continues a checkpointed campaign over the fleet. from is the
+// banked partial Report to extend (validated against the job exactly
+// like scenario.ResumeJob, precision block exempt); a nil from loads
+// the campaign checkpoint the last fan-out of this job banked in the
+// artifact store, and runs from scratch when there is none. The
+// finished Report is bit-for-bit the uninterrupted run's.
+func Resume(ctx context.Context, job scenario.Job, from *report.Report, fleet Fleet, opts Options) (*report.Report, error) {
+	return runFleet(ctx, job, from, true, fleet, opts)
+}
+
+func runFleet(ctx context.Context, job scenario.Job, from *report.Report, resume bool, fleet Fleet, opts Options) (*report.Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if len(opts.Workers) == 0 {
-		return nil, errors.New("coordinator: no workers")
+	if fleet == nil {
+		return nil, errors.New("coordinator: no fleet")
 	}
 	if !job.Shard.IsWhole() {
 		return nil, fmt.Errorf("coordinator: job already selects shard %s; the coordinator owns the whole range", job.Shard)
@@ -174,10 +232,7 @@ func Run(ctx context.Context, job scenario.Job, opts Options) (*report.Report, e
 	if err != nil {
 		return nil, err
 	}
-	c := &run{job: job, opts: opts.normalized()}
-	for _, t := range c.opts.Workers {
-		c.workers = append(c.workers, &workerState{t: t})
-	}
+	c := &run{job: job, opts: opts.normalized(), fleet: fleet, byID: map[string]int{}}
 	c.st = c.opts.Store
 	if c.st == nil {
 		c.st = store.Default()
@@ -189,6 +244,16 @@ func Run(ctx context.Context, job scenario.Job, opts Options) (*report.Report, e
 		}
 	}
 	var acc *report.Report
+	if resume {
+		if from != nil {
+			if acc, err = scenario.PrepareResume(job, from); err != nil {
+				return nil, err
+			}
+		} else {
+			acc = c.bankedCampaign()
+		}
+	}
+	c.sync()
 	for {
 		rp, err := plan.Next(acc)
 		if err != nil {
@@ -207,6 +272,7 @@ func Run(ctx context.Context, job scenario.Job, opts Options) (*report.Report, e
 		} else if err := acc.Extend(round); err != nil {
 			return acc, fmt.Errorf("coordinator: extending after round [%d,%d): %w", rp.Start, rp.End, err)
 		}
+		c.bankCampaign(acc)
 		if c.opts.Progress != nil {
 			peek, err := plan.Next(acc)
 			if err != nil {
@@ -219,20 +285,62 @@ func Run(ctx context.Context, job scenario.Job, opts Options) (*report.Report, e
 		}
 	}
 	plan.Finalize(acc)
+	c.bankCampaign(acc)
 	return acc, nil
 }
 
 type run struct {
 	job      scenario.Job
 	opts     Options
-	workers  []*workerState
-	st       *store.Store // nil: no banking
-	specJSON []byte       // canonical spec bytes for shard keys
+	fleet    Fleet
+	workers  []*workerState // grows on joins; indexes are stable forever
+	byID     map[string]int // member ID -> workers index
+	st       *store.Store   // nil: no banking
+	specJSON []byte         // canonical spec bytes for shard keys
+}
+
+// sync reconciles the dispatcher's worker table with the fleet's
+// current membership. Worker slots are append-only — a departed member
+// keeps its index (and its failure history) so in-flight results and
+// per-worker bookkeeping stay attached; rejoining under the same ID
+// reactivates the slot, a fresh registration gets a fresh one.
+func (c *run) sync() {
+	members := c.fleet.Members()
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		seen[m.ID] = true
+		weight := m.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		if wi, ok := c.byID[m.ID]; ok {
+			w := c.workers[wi]
+			w.weight = weight
+			if w.left {
+				w.left = false
+				c.event(Event{Kind: EventWorkerJoin, Worker: w.t.Name()})
+			}
+			continue
+		}
+		w := &workerState{t: m.Transport, id: m.ID, weight: weight}
+		c.byID[m.ID] = len(c.workers)
+		c.workers = append(c.workers, w)
+		c.event(Event{Kind: EventWorkerJoin, Worker: w.t.Name()})
+	}
+	for _, w := range c.workers {
+		if !w.left && !seen[w.id] {
+			w.left = true
+			c.event(Event{Kind: EventWorkerLeft, Worker: w.t.Name()})
+		}
+	}
 }
 
 // storeKindReport namespaces banked shard reports in the artifact
-// store.
-const storeKindReport = "report"
+// store; storeKindCampaign the accumulated whole-campaign checkpoints.
+const (
+	storeKindReport   = "report"
+	storeKindCampaign = "campaign"
+)
 
 // shardKey is a shard report's content address: the job's canonical
 // spec JSON, the rng stream version the runs draw from, and the exact
@@ -240,6 +348,48 @@ const storeKindReport = "report"
 func (c *run) shardKey(span engine.Shard) string {
 	return store.Key(storeKindReport, string(c.specJSON), rng.StreamVersion,
 		strconv.Itoa(span.Start), strconv.Itoa(span.End))
+}
+
+// campaignKey is the accumulated campaign report's content address:
+// spec and stream, no range — each banking overwrites the last, so the
+// store always holds the newest checkpoint of this campaign.
+func (c *run) campaignKey() string {
+	return store.Key(storeKindCampaign, string(c.specJSON), rng.StreamVersion)
+}
+
+// bankCampaign checkpoints the accumulated campaign report after a
+// round, best-effort: it is what Resume(from=nil) finds after a crash
+// of the COORDINATOR (worker crashes never need it — shard banking
+// already covers those).
+func (c *run) bankCampaign(acc *report.Report) {
+	if c.st == nil || acc == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := report.WriteReportsBinary(&buf, []*report.Report{acc}, true); err != nil {
+		return
+	}
+	c.st.Put(storeKindCampaign, c.campaignKey(), buf.Bytes()) //nolint:errcheck // best-effort
+}
+
+// bankedCampaign loads the campaign checkpoint a previous fan-out of
+// this job banked, validated exactly like an explicit resume
+// checkpoint; anything stale or invalid is evicted and ignored.
+func (c *run) bankedCampaign() *report.Report {
+	if c.st == nil {
+		return nil
+	}
+	blob, ok, err := c.st.Get(storeKindCampaign, c.campaignKey())
+	if err != nil || !ok {
+		return nil
+	}
+	if reps, err := report.DecodeReports(blob); err == nil && len(reps) == 1 {
+		if acc, err := scenario.PrepareResume(c.job, reps[0]); err == nil {
+			return acc
+		}
+	}
+	c.st.Delete(storeKindCampaign, c.campaignKey()) //nolint:errcheck // eviction is best-effort
+	return nil
 }
 
 // bankedShard loads a shard's banked full report from the store,
@@ -284,29 +434,58 @@ func (c *run) event(e Event) {
 	}
 }
 
-func (c *run) alive() int {
-	n := 0
-	for _, w := range c.workers {
-		if !w.dead {
-			n++
+// aliveWorkers returns the indexes of the workers dispatchable right
+// now: present in the membership and under their failure budget.
+func (c *run) aliveWorkers() []int {
+	var out []int
+	for wi, w := range c.workers {
+		if w.usable() {
+			out = append(out, wi)
 		}
 	}
-	return n
+	return out
 }
 
 // round executes the run range [start, end) across the fleet and
 // returns it merged into one report.
 func (c *run) round(ctx context.Context, start, end int) (*report.Report, error) {
-	alive := c.alive()
-	if alive == 0 {
-		return nil, errors.New("coordinator: all workers dead")
+	updates := c.fleet.Updates()
+	c.sync()
+	// A dynamic fleet may legitimately be empty between campaigns —
+	// wait for capacity. A static one cannot grow, so fail fast.
+	for len(c.aliveWorkers()) == 0 {
+		if updates == nil {
+			return nil, errors.New("coordinator: all workers dead")
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-updates:
+			c.sync()
+		}
 	}
 	rctx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
 
+	// The weighted split: each alive worker gets ShardsPerWorker slots
+	// sized by its capacity weight, so a weight-2 member is planned
+	// about twice the runs per round. Shard boundaries never change
+	// results — only who computes what, and how evenly.
+	alive := c.aliveWorkers()
+	var weights []float64
+	var owners []int
+	for _, wi := range alive {
+		for k := 0; k < c.opts.ShardsPerWorker; k++ {
+			weights = append(weights, c.workers[wi].weight)
+			owners = append(owners, wi)
+		}
+	}
 	var shards []*shardState
-	for _, span := range scenario.SplitSpan(start, end, alive*c.opts.ShardsPerWorker) {
-		shards = append(shards, newShardState(span))
+	for i, span := range scenario.SplitSpanWeighted(start, end, weights) {
+		if span.End <= span.Start {
+			continue // a zero share (range shorter than slots)
+		}
+		shards = append(shards, newShardState(span, owners[i]))
 	}
 	cov := report.NewCoverage()
 	remaining := len(shards)
@@ -334,9 +513,11 @@ func (c *run) round(ctx context.Context, start, end int) (*report.Report, error)
 		}
 	}
 	inflight := 0
-	// Each worker has at most one outstanding dispatch, so this buffer
-	// guarantees result sends never block and draining cannot deadlock.
-	results := make(chan result, len(c.workers))
+	// Sized for the planned fleet; a worker has at most one outstanding
+	// dispatch, so sends only block momentarily if the fleet grows
+	// mid-round — and every send is matched by a receive (the select
+	// loop or drain), so nothing deadlocks or leaks.
+	results := make(chan result, len(c.workers)+len(shards))
 	cancels := map[*shardState]map[int]context.CancelFunc{}
 
 	dispatch := func(wi int, s *shardState) {
@@ -379,24 +560,28 @@ func (c *run) round(ctx context.Context, start, end int) (*report.Report, error)
 
 	for remaining > 0 {
 		for wi, w := range c.workers {
-			if w.dead || w.busy {
+			if !w.usable() || w.busy {
 				continue
 			}
 			if s := c.pickShard(shards, wi); s != nil {
 				dispatch(wi, s)
 			}
 		}
-		if inflight == 0 {
+		if inflight == 0 && updates == nil {
+			// A static fleet cannot gain the worker an unresolved shard
+			// needs; a dynamic one falls through and waits for a join.
 			for _, s := range shards {
 				if !s.resolved {
 					return nil, fmt.Errorf("coordinator: shard %s: no worker left to run it (%d failures, %d alive workers; round still missing runs %s)",
-						s.span, s.failures, c.alive(), gapList(cov.Gaps(start, end)))
+						s.span, s.failures, len(c.aliveWorkers()), gapList(cov.Gaps(start, end)))
 				}
 			}
 		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
+		case <-updates:
+			c.sync()
 		case r := <-results:
 			inflight--
 			w := c.workers[r.wi]
@@ -412,6 +597,8 @@ func (c *run) round(ctx context.Context, start, end int) (*report.Report, error)
 			full := r.s.span.End - r.s.span.Start
 			switch {
 			case r.err == nil && prefixOf(r.rep, r.s.span) && r.rep.RunCount == full:
+				// Results from since-departed workers still count: the
+				// bytes are bit-deterministic wherever they were computed.
 				if _, err := cov.Add(r.rep); err != nil {
 					return nil, err
 				}
@@ -427,7 +614,7 @@ func (c *run) round(ctx context.Context, start, end int) (*report.Report, error)
 					return nil, err
 				}
 				resolve(r.s)
-				rest := newShardState(engine.Span(r.s.span.Start+r.rep.RunCount, r.s.span.End))
+				rest := newShardState(engine.Span(r.s.span.Start+r.rep.RunCount, r.s.span.End), -1)
 				rest.failed[r.wi] = true
 				shards = append(shards, rest)
 				remaining++
@@ -456,9 +643,15 @@ func (c *run) round(ctx context.Context, start, end int) (*report.Report, error)
 }
 
 // pickShard chooses work for an idle worker: first a queued shard the
-// worker has not failed, then — unless speculation is off — a straggling
-// in-flight shard the worker has not yet attempted.
+// weighted split planned for this worker, then any queued shard it has
+// not failed, then — unless speculation is off — a straggling in-flight
+// shard it has not yet attempted.
 func (c *run) pickShard(shards []*shardState, wi int) *shardState {
+	for _, s := range shards {
+		if !s.resolved && s.inflight == 0 && s.pref == wi && !s.failed[wi] {
+			return s
+		}
+	}
 	for _, s := range shards {
 		if !s.resolved && s.inflight == 0 && !s.failed[wi] {
 			return s

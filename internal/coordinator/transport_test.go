@@ -12,6 +12,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -249,6 +250,125 @@ func TestHTTPWorkerDownThenFleetSurvives(t *testing.T) {
 	}
 	if log.count(EventWorkerDead) != 1 {
 		t.Fatalf("worker-dead events = %d, want 1", log.count(EventWorkerDead))
+	}
+}
+
+// TestHTTPLegacyWorkerFallback is the forward half of version
+// negotiation: a NEW coordinator driving an OLD worker that only serves
+// the unversioned /run. The transport's first /v1/run attempt 404s, it
+// downgrades — once, stickily — and every dispatch lands on /run.
+func TestHTTPLegacyWorkerFallback(t *testing.T) {
+	var v1Hits, runHits int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			atomic.AddInt32(&v1Hits, 1)
+			http.NotFound(w, r) // a worker binary predating the versioned API
+			return
+		}
+		if r.URL.Path != "/run" {
+			http.NotFound(w, r)
+			return
+		}
+		atomic.AddInt32(&runHits, 1)
+		var job scenario.Job
+		if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rep, err := RunShard(r.Context(), job, 0)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(rep) //nolint:errcheck // test server
+	}))
+	defer srv.Close()
+
+	sp := testSpec()
+	want := single(t, sp)
+	tr := &HTTP{URL: srv.URL}
+	got, err := Run(context.Background(), scenario.Job{Spec: sp},
+		Options{Workers: []Transport{tr}, NoSpeculation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm(t, got) != norm(t, want) {
+		t.Fatal("legacy-worker fan-out differs from single-process report")
+	}
+	if !tr.legacy {
+		t.Fatal("transport never recorded the downgrade")
+	}
+	if hits := atomic.LoadInt32(&v1Hits); hits != 1 {
+		t.Fatalf("/v1/run probed %d times, want exactly 1 (the downgrade must stick)", hits)
+	}
+	if hits := atomic.LoadInt32(&runHits); hits < 2 {
+		t.Fatalf("/run served %d dispatches, want every shard after the downgrade", hits)
+	}
+}
+
+// TestLegacyPathsServeDeprecated is the backward half: an OLD
+// coordinator posting to the unversioned paths of a NEW worker still
+// gets its original contract — plus RFC 9745 Deprecation headers
+// pointing at the successor. The /v1 paths answer without them.
+func TestLegacyPathsServeDeprecated(t *testing.T) {
+	srv := httptest.NewServer(Handler(context.Background()))
+	defer srv.Close()
+	job := scenario.Job{Spec: testSpec(), Shard: engine.Span(0, 16)}
+	blob, err := json.Marshal(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.RunJob(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for path, deprecated := range map[string]bool{"/run": true, "/v1/run": false} {
+		resp, err := http.Post(srv.URL+path, mimeJSON, bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Deprecation"); (got == "true") != deprecated {
+			t.Fatalf("%s: Deprecation header = %q, want deprecated=%v", path, got, deprecated)
+		}
+		if deprecated && !strings.Contains(resp.Header.Get("Link"), `/v1/run>; rel="successor-version"`) {
+			t.Fatalf("%s: Link header %q names no successor", path, resp.Header.Get("Link"))
+		}
+		var rep report.Report
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if norm(t, &rep) != norm(t, want) {
+			t.Fatalf("%s: response differs from the direct shard run", path)
+		}
+	}
+
+	health, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.Header.Get("Deprecation") != "true" {
+		t.Fatal("/healthz answered without a Deprecation header")
+	}
+	v1health, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1health.Body.Close()
+	if v1health.Header.Get("Deprecation") != "" {
+		t.Fatal("/v1/healthz is marked deprecated")
+	}
+	var caps Capabilities
+	if err := json.NewDecoder(v1health.Body).Decode(&caps); err != nil {
+		t.Fatal(err)
+	}
+	if caps.Stream == "" || len(caps.Codecs) == 0 {
+		t.Fatalf("/v1/healthz envelope = %+v, want stream and codecs", caps)
 	}
 }
 

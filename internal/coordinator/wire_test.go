@@ -210,10 +210,12 @@ func TestCoordinatorBanksShards(t *testing.T) {
 		t.Fatalf("warm run dispatched %d shards, want 0", n)
 	}
 
-	// Corrupt one banked artifact on disk: that shard (and only that
-	// shard) dispatches again, and the result still merges bit-identical.
+	// Corrupt one banked SHARD artifact on disk (the store also holds
+	// the campaign checkpoint under its own kind): that shard (and only
+	// that shard) dispatches again, and the result still merges
+	// bit-identical.
 	corrupted := false
-	err = filepath.WalkDir(st.Root(), func(path string, d fs.DirEntry, err error) error {
+	err = filepath.WalkDir(filepath.Join(st.Root(), "report"), func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() || corrupted {
 			return err
 		}

@@ -7,11 +7,13 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"slices"
 	"strings"
 
 	"chaffmec/internal/engine"
 	"chaffmec/internal/report"
+	"chaffmec/internal/rng"
 	"chaffmec/internal/scenario"
 )
 
@@ -207,11 +209,18 @@ func negotiateWire(accept string) report.Encoding {
 	}
 }
 
-// Handler serves the worker HTTP API of `experiments -serve`:
+// Handler serves the worker HTTP API of `experiments -serve` and
+// `-worker-daemon`, versioned since the elastic-fleet redesign:
 //
-//	POST /run      Job JSON in, Report JSON out (206 + prefix report
-//	               when the worker is terminated mid-shard)
-//	GET  /healthz  liveness probe
+//	POST /v1/run      Job JSON in, Report JSON out (206 + prefix report
+//	                  when the worker is terminated mid-shard)
+//	GET  /v1/healthz  capability envelope: goarch, rng stream version,
+//	                  supported report codecs, warm-state build counter
+//
+// The pre-versioning paths /run and /healthz still serve their
+// original contract — an old coordinator keeps working — but answer
+// with a Deprecation header and a Link to the successor so operators
+// can find stragglers in their access logs.
 //
 // ctx is the worker process's lifetime (SIGTERM cancels it): in-flight
 // shards abort at the next chunk boundary and respond with their
@@ -219,12 +228,22 @@ func negotiateWire(accept string) report.Encoding {
 // of losing it.
 func Handler(ctx context.Context) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", mimeJSON)
+		json.NewEncoder(w).Encode(Capabilities{ //nolint:errcheck // response already committed
+			GOARCH:         runtime.GOARCH,
+			Stream:         rng.StreamVersion,
+			Codecs:         localCodecs(),
+			TraceLabBuilds: scenario.TraceLabBuilds(),
+		})
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		deprecateHeaders(w, "/v1/healthz")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+	runHandler := func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, "POST a Job to /run", http.StatusMethodNotAllowed)
+			http.Error(w, "POST a Job to "+r.URL.Path, http.StatusMethodNotAllowed)
 			return
 		}
 		dec := json.NewDecoder(r.Body)
@@ -254,6 +273,18 @@ func Handler(ctx context.Context) http.Handler {
 		}
 		w.Header().Set("Content-Type", encodingMime(enc))
 		writeReportWire(w, rep, enc) //nolint:errcheck // response already committed
+	}
+	mux.HandleFunc("/v1/run", runHandler)
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+		deprecateHeaders(w, "/v1/run")
+		runHandler(w, r)
 	})
 	return mux
+}
+
+// deprecateHeaders marks a legacy-path response (RFC 9745 Deprecation
+// plus a successor-version Link) without changing its body contract.
+func deprecateHeaders(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
 }

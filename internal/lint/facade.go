@@ -4,8 +4,13 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"regexp"
 	"strings"
 )
+
+// deprecatedWord triggers the Deprecated-marker rule: the whole word,
+// any case, so `Deprecation` (the HTTP header) alone does not.
+var deprecatedWord = regexp.MustCompile(`(?i)\bdeprecated\b`)
 
 // Facade enforces the public-surface hygiene of the root chaffmec
 // package (import path "chaffmec"):
@@ -18,11 +23,16 @@ import (
 //     toolchain then rejects.
 //   - every exported symbol needs a doc comment (grouped decls may
 //     document the group or the individual spec).
+//   - a doc comment that talks about deprecation must carry a
+//     well-formed `Deprecated: <guidance>` line — that exact form is
+//     what godoc, gopls and staticcheck key on to strike the symbol
+//     and steer callers; a prose-only mention keeps the compat alias
+//     invisible to tooling.
 //
 // Test files are exempt (TestXxx functions are exported by necessity).
 var Facade = &Analyzer{
 	Name: "facade",
-	Doc:  "the root chaffmec package must alias every internal type it exposes and document every exported symbol",
+	Doc:  "the root chaffmec package must alias every internal type it exposes, document every exported symbol, and mark compat aliases with well-formed Deprecated: sentences",
 	Run:  runFacade,
 }
 
@@ -56,6 +66,7 @@ func runFacade(pass *Pass) error {
 				if d.Doc == nil {
 					pass.Reportf(d.Name.Pos(), "exported %s needs a doc comment (facade surface)", describeFunc(d))
 				}
+				checkDeprecated(pass, d.Name.Pos(), describeFunc(d), d.Doc)
 				if fn, ok := pass.Info.Defs[d.Name].(*types.Func); ok {
 					checkLeak(pass, d.Name.Pos(), d.Name.Name, fn.Type(), blessed)
 				}
@@ -87,6 +98,7 @@ func checkSpec(pass *Pass, decl *ast.GenDecl, spec ast.Spec, blessed map[*types.
 		if !documented && s.Doc == nil && s.Comment == nil {
 			pass.Reportf(s.Name.Pos(), "exported type %s needs a doc comment (facade surface)", s.Name.Name)
 		}
+		checkDeprecated(pass, s.Name.Pos(), "type "+s.Name.Name, decl.Doc, s.Doc, s.Comment)
 		tn, ok := pass.Info.Defs[s.Name].(*types.TypeName)
 		if !ok {
 			return
@@ -124,11 +136,42 @@ func checkSpec(pass *Pass, decl *ast.GenDecl, spec ast.Spec, blessed map[*types.
 				}
 				pass.Reportf(name.Pos(), "exported %s %s needs a doc comment (facade surface)", kind, name.Name)
 			}
+			checkDeprecated(pass, name.Pos(), "symbol "+name.Name, decl.Doc, s.Doc, s.Comment)
 			if obj := pass.Info.Defs[name]; obj != nil {
 				checkLeak(pass, name.Pos(), name.Name, obj.Type(), blessed)
 			}
 		}
 	}
+}
+
+// checkDeprecated enforces well-formed deprecation notices. A doc
+// comment that mentions deprecation in prose only is worse than
+// useless: callers read "deprecated" but godoc, gopls and staticcheck
+// — which all key on a line beginning exactly `Deprecated: ` — never
+// strike the symbol or surface the replacement. Any doc containing
+// the word "deprecated" must therefore carry such a line with
+// non-empty guidance after the marker. The trigger is the whole word,
+// so a doc describing e.g. the HTTP `Deprecation` response header of
+// a symbol that is itself current does not fire.
+func checkDeprecated(pass *Pass, pos token.Pos, what string, docs ...*ast.CommentGroup) {
+	var text strings.Builder
+	for _, d := range docs {
+		if d != nil {
+			text.WriteString(d.Text())
+			text.WriteString("\n")
+		}
+	}
+	if !deprecatedWord.MatchString(text.String()) {
+		return
+	}
+	for _, line := range strings.Split(text.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "Deprecated: "); ok && strings.TrimSpace(rest) != "" {
+			return
+		}
+	}
+	pass.Reportf(pos,
+		"exported %s mentions deprecation without a well-formed `Deprecated: <replacement guidance>` line (godoc and gopls key on that exact form)",
+		what)
 }
 
 // checkLeak walks a type reachable from the exported symbol `name` and

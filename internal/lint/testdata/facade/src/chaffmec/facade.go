@@ -42,6 +42,33 @@ const Version = "v0"
 // DefaultBlessed is documented and blessed: clean.
 var DefaultBlessed *Blessed
 
+// OldNewBlessed is the constructor's pre-rename spelling.
+//
+// Deprecated: use NewBlessed instead.
+func OldNewBlessed() *Blessed { return NewBlessed() }
+
+// SloppyOld is deprecated, please call NewBlessed.
+func SloppyOld() *Blessed { return NewBlessed() } // want `exported function SloppyOld mentions deprecation without a well-formed`
+
+// EmptyOld gets the marker right but forgets the guidance.
+//
+// Deprecated:
+func EmptyOld() *Blessed { return NewBlessed() } // want `exported function EmptyOld mentions deprecation without a well-formed`
+
+// OldConfig is the old name for Config.
+//
+// Deprecated: use Config; OldConfig remains as a compile-compat alias.
+type OldConfig = Config
+
+// SloppyOldConfig is a deprecated alias lacking the marker line.
+type SloppyOldConfig = Config // want `exported type SloppyOldConfig mentions deprecation without a well-formed`
+
+// HeaderTalker is current API; its doc mentioning the HTTP
+// Deprecation response header the legacy paths answer with must not
+// fire the marker rule (the trigger is the whole word, not the
+// header name).
+func HeaderTalker() *Blessed { return NewBlessed() }
+
 // SuppressedLeak documents a justified migration-period exception.
 //
 //lint:ignore facade suite fixture: justified exception, alias lands in the next PR

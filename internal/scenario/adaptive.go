@@ -57,6 +57,27 @@ func ResumeJob(ctx context.Context, job Job, from *report.Report, progress Progr
 	if from == nil {
 		return RunAdaptive(ctx, job, progress)
 	}
+	cl, err := PrepareResume(job, from)
+	if err != nil {
+		return nil, err
+	}
+	return extendJob(ctx, job, cl, progress)
+}
+
+// PrepareResume validates that a checkpoint belongs to a job and
+// returns a clone of it ready to extend: the front half of ResumeJob,
+// shared with external executors (the distributed coordinator resumes
+// a fleet campaign through it). The checkpoint must cover a prefix from
+// run 0 of the same experiment — name, kind, seed and every spec field
+// except the precision block, which only decides how many runs execute
+// and may legally change between checkpoint and resume. A fixed-count
+// job additionally must not already cover more runs than the spec
+// declares. from is not modified; a nil from returns nil (resume from
+// scratch).
+func PrepareResume(job Job, from *report.Report) (*report.Report, error) {
+	if from == nil {
+		return nil, nil
+	}
 	sp := job.Spec.withDefaults()
 	if from.RunStart != 0 {
 		return nil, fmt.Errorf("scenario: resuming %q: checkpoint covers [%d,%d), want coverage from run 0",
@@ -69,15 +90,22 @@ func ResumeJob(ctx context.Context, job Job, from *report.Report, progress Progr
 	if err := sameSpecModuloPrecision(sp, from.Spec); err != nil {
 		return nil, err
 	}
+	plan, err := NewPlan(job.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.Adaptive() && from.RunCount > plan.FixedRuns() {
+		return nil, fmt.Errorf("scenario: resuming %q: checkpoint covers %d runs, spec declares %d", sp.Name, from.RunCount, plan.FixedRuns())
+	}
 	// Re-stamp the mutable header fields the driver owns: the spec echo
 	// (the checkpoint may have been taken under a different precision
-	// block) and TotalRuns (extendJob re-stamps it per round anyway).
-	// Work on a clone — the caller's checkpoint stays intact.
+	// block) and TotalRuns (the round loop re-stamps it per round
+	// anyway). Work on a clone — the caller's checkpoint stays intact.
 	cl := *from
 	if spec, err := json.Marshal(sp); err == nil {
 		cl.Spec = spec
 	}
-	return extendJob(ctx, job, &cl, progress)
+	return &cl, nil
 }
 
 // sameSpecModuloPrecision verifies a checkpoint's spec echo matches the

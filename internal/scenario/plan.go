@@ -133,3 +133,59 @@ func SplitSpan(start, end, parts int) []engine.Shard {
 	}
 	return out
 }
+
+// SplitSpanWeighted plans one round's shards for a heterogeneous
+// fleet: it splits the half-open run range [start, end) into
+// len(weights) contiguous spans whose sizes are proportional to the
+// weights — entry i of the result is entry i of the weights, so a
+// caller can attribute each span to the worker it planned it for. A
+// span may come back EMPTY (Start == End) when its share rounds to
+// zero runs (a zero or negative weight always does; so can any share
+// when the range is shorter than the slot count). The union of the
+// non-empty spans covers [start, end) exactly, and every rounded share
+// is within one run of its exact n·wᵢ/Σw quota. Equal weights
+// reproduce SplitSpan's balanced arithmetic. Like any contiguous
+// decomposition, the split only moves load — merges stay bit-identical.
+func SplitSpanWeighted(start, end int, weights []float64) []engine.Shard {
+	n := end - start
+	if n <= 0 || len(weights) == 0 {
+		return nil
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	out := make([]engine.Shard, 0, len(weights))
+	if total <= 0 {
+		// All weights degenerate: fall back to a balanced split.
+		for i := range weights {
+			a := start + i*n/len(weights)
+			b := start + (i+1)*n/len(weights)
+			out = append(out, engine.Span(a, b))
+		}
+		return out
+	}
+	lo, cum := 0, 0.0
+	for i, w := range weights {
+		if w > 0 {
+			cum += w
+		}
+		// Cumulative rounding keeps every boundary within one run of its
+		// exact quota, so no share drifts as errors accumulate. The
+		// epsilon pulls boundaries sitting a float-rounding hair below an
+		// integer up onto it (equal weights then reproduce the integer
+		// arithmetic of SplitSpan exactly).
+		hi := int(math.Floor(float64(n)*cum/total + 1e-9))
+		if hi < lo {
+			hi = lo
+		}
+		if hi > n || i == len(weights)-1 {
+			hi = n
+		}
+		out = append(out, engine.Span(start+lo, start+hi))
+		lo = hi
+	}
+	return out
+}

@@ -53,6 +53,89 @@ func TestSplitSpanTiles(t *testing.T) {
 	}
 }
 
+// TestSplitSpanWeightedProperties is the weighted-split property test:
+// over a grid of ranges and weight vectors (degenerate ones included),
+// the result tiles the range exactly, stays aligned to the weight
+// entries, and every share lands within one run of its exact
+// n·wᵢ/Σw quota.
+func TestSplitSpanWeightedProperties(t *testing.T) {
+	cases := []struct {
+		start, end int
+		weights    []float64
+	}{
+		{0, 100, []float64{1, 1, 1, 1}},
+		{17, 94, []float64{3, 1}},
+		{0, 60, []float64{3, 3, 1, 1}},
+		{0, 7, []float64{2, 5, 9}},
+		{5, 6, []float64{1, 1, 1}},
+		{0, 1000, []float64{0.25, 4, 0.5, 1, 2}},
+		{3, 45, []float64{1, 0, 2}},   // zero weight: empty share
+		{0, 10, []float64{-1, 1}},     // negative treated as zero
+		{0, 12, []float64{0, 0}},      // all degenerate: balanced split
+		{0, 3, []float64{1, 1, 1, 1}}, // more slots than runs
+		{0, 1, []float64{1e-9, 1e9}},  // extreme skew
+		{0, 100, []float64{7}},        // single slot takes everything
+	}
+	for _, tc := range cases {
+		spans := SplitSpanWeighted(tc.start, tc.end, tc.weights)
+		if len(spans) != len(tc.weights) {
+			t.Fatalf("SplitSpanWeighted(%d,%d,%v) = %d spans, want one per weight", tc.start, tc.end, tc.weights, len(spans))
+		}
+		n := tc.end - tc.start
+		total := 0.0
+		for _, w := range tc.weights {
+			if w > 0 {
+				total += w
+			}
+		}
+		at := tc.start
+		for i, s := range spans {
+			if s.Start != at || s.End < s.Start {
+				t.Fatalf("SplitSpanWeighted(%d,%d,%v): span %d = %s breaks the tiling at %d", tc.start, tc.end, tc.weights, i, s, at)
+			}
+			at = s.End
+			if total <= 0 {
+				continue // balanced fallback, checked by the tiling alone
+			}
+			w := tc.weights[i]
+			if w < 0 {
+				w = 0
+			}
+			exact := float64(n) * w / total
+			if got := float64(s.End - s.Start); math.Abs(got-exact) >= 1+1e-6 {
+				t.Fatalf("SplitSpanWeighted(%d,%d,%v): span %d covers %g runs, exact share %g (off by ≥1)", tc.start, tc.end, tc.weights, i, got, exact)
+			}
+			if w == 0 && s.End != s.Start {
+				t.Fatalf("SplitSpanWeighted(%d,%d,%v): zero-weight span %d got runs %s", tc.start, tc.end, tc.weights, i, s)
+			}
+		}
+		if at != tc.end {
+			t.Fatalf("SplitSpanWeighted(%d,%d,%v) ends at %d, want %d", tc.start, tc.end, tc.weights, at, tc.end)
+		}
+	}
+	if got := SplitSpanWeighted(5, 5, []float64{1, 2}); got != nil {
+		t.Fatalf("empty range split = %v", got)
+	}
+	if got := SplitSpanWeighted(0, 10, nil); got != nil {
+		t.Fatalf("no weights split = %v", got)
+	}
+	// Equal weights reproduce SplitSpan's balanced integer arithmetic
+	// exactly — the coordinator's uniform fleets keep their old shards.
+	for _, parts := range []int{1, 2, 3, 5, 8} {
+		weights := make([]float64, parts)
+		for i := range weights {
+			weights[i] = 2.5
+		}
+		flat := SplitSpan(17, 94, parts)
+		weighted := SplitSpanWeighted(17, 94, weights)
+		for i := range flat {
+			if flat[i] != weighted[i] {
+				t.Fatalf("equal-weight split diverges from SplitSpan at %d: %s vs %s", i, weighted[i], flat[i])
+			}
+		}
+	}
+}
+
 // TestPlanReplaysAdaptiveRounds pins the contract the coordinator
 // depends on: driving Plan.Next by hand over the accumulating report
 // yields exactly the rounds RunAdaptive executes — same boundaries,
